@@ -1,0 +1,90 @@
+// Command slinfer-profile prints the hardware substrate's latency surface
+// and SLINFER's interpolated profile for a model/device pair — the data
+// behind §VI-B's performance quantification.
+//
+// Usage:
+//
+//	slinfer-profile -model llama-2-7b -device cpu
+//	slinfer-profile -model llama-2-13b -device gpu -share 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slinfer/internal/hwsim"
+	"slinfer/internal/model"
+	"slinfer/internal/perfmodel"
+	"slinfer/internal/slo"
+)
+
+func main() {
+	name := flag.String("model", "llama-2-7b", "catalog model name")
+	device := flag.String("device", "cpu", "cpu | cpu-gen3 | gpu")
+	share := flag.Float64("share", 1.0, "node share (static partitioning)")
+	flag.Parse()
+
+	m, ok := model.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown model %q; catalog:\n", *name)
+		for _, cm := range model.Catalog() {
+			fmt.Fprintf(os.Stderr, "  %s (%s, %d layers, %.1f GB weights)\n",
+				cm.Name, cm.SizeClass(), cm.Layers, float64(cm.WeightBytes())/1e9)
+		}
+		os.Exit(2)
+	}
+	var class hwsim.DeviceClass
+	switch *device {
+	case "cpu":
+		class = hwsim.XeonGen4
+	case "cpu-gen3":
+		class = hwsim.XeonGen3
+	case "gpu":
+		class = hwsim.A100
+	default:
+		fmt.Fprintln(os.Stderr, "device must be cpu, cpu-gen3, or gpu")
+		os.Exit(2)
+	}
+
+	prof := perfmodel.NewProfile(class, m, *share, 256)
+	fmt.Printf("%s on %v (share %.2f) — %d profile samples\n\n", m.Name, class, *share, prof.SampleCount())
+
+	fmt.Println("Prefill (TTFT):")
+	fmt.Printf("  %-8s %-12s %-12s %-10s %s\n", "len", "ground(ms)", "estim(ms)", "slo(ms)", "meets")
+	for _, l := range []int{128, 256, 512, 1024, 2048, 4096, 8192} {
+		if l > m.MaxContext {
+			break
+		}
+		obj := slo.Default(l)
+		g := class.PrefillTime(m, l, *share)
+		e := prof.EstimatePrefill(l)
+		fmt.Printf("  %-8d %-12.0f %-12.0f %-10.0f %v\n",
+			l, g.Milliseconds(), e.Milliseconds(), obj.TTFT.Milliseconds(), prof.CanMeet(l, obj))
+	}
+
+	fmt.Println("\nDecode (TPOT, ms) by batch x avg length:")
+	lengths := []int{512, 1024, 2048, 4096}
+	fmt.Printf("  %-6s", "batch")
+	for _, l := range lengths {
+		fmt.Printf(" %8d", l)
+	}
+	fmt.Println()
+	for _, b := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		fmt.Printf("  %-6d", b)
+		for _, l := range lengths {
+			fmt.Printf(" %8.0f", class.DecodeTime(m, b, b*l, *share).Milliseconds())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nConcurrency limits (Table II derivation, TPOT SLO 250 ms):")
+	spec := hwsim.NewCPUNode("n")
+	if class == hwsim.A100 {
+		spec = hwsim.NewGPUNode("n")
+	}
+	spec.Class = class
+	for _, l := range []int{1024, 2048, 4096} {
+		fmt.Printf("  len=%-6d limit=%d\n", l, hwsim.ConcurrencyLimit(spec, m, l, *share, slo.DefaultTPOT))
+	}
+}

@@ -1,0 +1,83 @@
+// Command slinfer-trace generates and characterizes synthetic multi-model
+// traces (the Azure-Serverless-style and BurstGPT-style workloads of §IX-A
+// and §IX-I2), printing the Figure-21-style summary.
+//
+// Usage:
+//
+//	slinfer-trace -models 64 -minutes 30 -dataset AzureConv
+//	slinfer-trace -models 64 -burstgpt -rps 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slinfer/internal/sim"
+	"slinfer/internal/workload"
+)
+
+func main() {
+	n := flag.Int("models", 64, "number of hosted models")
+	minutes := flag.Float64("minutes", 30, "trace duration")
+	dataset := flag.String("dataset", "AzureConv", "AzureConv|AzureCode|HumanEval|ShareGPT|LongBench")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	burst := flag.Bool("burstgpt", false, "generate a BurstGPT-style trace instead")
+	rps := flag.Float64("rps", 1, "aggregate RPS (BurstGPT mode)")
+	flag.Parse()
+
+	ds, ok := workload.DatasetByName(*dataset)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	names := make([]string, *n)
+	for i := range names {
+		names[i] = fmt.Sprintf("model-%03d", i)
+	}
+	var tr workload.Trace
+	if *burst {
+		tr = workload.GenerateBurstGPT(workload.BurstGPTConfig{
+			ModelNames: names, Duration: sim.Duration(*minutes) * sim.Minute,
+			RPS: *rps, Dataset: ds, Seed: *seed,
+		})
+	} else {
+		tr = workload.Generate(workload.TraceConfig{
+			ModelNames: names, Duration: sim.Duration(*minutes) * sim.Minute,
+			Dataset: ds, Seed: *seed,
+		})
+	}
+	if err := tr.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "generated trace invalid: %v\n", err)
+		os.Exit(1)
+	}
+	st := workload.Summarize(tr)
+	fmt.Printf("trace: %d models, %.0f min, dataset %s\n", *n, *minutes, ds.Name)
+	fmt.Printf("total requests: %d (aggregate %.1f RPM)\n", st.TotalRequests, st.AggregateRPM)
+	fmt.Printf("hottest model share: %.1f%%\n", st.TopShare*100)
+	if len(st.PerModelRPM) > 0 {
+		fmt.Printf("per-model RPM: min %.2f / median %.2f / max %.2f\n",
+			st.PerModelRPM[0], st.PerModelRPM[len(st.PerModelRPM)/2], st.PerModelRPM[len(st.PerModelRPM)-1])
+	}
+	hot := workload.HottestModel(tr)
+	cc := workload.ConcurrencyCDF(tr, hot, 0.25)
+	if len(cc) > 0 {
+		fmt.Printf("hottest model offered concurrency: P50 %d / max %d\n", cc[len(cc)/2], cc[len(cc)-1])
+	}
+	fmt.Println("\nper-minute request timeline:")
+	for i, c := range st.PerMinute {
+		fmt.Printf("  min %2d: %4d %s\n", i, c, bar(c))
+	}
+}
+
+func bar(n int) string {
+	w := n / 4
+	if w > 80 {
+		w = 80
+	}
+	out := make([]byte, w)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

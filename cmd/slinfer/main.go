@@ -1,0 +1,60 @@
+// Command slinfer regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	slinfer -list                 # list experiments
+//	slinfer -exp fig22b           # run one experiment (paper-scale)
+//	slinfer -exp all -quick       # run everything at reduced scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"slinfer/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered experiments and exit")
+	exp := flag.String("exp", "", "experiment id to run, or 'all'")
+	quick := flag.Bool("quick", false, "run at reduced scale (shorter traces, sparser sweeps)")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("Registered experiments (paper artifact -> harness id):")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-10s %s\n             paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		res := e.Run(scale)
+		fmt.Println(res.String())
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

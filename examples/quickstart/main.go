@@ -1,0 +1,29 @@
+// Quickstart: host 32 seven-billion-parameter models on the paper's
+// 4 CPU + 4 GPU testbed, replay a 30-minute Azure-style serverless trace,
+// and compare SLINFER against the ServerlessLLM baseline.
+package main
+
+import (
+	"fmt"
+
+	"slinfer"
+)
+
+func main() {
+	cluster := slinfer.Testbed(4, 4)
+	models := slinfer.Replicas(slinfer.Llama2_7B, 32)
+	trace := slinfer.AzureTrace(models, 30, 1)
+	fmt.Printf("trace: %d requests over 30 minutes across %d models\n\n",
+		len(trace.Requests), len(models))
+
+	for _, cfg := range []slinfer.Config{slinfer.Sllm(), slinfer.SLINFER()} {
+		rep := slinfer.Run(cfg, cluster, models, trace)
+		fmt.Printf("%-8s  SLO-met %4d/%4d (%.1f%%)  dropped %3d\n",
+			cfg.Name, rep.Met, rep.Total, rep.SLORate*100, rep.Dropped)
+		fmt.Printf("          nodes used: %.2f CPU + %.2f GPU   median TTFT %.2fs   avg batch %.1f\n\n",
+			rep.AvgNodesUsed[slinfer.CPU], rep.AvgNodesUsed[slinfer.GPU],
+			rep.TTFTP50, rep.AvgBatch)
+	}
+	fmt.Println("SLINFER should meet more SLOs with fewer nodes by sharing")
+	fmt.Println("CPUs and GPUs elastically (paper Figure 22b).")
+}

@@ -1,0 +1,222 @@
+// Package cluster assembles nodes and runs their iteration executors.
+//
+// An Executor serializes iterations for the instances assigned to it,
+// realizing the paper's token-level scheduling loop (Figure 14): it asks a
+// policy hook for the next iteration, runs it for its ground-truth duration
+// (with deterministic runtime fluctuation), reports completion, and repeats.
+//
+//   - Elastic sharing (SLINFER): one full-share executor per node,
+//     interleaving iterations of all colocated instances.
+//   - Exclusive allocation (sllm): one executor per node hosting a single
+//     instance.
+//   - Static partitioning (sllm+c+s): one executor per partition; partitions
+//     run concurrently, each at a fraction of the node's speed.
+package cluster
+
+import (
+	"slinfer/internal/engine"
+	"slinfer/internal/hwsim"
+	"slinfer/internal/memctl"
+	"slinfer/internal/sim"
+)
+
+// Executor serializes iterations for its instances.
+type Executor struct {
+	// Node is the hosting node.
+	Node *Node
+	// Share is the node fraction this executor commands.
+	Share float64
+	// Instances currently assigned.
+	Instances []*engine.Instance
+
+	// Pick chooses the next iteration; nil return parks the executor until
+	// the next Kick. Set by the controller (compute policy).
+	Pick func(e *Executor) *engine.Work
+	// OnDone is invoked after each completed iteration, before the next
+	// Pick. Set by the controller.
+	OnDone func(e *Executor, w *engine.Work, dur sim.Duration)
+	// Noise returns the runtime-fluctuation multiplier for one iteration
+	// (the reason SLINFER overestimates by 10%, §VI-C). Nil means none.
+	Noise func() float64
+
+	busy      bool
+	busyUntil sim.Time
+	busyTotal sim.Duration
+	iters     int64
+
+	sim *sim.Simulator
+}
+
+// Busy reports whether an iteration is in flight.
+func (e *Executor) Busy() bool { return e.busy }
+
+// BusyUntil returns when the in-flight iteration completes (valid if Busy).
+func (e *Executor) BusyUntil() sim.Time { return e.busyUntil }
+
+// BusyTotal returns the accumulated iteration time.
+func (e *Executor) BusyTotal() sim.Duration { return e.busyTotal }
+
+// Iterations returns the number of completed iterations.
+func (e *Executor) Iterations() int64 { return e.iters }
+
+// AddInstance assigns an instance to this executor.
+func (e *Executor) AddInstance(inst *engine.Instance) {
+	e.Instances = append(e.Instances, inst)
+}
+
+// RemoveInstance unassigns an instance.
+func (e *Executor) RemoveInstance(inst *engine.Instance) bool {
+	for i, x := range e.Instances {
+		if x == inst {
+			e.Instances = append(e.Instances[:i], e.Instances[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Kick starts the next iteration if the executor is idle and work exists.
+// All state changes flow through OnDone, so controllers call Kick whenever
+// new work may have become available (arrivals, resize completions).
+func (e *Executor) Kick() {
+	if e.busy || e.Pick == nil {
+		return
+	}
+	w := e.Pick(e)
+	if w == nil {
+		return
+	}
+	dur := w.Inst.GroundTruthDuration(w)
+	if e.Noise != nil {
+		dur *= sim.Duration(e.Noise())
+	}
+	if dur <= 0 {
+		dur = sim.Millisecond
+	}
+	e.busy = true
+	e.busyUntil = e.sim.Now().Add(dur)
+	w.Inst.Iterations++
+	e.sim.After(dur, func() {
+		e.busy = false
+		e.busyTotal += dur
+		e.iters++
+		if e.OnDone != nil {
+			e.OnDone(e, w, dur)
+		}
+		e.Kick()
+	})
+}
+
+// Node is one physical node: a device spec, its memory ledger, and the
+// executors carved out of it.
+type Node struct {
+	// Idx is the node's index within the cluster.
+	Idx int
+	// Spec is the hardware description.
+	Spec hwsim.NodeSpec
+	// Mem is the hazard-aware memory ledger.
+	Mem *memctl.NodeMemory
+	// Executors currently carved from this node.
+	Executors []*Executor
+	// SpeedFactor derates all executors on this node (harvested-core
+	// pseudo-nodes run at cores/32 of a full CPU node, §IX-I3).
+	SpeedFactor float64
+	// ReservedBy marks the node as the TP partner of an instance (its ID);
+	// 0 means unreserved.
+	ReservedBy int
+
+	sim *sim.Simulator
+}
+
+// NewExecutor carves an executor with the given share from the node.
+func (n *Node) NewExecutor(share float64) *Executor {
+	if n.SpeedFactor > 0 {
+		share *= n.SpeedFactor
+	}
+	e := &Executor{Node: n, Share: share, sim: n.sim}
+	n.Executors = append(n.Executors, e)
+	return e
+}
+
+// RemoveExecutor drops an executor from the node.
+func (n *Node) RemoveExecutor(e *Executor) bool {
+	for i, x := range n.Executors {
+		if x == e {
+			n.Executors = append(n.Executors[:i], n.Executors[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// InstanceCount returns the number of instances across all executors.
+func (n *Node) InstanceCount() int {
+	c := 0
+	for _, e := range n.Executors {
+		c += len(e.Instances)
+	}
+	return c
+}
+
+// Occupied reports whether the node currently hosts anything: an instance,
+// a TP reservation, or in-flight memory (loading weights count).
+func (n *Node) Occupied() bool {
+	return n.InstanceCount() > 0 || n.ReservedBy != 0 || n.Mem.OptimisticUsed() > 0
+}
+
+// Kind returns the node's device kind.
+func (n *Node) Kind() hwsim.Kind { return n.Spec.Kind() }
+
+// Cluster is the full testbed.
+type Cluster struct {
+	Sim   *sim.Simulator
+	Nodes []*Node
+}
+
+// New builds a cluster from node specs.
+func New(s *sim.Simulator, specs []hwsim.NodeSpec) *Cluster {
+	c := &Cluster{Sim: s}
+	for i, spec := range specs {
+		n := &Node{
+			Idx: i, Spec: spec,
+			Mem:         memctl.New(s, spec.Name, spec.MemBytes),
+			SpeedFactor: 1,
+			sim:         s,
+		}
+		if spec.SpeedFactor > 0 {
+			n.SpeedFactor = spec.SpeedFactor
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c
+}
+
+// NodesOfKind returns the cluster's nodes of one device kind.
+func (c *Cluster) NodesOfKind(k hwsim.Kind) []*Node {
+	var out []*Node
+	for _, n := range c.Nodes {
+		if n.Kind() == k {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// KickAll kicks every executor (used after global state changes).
+func (c *Cluster) KickAll() {
+	for _, n := range c.Nodes {
+		for _, e := range n.Executors {
+			e.Kick()
+		}
+	}
+}
+
+// CheckInvariants verifies every node's memory invariants.
+func (c *Cluster) CheckInvariants() error {
+	for _, n := range c.Nodes {
+		if err := n.Mem.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,318 @@
+// Package compute is SLINFER's headroom-driven compute subsystem (§VI):
+// token-level iteration scheduling that always serves the most urgent
+// request (Eq. 1, Figure 14), and shadow validation (§VI-C) that virtually
+// adds a request to a candidate instance and simulates the node's future
+// iteration schedule — with 10% overestimation — to prove no SLO is
+// violated before admitting it.
+package compute
+
+import (
+	"slinfer/internal/engine"
+	"slinfer/internal/perfmodel"
+	"slinfer/internal/sim"
+)
+
+// PickMinHeadroom implements the token-level scheduling cycle: across the
+// executor's instances, run the iteration whose driving request has the
+// least headroom (Figure 14). Returns nil when nothing is runnable.
+func PickMinHeadroom(insts []*engine.Instance, now sim.Time) *engine.Work {
+	var best *engine.Work
+	var bestH sim.Duration
+	for _, inst := range insts {
+		w, h := inst.NextWork(now)
+		if w == nil {
+			continue
+		}
+		if best == nil || h < bestH {
+			best, bestH = w, h
+		}
+	}
+	return best
+}
+
+// PickFIFO is the ablation alternative: serve instances round-robin-by-order
+// with prefill priority, ignoring headroom.
+func PickFIFO(insts []*engine.Instance, now sim.Time) *engine.Work {
+	for _, inst := range insts {
+		if !inst.HasWork() {
+			continue
+		}
+		if len(inst.WaitingPrefill) > 0 {
+			return &engine.Work{Inst: inst, Kind: engine.PrefillWork, Req: inst.WaitingPrefill[0]}
+		}
+		return &engine.Work{Inst: inst, Kind: engine.DecodeWork}
+	}
+	return nil
+}
+
+// Reason explains a shadow-validation rejection; the three cases of
+// Figure 15.
+type Reason int
+
+const (
+	// OK means validation passed.
+	OK Reason = iota
+	// NewTTFT: the new request's prefill would finish too late (case 1).
+	NewTTFT
+	// ExistingDelayed: an existing request would miss a token deadline
+	// because of the insertion (case 2).
+	ExistingDelayed
+	// AggregateDecode: the node's combined decode round would exceed the
+	// TPOT SLO (case 3).
+	AggregateDecode
+)
+
+func (r Reason) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case NewTTFT:
+		return "new-request-ttft"
+	case ExistingDelayed:
+		return "existing-delayed"
+	default:
+		return "aggregate-decode"
+	}
+}
+
+// ReqView is the projection of one request for shadow validation.
+type ReqView struct {
+	// Deadline is the absolute deadline of the request's next token.
+	Deadline sim.Time
+	// TPOT is the per-token SLO that advances the deadline.
+	TPOT sim.Duration
+	// InputLen is the prompt length (prefill cost).
+	InputLen int
+	// Ctx is the current context footprint in tokens.
+	Ctx int
+	// NeedsPrefill marks requests whose (re-)prefill has not run.
+	NeedsPrefill bool
+	// IsNew marks the request under validation.
+	IsNew bool
+}
+
+// InstView is the projection of one instance.
+type InstView struct {
+	Profile *perfmodel.Profile
+	Reqs    []ReqView
+	// BlockedUntil delays the instance's first virtual iteration (an
+	// in-flight KV resize).
+	BlockedUntil sim.Time
+}
+
+// ViewInstance builds an InstView from live instance state.
+func ViewInstance(inst *engine.Instance, now sim.Time) InstView {
+	v := InstView{Profile: inst.Profile}
+	for _, r := range inst.Running {
+		v.Reqs = append(v.Reqs, ReqView{
+			Deadline: r.Tracker.NextDeadline(), TPOT: r.Obj.TPOT,
+			InputLen: r.W.InputLen, Ctx: r.ContextTokens(),
+		})
+	}
+	for _, r := range inst.WaitingPrefill {
+		// A migrated request re-prefills its whole context.
+		v.Reqs = append(v.Reqs, ReqView{
+			Deadline: r.Tracker.NextDeadline(), TPOT: r.Obj.TPOT,
+			InputLen: r.ContextTokens(), Ctx: r.ContextTokens(), NeedsPrefill: true,
+		})
+	}
+	return v
+}
+
+// ViewRequest builds the candidate's ReqView. For migrated requests the
+// prefill cost covers the full context.
+func ViewRequest(r *engine.Request) ReqView {
+	return ReqView{
+		Deadline: r.Tracker.NextDeadline(), TPOT: r.Obj.TPOT,
+		InputLen: r.ContextTokens(), Ctx: r.ContextTokens(),
+		NeedsPrefill: true, IsNew: true,
+	}
+}
+
+// Validator performs shadow validation.
+type Validator struct {
+	// Overestimate inflates every estimated iteration (paper: 10%).
+	Overestimate float64
+	// DecodeRounds is how many decode iterations per instance to verify
+	// after the new request's prefill lands.
+	DecodeRounds int
+	// MaxSteps bounds the virtual simulation.
+	MaxSteps int
+
+	// Validations and Rejections count outcomes for the overhead study.
+	Validations int64
+	Rejections  int64
+}
+
+// NewValidator returns a validator with the paper's defaults.
+func NewValidator() *Validator {
+	return &Validator{Overestimate: 1.10, DecodeRounds: 2, MaxSteps: 600}
+}
+
+// Validate virtually adds newReq to insts[candIdx] and simulates the
+// executor's future schedule from now (the executor is busy until
+// busyUntil). It returns OK only if no request misses a deadline in the
+// horizon and the aggregate decode round fits the TPOT SLO.
+//
+// The projection mirrors the live scheduler: min-headroom iteration order,
+// estimated durations inflated by Overestimate, decode advancing every
+// batch member's deadline.
+func (v *Validator) Validate(now, busyUntil sim.Time, insts []InstView, candIdx int, newReq ReqView, tpotSLO sim.Duration) Reason {
+	v.Validations++
+	reason := v.validate(now, busyUntil, insts, candIdx, newReq, tpotSLO)
+	if reason != OK {
+		v.Rejections++
+	}
+	return reason
+}
+
+func (v *Validator) validate(now, busyUntil sim.Time, insts []InstView, candIdx int, newReq ReqView, tpotSLO sim.Duration) Reason {
+	if candIdx < 0 || candIdx >= len(insts) {
+		return NewTTFT
+	}
+	over := sim.Duration(v.Overestimate)
+	if over <= 0 {
+		over = 1
+	}
+
+	// Deep-copy the projection so validation never touches live state.
+	proj := make([]InstView, len(insts))
+	for i, iv := range insts {
+		proj[i] = InstView{Profile: iv.Profile, BlockedUntil: iv.BlockedUntil,
+			Reqs: append([]ReqView(nil), iv.Reqs...)}
+	}
+	proj[candIdx].Reqs = append(proj[candIdx].Reqs, newReq)
+
+	// Case 3 (Figure 15): the aggregate decode round across all colocated
+	// instances must fit within one TPOT budget, otherwise decode tokens
+	// cannot be sustained even with perfect interleaving.
+	var round sim.Duration
+	for _, iv := range proj {
+		batch, ctx := decodeBatch(iv)
+		if batch == 0 {
+			continue
+		}
+		round += sim.Duration(v.Overestimate) * iv.Profile.EstimateDecode(batch, ctx/batch)
+	}
+	if round > tpotSLO {
+		return AggregateDecode
+	}
+
+	vclock := now
+	if busyUntil > vclock {
+		vclock = busyUntil
+	}
+	newPrefilled := false
+	roundsAfter := make([]int, len(proj))
+	for step := 0; step < v.MaxSteps; step++ {
+		// Termination: the new request prefilled and every instance
+		// verified DecodeRounds decode iterations (or has no work).
+		if newPrefilled {
+			done := true
+			for i := range proj {
+				if len(proj[i].Reqs) > 0 && roundsAfter[i] < v.DecodeRounds {
+					done = false
+					break
+				}
+			}
+			if done {
+				return OK
+			}
+		}
+		// Min-headroom instance selection, mirroring PickMinHeadroom.
+		best, bestH := -1, sim.Duration(0)
+		for i := range proj {
+			if len(proj[i].Reqs) == 0 {
+				continue
+			}
+			h := minHeadroom(proj[i], vclock)
+			if best == -1 || h < bestH {
+				best, bestH = i, h
+			}
+		}
+		if best == -1 {
+			return OK
+		}
+		iv := &proj[best]
+		start := vclock
+		if iv.BlockedUntil > start {
+			start = iv.BlockedUntil
+		}
+		// Run the most urgent request's iteration.
+		ri := mostUrgentReq(*iv, vclock)
+		r := &iv.Reqs[ri]
+		if r.NeedsPrefill {
+			end := start.Add(over * iv.Profile.EstimatePrefill(r.InputLen))
+			if end > r.Deadline {
+				if r.IsNew {
+					return NewTTFT
+				}
+				return ExistingDelayed
+			}
+			r.NeedsPrefill = false
+			r.Deadline = r.Deadline.Add(r.TPOT)
+			r.Ctx++
+			if r.IsNew {
+				newPrefilled = true
+			}
+			vclock = end
+			continue
+		}
+		// Decode the whole batch of this instance.
+		batch, ctx := decodeBatch(*iv)
+		end := start.Add(over * iv.Profile.EstimateDecode(batch, ctx/batch))
+		for j := range iv.Reqs {
+			q := &iv.Reqs[j]
+			if q.NeedsPrefill {
+				continue
+			}
+			if end > q.Deadline {
+				if q.IsNew {
+					return NewTTFT
+				}
+				return ExistingDelayed
+			}
+			q.Deadline = q.Deadline.Add(q.TPOT)
+			q.Ctx++
+		}
+		if newPrefilled {
+			roundsAfter[best]++
+		}
+		vclock = end
+	}
+	// Horizon exhausted without violation.
+	return OK
+}
+
+func decodeBatch(iv InstView) (batch, ctx int) {
+	for _, r := range iv.Reqs {
+		if !r.NeedsPrefill {
+			batch++
+			ctx += r.Ctx
+		}
+	}
+	return batch, ctx
+}
+
+func minHeadroom(iv InstView, now sim.Time) sim.Duration {
+	best := sim.Duration(0)
+	first := true
+	for _, r := range iv.Reqs {
+		h := r.Deadline.Sub(now)
+		if first || h < best {
+			best, first = h, false
+		}
+	}
+	return best
+}
+
+func mostUrgentReq(iv InstView, now sim.Time) int {
+	best, idx := sim.Duration(0), 0
+	for i, r := range iv.Reqs {
+		h := r.Deadline.Sub(now)
+		if i == 0 || h < best {
+			best, idx = h, i
+		}
+	}
+	return idx
+}

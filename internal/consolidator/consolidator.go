@@ -1,0 +1,119 @@
+// Package consolidator implements the decision logic of SLINFER's
+// efficiency-oriented consolidation (§VIII): choosing preemption victims for
+// proactive in-place scale-up (Figure 20b) and ordering instances and nodes
+// for the reactive bin-packing that drains fragmented replicas (Figure 20c).
+//
+// The orchestration (moving requests, re-validating them) lives in the core
+// controller; this package holds the pure, independently-testable policies.
+package consolidator
+
+import (
+	"sort"
+
+	"slinfer/internal/engine"
+)
+
+// PreemptionVictims returns the neighbours of grower (instances colocated on
+// the same executor) that may be preempted to make room, per §VIII-A:
+// only instances with strictly smaller batch size than the grower, smallest
+// first — so small fragments are sacrificed for large batches, never the
+// other way around. Preemption pays a re-prefill for every victim request,
+// so it is only worthwhile when the grower is meaningfully larger: the
+// grower must hold at least twice the victim's load and at least two
+// requests, which filters out the 1-for-1 ping-pong that degrades SLOs.
+func PreemptionVictims(grower *engine.Instance, neighbours []*engine.Instance) []*engine.Instance {
+	if grower.TotalLoad() < 2 {
+		return nil
+	}
+	var out []*engine.Instance
+	for _, n := range neighbours {
+		if n == grower || n.Model.Name == grower.Model.Name {
+			continue
+		}
+		if n.State != engine.Active {
+			continue
+		}
+		if n.Idle() || n.TotalLoad()*2 <= grower.TotalLoad() {
+			out = append(out, n)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TotalLoad() != out[j].TotalLoad() {
+			return out[i].TotalLoad() < out[j].TotalLoad()
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// RouteOrder sorts same-model instances for reactive bin-packing (§VIII-B):
+// new requests go preferentially to the instance with the largest batch, so
+// large instances grow (and gain preemption priority) while small fragments
+// drain and get reclaimed.
+func RouteOrder(instances []*engine.Instance) []*engine.Instance {
+	out := append([]*engine.Instance(nil), instances...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TotalLoad() != out[j].TotalLoad() {
+			return out[i].TotalLoad() > out[j].TotalLoad()
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// NodeScore is a candidate placement for a new instance.
+type NodeScore struct {
+	// NodeIdx is the cluster index of the node.
+	NodeIdx int
+	// FreeBytes is the node's optimistic free memory.
+	FreeBytes int64
+	// IsCPU marks CPU nodes (preferred by SLINFER's placement, §V).
+	IsCPU bool
+}
+
+// PlaceOrder sorts placement candidates: CPU nodes first (when cpuFirst),
+// then best-fit by free memory — the tightest node that still fits, which
+// keeps the packing dense and leaves big holes for future large instances.
+// Candidates that cannot fit needBytes are dropped.
+func PlaceOrder(cands []NodeScore, needBytes int64, cpuFirst bool) []NodeScore {
+	var fit []NodeScore
+	for _, c := range cands {
+		if c.FreeBytes >= needBytes {
+			fit = append(fit, c)
+		}
+	}
+	sort.SliceStable(fit, func(i, j int) bool {
+		a, b := fit[i], fit[j]
+		if cpuFirst && a.IsCPU != b.IsCPU {
+			return a.IsCPU
+		}
+		if a.FreeBytes != b.FreeBytes {
+			return a.FreeBytes < b.FreeBytes // best fit: tightest first
+		}
+		return a.NodeIdx < b.NodeIdx
+	})
+	return fit
+}
+
+// Fragmented reports whether a model's deployment is fragmented: more than
+// one active instance, with at least one small fragment (batch below half
+// the largest instance's).
+func Fragmented(instances []*engine.Instance) bool {
+	active := 0
+	maxLoad, minLoad := 0, 1<<30
+	for _, i := range instances {
+		if i.State != engine.Active {
+			continue
+		}
+		active++
+		if l := i.TotalLoad(); l > maxLoad {
+			maxLoad = l
+		} else if l < minLoad {
+			minLoad = l
+		}
+	}
+	if active < 2 {
+		return false
+	}
+	return minLoad <= maxLoad/2
+}

@@ -1,0 +1,102 @@
+package consolidator
+
+import (
+	"testing"
+
+	"slinfer/internal/engine"
+	"slinfer/internal/hwsim"
+	"slinfer/internal/kvcache"
+	"slinfer/internal/model"
+	"slinfer/internal/sim"
+	"slinfer/internal/workload"
+)
+
+func inst(id int, name string, batch int) *engine.Instance {
+	m := model.Llama2_7B
+	m.Name = name
+	i := &engine.Instance{
+		ID: id, Model: m, Class: hwsim.A100, Share: 1,
+		Cache: kvcache.NewCache(m, 1), State: engine.Active,
+	}
+	i.Cache.SetCapacity(64 * model.GiB)
+	for k := 0; k < batch; k++ {
+		r := engine.NewRequest(workload.Request{ID: int64(id*1000 + k), InputLen: 128, OutputLen: 50})
+		i.Admit(r)
+		i.CompletePrefill(r, sim.Time(0.1))
+	}
+	return i
+}
+
+func TestPreemptionVictimsOnlySmallerBatches(t *testing.T) {
+	grower := inst(1, "A", 4)
+	n1 := inst(2, "B", 2) // smaller: eligible
+	n2 := inst(3, "C", 6) // larger: protected
+	n3 := inst(4, "D", 1) // smallest: first victim
+	n4 := inst(5, "A", 1) // same model: never a victim
+	victims := PreemptionVictims(grower, []*engine.Instance{n1, n2, n3, n4, grower})
+	if len(victims) != 2 {
+		t.Fatalf("victims = %d, want 2", len(victims))
+	}
+	if victims[0] != n3 || victims[1] != n1 {
+		t.Fatalf("victim order wrong: got IDs %d, %d", victims[0].ID, victims[1].ID)
+	}
+}
+
+func TestPreemptionSkipsNonActive(t *testing.T) {
+	grower := inst(1, "A", 4)
+	v := inst(2, "B", 1)
+	v.State = engine.Draining
+	if got := PreemptionVictims(grower, []*engine.Instance{v}); len(got) != 0 {
+		t.Fatal("draining neighbours must not be re-preempted")
+	}
+}
+
+func TestRouteOrderLargestFirst(t *testing.T) {
+	a := inst(1, "A", 2)
+	b := inst(2, "A", 5)
+	c := inst(3, "A", 3)
+	order := RouteOrder([]*engine.Instance{a, b, c})
+	if order[0] != b || order[1] != c || order[2] != a {
+		t.Fatalf("order = %d,%d,%d, want 2,3,1", order[0].ID, order[1].ID, order[2].ID)
+	}
+	// Input slice untouched.
+	if a.ID != 1 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestPlaceOrderBestFitCPUFirst(t *testing.T) {
+	cands := []NodeScore{
+		{NodeIdx: 0, FreeBytes: 100, IsCPU: false},
+		{NodeIdx: 1, FreeBytes: 50, IsCPU: false},
+		{NodeIdx: 2, FreeBytes: 70, IsCPU: true},
+		{NodeIdx: 3, FreeBytes: 30, IsCPU: true}, // too small for need=40
+	}
+	got := PlaceOrder(cands, 40, true)
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3 (one dropped)", len(got))
+	}
+	if got[0].NodeIdx != 2 {
+		t.Fatalf("first = %d, want CPU node 2", got[0].NodeIdx)
+	}
+	if got[1].NodeIdx != 1 || got[2].NodeIdx != 0 {
+		t.Fatalf("GPU best-fit order wrong: %v", got)
+	}
+	// Without CPU preference, pure best fit.
+	got = PlaceOrder(cands, 40, false)
+	if got[0].NodeIdx != 1 || got[1].NodeIdx != 2 || got[2].NodeIdx != 0 {
+		t.Fatalf("best-fit order wrong: %v", got)
+	}
+}
+
+func TestFragmented(t *testing.T) {
+	if Fragmented([]*engine.Instance{inst(1, "A", 5)}) {
+		t.Fatal("single instance is never fragmented")
+	}
+	if !Fragmented([]*engine.Instance{inst(1, "A", 6), inst(2, "A", 1)}) {
+		t.Fatal("6+1 split is fragmented")
+	}
+	if Fragmented([]*engine.Instance{inst(1, "A", 4), inst(2, "A", 4)}) {
+		t.Fatal("balanced split is not fragmented")
+	}
+}

@@ -1,0 +1,243 @@
+// Package core implements the SLINFER controller (§V): event-driven request
+// orchestration over heterogeneous CPU/GPU nodes, wiring together the
+// compute subsystem (headroom scheduling + shadow validation), the memory
+// subsystem (watermark scaling through the hazard-aware orchestrator), and
+// the efficiency-oriented consolidator.
+//
+// The controller is deliberately configurable into the paper's baselines:
+// exclusive allocation (sllm), CPU-enabled exclusive (sllm+c), static
+// time-sharing (sllm+c+s), NEO-style CPU-assist, and prefill-decode
+// disaggregation — which is what the ablation study (§IX-C) and every
+// comparison figure exercise.
+package core
+
+import (
+	"slinfer/internal/hwsim"
+	"slinfer/internal/kvcache"
+	"slinfer/internal/model"
+	"slinfer/internal/sim"
+	"slinfer/internal/slo"
+)
+
+// SharingMode selects how node compute is divided among instances.
+type SharingMode int
+
+const (
+	// Exclusive gives each instance a whole node (ServerlessLLM-style).
+	Exclusive SharingMode = iota
+	// Static carves fixed partitions (sllm+c+s: half-node instances).
+	Static
+	// Elastic shares the full node across instances at token granularity
+	// (SLINFER).
+	Elastic
+)
+
+func (m SharingMode) String() string {
+	switch m {
+	case Exclusive:
+		return "exclusive"
+	case Static:
+		return "static"
+	default:
+		return "elastic"
+	}
+}
+
+// Config is the full policy configuration of a run.
+type Config struct {
+	// Name labels reports.
+	Name string
+	// Sharing is the compute-sharing mode.
+	Sharing SharingMode
+	// StaticShare is the partition size under Static sharing (paper: 1/2).
+	StaticShare float64
+	// UseCPU enables CPU nodes for serving.
+	UseCPU bool
+	// CPUFirst prefers CPU placements when feasible (§V).
+	CPUFirst bool
+	// TokenLevelSched uses min-headroom iteration scheduling; false falls
+	// back to FIFO (ablation).
+	TokenLevelSched bool
+	// ShadowValidation gates admissions through §VI-C; false admits up to
+	// FixedLimit only (the sllm baselines).
+	ShadowValidation bool
+	// Consolidation enables §VIII preemption + bin-packing.
+	Consolidation bool
+	// DynamicMemory enables watermark KV scaling through memctl; false
+	// allocates each instance its full memory share at creation (sllm).
+	DynamicMemory bool
+	// Watermark is the §VII-B hysteresis parameter.
+	Watermark kvcache.Watermark
+	// KeepAlive is the idle-instance reclamation threshold (paper: 1 s).
+	KeepAlive sim.Duration
+	// Overestimate inflates shadow-validation estimates (paper: 1.1).
+	Overestimate float64
+	// Fluctuation is the runtime noise amplitude on iteration durations.
+	Fluctuation float64
+	// MaxBatch caps any instance's admitted load.
+	MaxBatch int
+	// FixedLimit returns the baseline per-instance concurrency limit for a
+	// model on a device class at a share; nil means no fixed limit
+	// (SLINFER's elastic admission).
+	FixedLimit func(m model.Model, class hwsim.DeviceClass, share float64) int
+	// PD enables prefill-decode disaggregation (§IX-G).
+	PD bool
+	// NEOAssist extends exclusive GPU instances with CPU-offloaded KV.
+	NEOAssist bool
+	// NEOExtraKVBytes is the per-instance offloaded KV capacity.
+	NEOExtraKVBytes int64
+	// NEODecodePenalty slows decode on NEO-assisted instances.
+	NEODecodePenalty float64
+	// MemSamplePeriod is the metrics sampling interval.
+	MemSamplePeriod sim.Duration
+	// DrainGrace bounds how long the run continues past the last arrival.
+	DrainGrace sim.Duration
+	// Seed drives all run-local randomness.
+	Seed uint64
+	// CPUStressProcs models background CPU stress (Figure 11).
+	CPUStressProcs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "unnamed"
+	}
+	if c.StaticShare <= 0 || c.StaticShare > 1 {
+		c.StaticShare = 0.5
+	}
+	// A zero watermark is a legal (thrashy) setting studied in §IX-I5; the
+	// sentinel for "unset, use the default" is a negative watermark.
+	if c.Watermark.W < 0 {
+		c.Watermark = kvcache.DefaultWatermark
+	}
+	if c.KeepAlive < 0 {
+		c.KeepAlive = sim.Second
+	}
+	if c.Overestimate <= 0 {
+		// The paper overestimates iterations by 10% against its hardware's
+		// runtime fluctuation. Our analytic substrate plus interpolation
+		// error needs a wider margin for the same effect; 25% reproduces
+		// the paper's ~99% SLO attainment at moderate load, and the margin
+		// is ablated in BenchmarkAblation_Margin.
+		c.Overestimate = 1.25
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MemSamplePeriod <= 0 {
+		c.MemSamplePeriod = 5 * sim.Second
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 10 * sim.Minute
+	}
+	return c
+}
+
+// SLINFER returns the full system configuration (§V-VIII defaults).
+func SLINFER() Config {
+	return Config{
+		Name:             "SLINFER",
+		Sharing:          Elastic,
+		UseCPU:           true,
+		CPUFirst:         true,
+		TokenLevelSched:  true,
+		ShadowValidation: true,
+		Consolidation:    true,
+		DynamicMemory:    true,
+		Watermark:        kvcache.DefaultWatermark,
+		KeepAlive:        sim.Second,
+		Overestimate:     1.25,
+		Fluctuation:      0.05,
+	}.withDefaults()
+}
+
+// PaperFixedLimits reproduces the baselines' conservatively tailored
+// concurrency limits (§IX-A): (59, 15, 6) on CPU and (160, 32, 16) on GPU
+// for 3B/7B/13B at full share, and (23, 4, 6-full) / (71, 12, 4) under
+// half-node static partitioning. Other model sizes fall back to the derived
+// Table-II limit at the conversation dataset's typical 2K context, scaled
+// conservatively by 0.9.
+func PaperFixedLimits(m model.Model, class hwsim.DeviceClass, share float64) int {
+	full := share >= 0.99
+	switch class.Kind() {
+	case hwsim.CPU:
+		switch m.SizeClass() {
+		case "3B":
+			return pick(full, 59, 23)
+		case "7B", "8B":
+			return pick(full, 15, 4)
+		case "13B":
+			return 6 // 13B keeps the whole CPU node even under sllm+c+s
+		case "34B", "22B":
+			return 0 // infeasible on CPU
+		}
+	default:
+		switch m.SizeClass() {
+		case "3B":
+			return pick(full, 160, 71)
+		case "7B", "8B":
+			return pick(full, 32, 12)
+		case "13B":
+			return pick(full, 16, 4)
+		}
+	}
+	spec := hwsim.NewGPUNode("x")
+	if class.Kind() == hwsim.CPU {
+		spec = hwsim.NewCPUNode("x")
+		spec.Class = class
+	}
+	limit := hwsim.ConcurrencyLimit(spec, m, 2048, share, slo.DefaultTPOT)
+	return limit * 9 / 10
+}
+
+func pick(cond bool, a, b int) int {
+	if cond {
+		return a
+	}
+	return b
+}
+
+// Sllm returns the ServerlessLLM baseline: exclusive GPUs, static memory,
+// fixed concurrency limits.
+func Sllm() Config {
+	return Config{
+		Name:        "sllm",
+		Sharing:     Exclusive,
+		UseCPU:      false,
+		KeepAlive:   sim.Second,
+		Fluctuation: 0.05,
+		FixedLimit:  PaperFixedLimits,
+	}.withDefaults()
+}
+
+// SllmC returns sllm extended with CPU serving (sllm+c).
+func SllmC() Config {
+	c := Sllm()
+	c.Name = "sllm+c"
+	c.UseCPU = true
+	c.CPUFirst = true
+	return c
+}
+
+// SllmCS returns the static time-sharing baseline (sllm+c+s): half-node
+// partitions on both kinds, except 13B models on CPU.
+func SllmCS() Config {
+	c := SllmC()
+	c.Name = "sllm+c+s"
+	c.Sharing = Static
+	c.StaticShare = 0.5
+	return c
+}
+
+// NEOPlus returns the NEO-style CPU-assist comparison of Figure 29:
+// exclusive GPU instances whose KV extends into CPU memory harvested from
+// the host, at a decode penalty.
+func NEOPlus(harvestedCores int) Config {
+	c := Sllm()
+	c.Name = "NEO+"
+	c.NEOAssist = true
+	frac := float64(harvestedCores) / 32
+	c.NEOExtraKVBytes = int64(frac * 64e9)
+	c.NEODecodePenalty = 0.10 * frac
+	return c
+}

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"slinfer/internal/cluster"
+	"slinfer/internal/compute"
+	"slinfer/internal/consolidator"
+	"slinfer/internal/engine"
+	"slinfer/internal/hwsim"
+	"slinfer/internal/kvcache"
+	"slinfer/internal/metrics"
+	"slinfer/internal/model"
+	"slinfer/internal/perfmodel"
+	"slinfer/internal/sim"
+	"slinfer/internal/workload"
+)
+
+// Controller orchestrates one serving system over a cluster (§V). Use New,
+// then Run with a trace, or Submit requests manually from a simulation.
+type Controller struct {
+	Sim *sim.Simulator
+	Cfg Config
+
+	Cluster   *cluster.Cluster
+	Registry  *perfmodel.Registry
+	Collector *metrics.Collector
+	Validator *compute.Validator
+
+	models     map[string]model.Model
+	estimators map[string]*kvcache.Estimator
+	instances  map[string][]*engine.Instance
+
+	// elasticExecs maps node index to its shared executor (Elastic mode).
+	elasticExecs map[int]*cluster.Executor
+	// slotUsed tracks carved compute share per node (Exclusive/Static).
+	slotUsed []float64
+	// instExec maps instance ID to its executor.
+	instExec map[int]*cluster.Executor
+
+	pending    []*engine.Request
+	dropEvents map[*engine.Request]*sim.Event
+	keepAlive  map[int]*sim.Event
+	loadETA    map[int]sim.Time
+	retrying   bool
+
+	rng        *sim.RNG
+	nextInstID int
+	traceEnd   sim.Time
+}
+
+// New builds a controller over the given node specs and hosted models.
+func New(s *sim.Simulator, specs []hwsim.NodeSpec, models []model.Model, cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		Sim: s, Cfg: cfg,
+		Cluster:      cluster.New(s, specs),
+		Registry:     perfmodel.NewRegistry(cfg.MaxBatch),
+		Collector:    metrics.NewCollector(),
+		Validator:    &compute.Validator{Overestimate: cfg.Overestimate, DecodeRounds: 3, MaxSteps: 600},
+		models:       map[string]model.Model{},
+		estimators:   map[string]*kvcache.Estimator{},
+		instances:    map[string][]*engine.Instance{},
+		elasticExecs: map[int]*cluster.Executor{},
+		slotUsed:     make([]float64, len(specs)),
+		instExec:     map[int]*cluster.Executor{},
+		dropEvents:   map[*engine.Request]*sim.Event{},
+		keepAlive:    map[int]*sim.Event{},
+		loadETA:      map[int]sim.Time{},
+		rng:          sim.NewRNG(cfg.Seed^0xC0FFEE, cfg.Seed+13),
+		nextInstID:   1,
+	}
+	for _, m := range models {
+		c.models[m.Name] = m
+		c.estimators[m.Name] = kvcache.NewEstimator(m.MaxContext, 256)
+	}
+	if cfg.Sharing == Elastic {
+		for _, n := range c.Cluster.Nodes {
+			ex := n.NewExecutor(1)
+			c.wireExecutor(ex)
+			c.elasticExecs[n.Idx] = ex
+		}
+	}
+	return c
+}
+
+// RegisterModel adds a hosted model after construction.
+func (c *Controller) RegisterModel(m model.Model) {
+	c.models[m.Name] = m
+	c.estimators[m.Name] = kvcache.NewEstimator(m.MaxContext, 256)
+}
+
+// Run replays a trace to completion (plus drain grace) and returns the
+// metrics report.
+func (c *Controller) Run(tr workload.Trace) metrics.Report {
+	c.traceEnd = sim.Time(0).Add(tr.Duration)
+	for i := range tr.Requests {
+		w := tr.Requests[i]
+		c.Sim.At(w.Arrival, func() { c.Submit(w) })
+	}
+	c.scheduleSampler(c.Cfg.MemSamplePeriod)
+	c.Sim.RunUntil(c.traceEnd.Add(c.Cfg.DrainGrace))
+	c.Collector.Finalize(c.Sim.Now())
+	c.Collector.ValidationCount = c.Validator.Validations
+	return c.Collector.BuildReport(c.Cfg.Name, tr.Duration+c.Cfg.DrainGrace)
+}
+
+// Submit admits one request into the system.
+func (c *Controller) Submit(w workload.Request) {
+	m, ok := c.models[w.ModelName]
+	if !ok {
+		panic(fmt.Sprintf("core: unknown model %q", w.ModelName))
+	}
+	if w.InputLen > m.MaxContext {
+		w.InputLen = m.MaxContext
+	}
+	req := engine.NewRequest(w)
+	c.Collector.RecordArrival()
+	if !c.tryPlace(req) {
+		c.enqueue(req)
+	}
+}
+
+// tryPlace attempts the full §V placement pipeline. It returns false when
+// the request must queue.
+func (c *Controller) tryPlace(req *engine.Request) bool {
+	m := c.models[req.W.ModelName]
+	placed := false
+	switch {
+	// 1. Existing instances, CPU first, largest batch first (§VIII-B).
+	case c.tryExisting(req, m):
+		placed = true
+	// 2. Proactive consolidation: preempt smaller neighbours so an existing
+	//    instance can scale up in place (§VIII-A).
+	case c.Cfg.Consolidation && c.tryPreemption(req, m):
+		placed = true
+	// 3. Scale out: a new instance via bin-packing placement.
+	case c.tryNewInstance(req, m):
+		placed = true
+	}
+	if placed && c.Cfg.PD {
+		// PD disaggregation launches dedicated instances per stage (§IX-G);
+		// warm the decode instance while the prefill runs so the handoff
+		// does not pay a cold start.
+		c.ensureDecodeInstance(m, req)
+	}
+	return placed
+}
+
+// ensureDecodeInstance guarantees a DecodeOnly instance exists for a model.
+func (c *Controller) ensureDecodeInstance(m model.Model, req *engine.Request) {
+	for _, inst := range c.instances[m.Name] {
+		if inst.Role == engine.DecodeOnly &&
+			(inst.State == engine.Active || inst.State == engine.Loading) {
+			return
+		}
+	}
+	c.createDecodeInstance(m, req)
+}
+
+// tryExisting routes to a live instance per the reactive bin-packing order.
+func (c *Controller) tryExisting(req *engine.Request, m model.Model) bool {
+	cands := c.routeCandidates(m, wantRole(c.Cfg, engine.PrefillWork))
+	for _, inst := range cands {
+		if c.admit(req, inst) {
+			return true
+		}
+	}
+	return false
+}
+
+// routeCandidates returns live instances of a model in routing order:
+// CPU before GPU (when CPUFirst), then §VIII-B largest-batch-first.
+func (c *Controller) routeCandidates(m model.Model, role engine.Role) []*engine.Instance {
+	var cpu, gpu []*engine.Instance
+	for _, inst := range c.instances[m.Name] {
+		if inst.Role != role {
+			continue
+		}
+		if inst.State != engine.Active && inst.State != engine.Loading {
+			continue
+		}
+		if inst.Class.Kind() == hwsim.CPU {
+			cpu = append(cpu, inst)
+		} else {
+			gpu = append(gpu, inst)
+		}
+	}
+	cpu = consolidator.RouteOrder(cpu)
+	gpu = consolidator.RouteOrder(gpu)
+	if c.Cfg.CPUFirst {
+		return append(cpu, gpu...)
+	}
+	return append(gpu, cpu...)
+}
+
+// wantRole returns the instance role requests are admitted to.
+func wantRole(cfg Config, _ engine.WorkKind) engine.Role {
+	if cfg.PD {
+		return engine.PrefillOnly
+	}
+	return engine.Mixed
+}
+
+// admit runs the §V admission pipeline for one candidate instance:
+// CPU-capability gate, fixed limit or shadow validation, then the memory
+// shadow check with §VII-D compromise. On success the request joins the
+// instance's prefill queue.
+func (c *Controller) admit(req *engine.Request, inst *engine.Instance) bool {
+	if inst.TotalLoad() >= c.Cfg.MaxBatch {
+		return false
+	}
+	// CPU gate: SLINFER profiles CPUs in advance and falls back to GPU
+	// when a CPU cannot meet the request's SLO (§V). Baselines admit
+	// blindly up to their fixed limits.
+	if c.Cfg.ShadowValidation && inst.Class.Kind() == hwsim.CPU {
+		if !inst.Profile.CanMeet(req.W.InputLen, req.Obj) {
+			return false
+		}
+	}
+	if lim := c.Cfg.FixedLimit; lim != nil {
+		if inst.TotalLoad() >= lim(inst.Model, inst.Class, inst.Share) {
+			return false
+		}
+	} else if c.Cfg.ShadowValidation {
+		if !c.shadowValidate(req, inst) {
+			return false
+		}
+	}
+	// Memory shadow check + scale-up (§VII-B, §VII-D). Static-memory
+	// instances check residual capacity instead.
+	if !c.ensureMemoryFor(req, inst) {
+		return false
+	}
+	c.place(req, inst)
+	return true
+}
+
+// shadowValidate projects the candidate's executor forward with the request
+// virtually added (§VI-C), measuring real scheduling overhead (Figure 33).
+func (c *Controller) shadowValidate(req *engine.Request, inst *engine.Instance) bool {
+	ex := c.instExec[inst.ID]
+	if ex == nil {
+		return false
+	}
+	rv := compute.ViewRequest(req)
+	if inst.State == engine.Loading {
+		// The request will receive a cold-start grace window (§IX-A);
+		// validate against the graced deadline.
+		rv.Deadline = rv.Deadline.Add(c.specOf(inst).LoadTime(inst.Model))
+	}
+	return c.validateOnExecutor(ex, inst, rv, req.Obj.TPOT, c.prospectiveResizeBlock(req, inst))
+}
+
+// prospectiveResizeBlock estimates how long the KV scale-up this admission
+// would trigger will block the candidate instance (§VII-B's early scale-up
+// is not free: Figure 17's costs stall iterations).
+func (c *Controller) prospectiveResizeBlock(req *engine.Request, inst *engine.Instance) sim.Duration {
+	if !c.Cfg.DynamicMemory || c.isStaticInstance(inst) || inst.ResizeInFlight {
+		return 0
+	}
+	est := c.estimators[inst.Model.Name]
+	states := append(inst.KVReqStates(), kvcache.ReqState{InputLen: req.W.InputLen})
+	require := est.RequireBytes(inst.Model, states, len(inst.NodeIdxs))
+	cur := inst.Cache.CapacityBytes()
+	if !c.Cfg.Watermark.NeedScaleUp(require, cur) {
+		return 0
+	}
+	return kvcache.ScaleTime(cur, c.Cfg.Watermark.Recommend(require))
+}
+
+// validateOnExecutor runs shadow validation for adding a request view to
+// cand; candBlock additionally delays the candidate (prospective resize).
+func (c *Controller) validateOnExecutor(ex *cluster.Executor, cand *engine.Instance, rv compute.ReqView, tpot sim.Duration, candBlock sim.Duration) bool {
+	start := time.Now()
+	views := make([]compute.InstView, 0, len(ex.Instances)+1)
+	candIdx := -1
+	for _, other := range ex.Instances {
+		if other == cand {
+			candIdx = len(views)
+		}
+		v := compute.ViewInstance(other, c.Sim.Now())
+		if other.ResizeInFlight {
+			// Approximate the remaining resize as one full resize of the
+			// current target (conservative).
+			v.BlockedUntil = c.Sim.Now().Add(kvcache.ScaleTime(0, other.KVTarget))
+		}
+		if eta, ok := c.loadETA[other.ID]; ok && eta > v.BlockedUntil {
+			v.BlockedUntil = eta // cold start still in progress
+		}
+		if other == cand && candBlock > 0 {
+			if b := c.Sim.Now().Add(candBlock); b > v.BlockedUntil {
+				v.BlockedUntil = b
+			}
+		}
+		views = append(views, v)
+	}
+	busyUntil := c.Sim.Now()
+	if ex.Busy() {
+		busyUntil = ex.BusyUntil()
+	}
+	got := c.Validator.Validate(c.Sim.Now(), busyUntil, views, candIdx, rv, tpot)
+	c.Collector.ValidationNs += time.Since(start).Nanoseconds()
+	return got == compute.OK
+}
+
+// validateNewInstanceOn checks that spawning a fresh instance for a request
+// on this executor would not break colocated SLOs (a scale-out must pass
+// the same §VI-C validation as a scale-up).
+func (c *Controller) validateNewInstanceOn(ex *cluster.Executor, prof *perfmodel.Profile, req *engine.Request, loadDur sim.Duration) bool {
+	rv := compute.ViewRequest(req)
+	rv.Deadline = rv.Deadline.Add(loadDur) // cold-start grace
+	start := time.Now()
+	views := make([]compute.InstView, 0, len(ex.Instances)+1)
+	for _, other := range ex.Instances {
+		v := compute.ViewInstance(other, c.Sim.Now())
+		if other.ResizeInFlight {
+			v.BlockedUntil = c.Sim.Now().Add(kvcache.ScaleTime(0, other.KVTarget))
+		}
+		if eta, ok := c.loadETA[other.ID]; ok && eta > v.BlockedUntil {
+			v.BlockedUntil = eta
+		}
+		views = append(views, v)
+	}
+	candIdx := len(views)
+	views = append(views, compute.InstView{
+		Profile:      prof,
+		BlockedUntil: c.Sim.Now().Add(loadDur),
+	})
+	busyUntil := c.Sim.Now()
+	if ex.Busy() {
+		busyUntil = ex.BusyUntil()
+	}
+	got := c.Validator.Validate(c.Sim.Now(), busyUntil, views, candIdx, rv, req.Obj.TPOT)
+	c.Collector.ValidationNs += time.Since(start).Nanoseconds()
+	return got == compute.OK
+}
+
+// place finalizes an admission.
+func (c *Controller) place(req *engine.Request, inst *engine.Instance) {
+	if ev := c.dropEvents[req]; ev != nil {
+		ev.Cancel()
+		delete(c.dropEvents, req)
+	}
+	c.removePending(req)
+	inst.Admit(req)
+	if inst.State == engine.Loading {
+		// Cold-start grace equal to the load duration (§IX-A).
+		req.Tracker.AddGrace(c.specOf(inst).LoadTime(inst.Model))
+	}
+	c.cancelKeepAlive(inst)
+	inst.LastActiveAt = c.Sim.Now()
+	if ex := c.instExec[inst.ID]; ex != nil {
+		ex.Kick()
+	}
+}
+
+// enqueue parks a request pending capacity, with a proactive drop at its
+// TTFT deadline (§IX-B: systems drop requests whose queueing delay exceeds
+// the TTFT SLO).
+func (c *Controller) enqueue(req *engine.Request) {
+	c.pending = append(c.pending, req)
+	deadline := req.Tracker.NextDeadline()
+	if deadline <= c.Sim.Now() {
+		c.drop(req)
+		return
+	}
+	c.dropEvents[req] = c.Sim.At(deadline, func() { c.drop(req) })
+}
+
+func (c *Controller) drop(req *engine.Request) {
+	if req.State != engine.Queued {
+		return
+	}
+	req.State = engine.Dropped
+	req.Tracker.MarkDropped()
+	delete(c.dropEvents, req)
+	c.removePending(req)
+	c.Collector.RecordDrop()
+}
+
+func (c *Controller) removePending(req *engine.Request) {
+	for i, r := range c.pending {
+		if r == req {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// retryPending re-attempts placement of queued requests after capacity
+// frees up. Re-entrancy is suppressed: placement can trigger completions
+// that call back into retryPending.
+func (c *Controller) retryPending() {
+	if c.retrying || len(c.pending) == 0 {
+		return
+	}
+	c.retrying = true
+	defer func() { c.retrying = false }()
+	queue := append([]*engine.Request(nil), c.pending...)
+	for _, req := range queue {
+		if req.State != engine.Queued {
+			continue
+		}
+		c.tryPlace(req)
+	}
+}
+
+func (c *Controller) specOf(inst *engine.Instance) hwsim.NodeSpec {
+	return c.Cluster.Nodes[inst.NodeIdxs[0]].Spec
+}
+
+// instancesOf returns the live instances of a model (exported for tests and
+// experiments).
+func (c *Controller) InstancesOf(name string) []*engine.Instance {
+	return append([]*engine.Instance(nil), c.instances[name]...)
+}
+
+// PendingCount returns the queued-request count.
+func (c *Controller) PendingCount() int { return len(c.pending) }

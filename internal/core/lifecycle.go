@@ -1,0 +1,915 @@
+package core
+
+import (
+	"time"
+
+	"slinfer/internal/cluster"
+	"slinfer/internal/compute"
+	"slinfer/internal/consolidator"
+	"slinfer/internal/engine"
+	"slinfer/internal/hwsim"
+	"slinfer/internal/kvcache"
+	"slinfer/internal/memctl"
+	"slinfer/internal/model"
+	"slinfer/internal/sim"
+)
+
+// ---- Executor wiring -------------------------------------------------------
+
+// wireExecutor installs the compute policy and iteration handlers.
+func (c *Controller) wireExecutor(ex *cluster.Executor) {
+	ex.Pick = func(e *cluster.Executor) *engine.Work {
+		start := time.Now()
+		var w *engine.Work
+		if c.Cfg.TokenLevelSched || c.Cfg.Sharing != Elastic {
+			w = compute.PickMinHeadroom(e.Instances, c.Sim.Now())
+		} else {
+			w = compute.PickFIFO(e.Instances, c.Sim.Now())
+		}
+		c.Collector.ScheduleNs += time.Since(start).Nanoseconds()
+		c.Collector.ScheduleCount++
+		return w
+	}
+	ex.OnDone = c.onIterationDone
+	amp := c.Cfg.Fluctuation
+	stress := hwsim.StressSlowdown(c.Cfg.CPUStressProcs, 32)
+	if amp > 0 || stress != 1 {
+		noise := c.rng.Derive("noise")
+		ex.Noise = func() float64 {
+			return stress * (1 + amp*(2*noise.Float64()-1))
+		}
+	}
+}
+
+// onIterationDone applies an iteration's effects: token emission, request
+// completion, KV growth, and follow-up scheduling.
+func (c *Controller) onIterationDone(ex *cluster.Executor, w *engine.Work, dur sim.Duration) {
+	now := c.Sim.Now()
+	inst := w.Inst
+	kind := inst.Class.Kind()
+	switch w.Kind {
+	case engine.PrefillWork:
+		req := w.Req
+		if !inst.CompletePrefill(req, now) {
+			// §VII-D: the admitted request's prompt does not fit — the
+			// estimate was too low. Grow now; the request retries its
+			// prefill after the resize.
+			c.handleUnderestimation(inst)
+			return
+		}
+		c.Collector.DecodeTokens[kind]++ // the first output token
+		switch req.State {
+		case engine.Done:
+			c.completeRequest(req, inst)
+		case engine.Transferring:
+			c.startPDTransfer(req, inst)
+		}
+	case engine.DecodeWork:
+		batch := inst.BatchSize()
+		finished, underestimated := inst.CompleteDecode(now)
+		if underestimated {
+			c.handleUnderestimation(inst)
+			return
+		}
+		c.Collector.RecordDecode(kind, batch)
+		for _, req := range finished {
+			c.completeRequest(req, inst)
+		}
+	}
+}
+
+// completeRequest finalizes one finished request.
+func (c *Controller) completeRequest(req *engine.Request, inst *engine.Instance) {
+	est := c.estimators[req.W.ModelName]
+	est.Observe(req.W.OutputLen)
+	ttft, haveTTFT := req.Tracker.TTFT()
+	c.Collector.RecordCompletion(req.Tracker.Met(), ttft, haveTTFT)
+	c.recheckKV(inst)
+	if inst.Idle() && inst.State == engine.Active {
+		c.scheduleKeepAlive(inst)
+	}
+	c.retryPending()
+}
+
+// ---- Memory subsystem integration ------------------------------------------
+
+// ensureMemoryFor performs the shadow memory check of §V and issues the
+// early scale-up of §VII-B (with the §VII-D compromise) for admitting req
+// into inst. Static-memory instances just check residual KV capacity.
+func (c *Controller) ensureMemoryFor(req *engine.Request, inst *engine.Instance) bool {
+	needTokens := int64(req.W.InputLen) + 1
+	if !c.Cfg.DynamicMemory || c.isStaticInstance(inst) {
+		return inst.Cache.FitsTokens(needTokens)
+	}
+	est := c.estimators[inst.Model.Name]
+	states := append(inst.KVReqStates(), kvcache.ReqState{InputLen: req.W.InputLen})
+	div := len(inst.NodeIdxs)
+	require := est.RequireBytes(inst.Model, states, div)
+	cur := inst.Cache.CapacityBytes()
+	if !c.Cfg.Watermark.NeedScaleUp(require, cur) {
+		return true
+	}
+	if inst.ResizeInFlight {
+		// One resize at a time per instance. Ride along when the in-flight
+		// target covers the requirement; otherwise accept as long as the
+		// prompt itself will fit and a follow-up scale-up is plausible —
+		// recheckKV issues it when the current resize lands, and the
+		// §VII-D underestimation path backstops the rare overflow.
+		if inst.KVTarget >= require {
+			return true
+		}
+		promptNeed := inst.Cache.UsedBytes() +
+			(int64(req.W.InputLen)+65)*inst.Model.KVBytesPerToken()/int64(div)
+		if inst.KVTarget < promptNeed {
+			return false
+		}
+		for _, idx := range inst.NodeIdxs {
+			if !c.Cluster.Nodes[idx].Mem.CanAdmit(require - inst.KVTarget) {
+				return false
+			}
+		}
+		return true
+	}
+	recommend := c.Cfg.Watermark.Recommend(require)
+	if c.issueResize(inst, recommend) {
+		return true
+	}
+	// §VII-D compromise: accept with just Mrequire.
+	return c.issueResize(inst, require)
+}
+
+// issueResize submits one KV resize through the hazard-aware orchestrator.
+// Returns false when the optimistic budget rejects it.
+func (c *Controller) issueResize(inst *engine.Instance, target int64) bool {
+	cur := inst.Cache.CapacityBytes()
+	if target < inst.Cache.UsedBytes() {
+		target = inst.Cache.UsedBytes()
+	}
+	if target == cur {
+		return true
+	}
+	// All host nodes must admit (TP shards resize together).
+	for _, idx := range inst.NodeIdxs {
+		if !c.Cluster.Nodes[idx].Mem.CanAdmit(target - cur) {
+			return false
+		}
+	}
+	dur := kvcache.ScaleTime(cur, target)
+	inst.ResizeInFlight = true
+	inst.KVTarget = target
+	remaining := len(inst.NodeIdxs)
+	for _, idx := range inst.NodeIdxs {
+		ok := c.Cluster.Nodes[idx].Mem.Demand(&memctl.Op{
+			Kind: memctl.ResizeKV, Owner: inst.KVOwner(),
+			From: cur, To: target, Duration: dur,
+			OnComplete: func() {
+				remaining--
+				if remaining > 0 {
+					return
+				}
+				c.finishResize(inst, target, dur)
+			},
+		})
+		if !ok {
+			// First node admitted is impossible here: CanAdmit pre-checked
+			// and nothing ran in between (single-threaded simulation).
+			panic("core: resize demand rejected after CanAdmit")
+		}
+	}
+	return true
+}
+
+func (c *Controller) finishResize(inst *engine.Instance, target int64, dur sim.Duration) {
+	inst.Cache.SetCapacity(target)
+	inst.ResizeInFlight = false
+	inst.ScalingBusy += dur
+	c.Collector.ScalingBusy += dur
+	c.Collector.KVResizes++
+	if inst.State == engine.Unloading {
+		return
+	}
+	// Demands may have shifted while the resize ran.
+	c.recheckKV(inst)
+	if ex := c.instExec[inst.ID]; ex != nil {
+		ex.Kick()
+	}
+	c.retryPending()
+}
+
+// recheckKV applies the watermark policy against current demand: early
+// scale-up when short, lazy scale-down when far over (§VII-B).
+func (c *Controller) recheckKV(inst *engine.Instance) {
+	if !c.Cfg.DynamicMemory || c.isStaticInstance(inst) || inst.ResizeInFlight {
+		return
+	}
+	if inst.State != engine.Active {
+		return
+	}
+	est := c.estimators[inst.Model.Name]
+	require := est.RequireBytes(inst.Model, inst.KVReqStates(), len(inst.NodeIdxs))
+	cur := inst.Cache.CapacityBytes()
+	switch {
+	case c.Cfg.Watermark.NeedScaleUp(require, cur):
+		if !c.issueResize(inst, c.Cfg.Watermark.Recommend(require)) {
+			c.issueResize(inst, require)
+		}
+	case c.Cfg.Watermark.ShouldScaleDown(require, cur):
+		c.issueResize(inst, c.Cfg.Watermark.Recommend(require))
+	}
+}
+
+// handleUnderestimation implements §VII-D: try to grow the cache again; if
+// the node cannot fit it, evict the request with the longest headroom and
+// reschedule it elsewhere.
+func (c *Controller) handleUnderestimation(inst *engine.Instance) {
+	if inst.ResizeInFlight {
+		return // a resize is already on its way
+	}
+	// Grow by 25% of current (at least one request's worth).
+	target := inst.Cache.CapacityBytes() + inst.Cache.CapacityBytes()/4
+	minGrow := inst.Cache.UsedBytes() + 2048*inst.Model.KVBytesPerToken()
+	if target < minGrow {
+		target = minGrow
+	}
+	if c.issueResize(inst, target) {
+		return
+	}
+	// Evict the longest-headroom request.
+	var victim *engine.Request
+	now := c.Sim.Now()
+	for _, r := range inst.Running {
+		if victim == nil || r.Headroom(now) > victim.Headroom(now) {
+			victim = r
+		}
+	}
+	if victim == nil {
+		for _, r := range inst.WaitingPrefill {
+			if victim == nil || r.Headroom(now) > victim.Headroom(now) {
+				victim = r
+			}
+		}
+	}
+	if victim == nil {
+		return
+	}
+	c.migrate(victim, inst)
+	c.Collector.Evictions++
+}
+
+// migrate pulls a request off an instance and re-places it. The request
+// keeps the tokens it already generated; its context (prompt + generated)
+// is re-prefilled at the destination.
+func (c *Controller) migrate(req *engine.Request, from *engine.Instance) {
+	if !from.RemoveRunning(req) {
+		from.RemoveWaiting(req)
+	}
+	req.State = engine.Queued
+	req.Inst = nil
+	req.Migrations++
+	c.Collector.Migrations++
+	if !c.tryPlaceAvoiding(req, from) {
+		c.enqueue(req)
+	}
+}
+
+// tryPlaceAvoiding is tryPlace minus the originating instance and minus
+// recursion into preemption (avoids ping-pong).
+func (c *Controller) tryPlaceAvoiding(req *engine.Request, avoid *engine.Instance) bool {
+	m := c.models[req.W.ModelName]
+	for _, inst := range c.routeCandidates(m, wantRole(c.Cfg, engine.PrefillWork)) {
+		if inst == avoid {
+			continue
+		}
+		if c.admit(req, inst) {
+			return true
+		}
+	}
+	return c.tryNewInstance(req, m)
+}
+
+// ---- Instance lifecycle ------------------------------------------------------
+
+// isStaticInstance reports whether the instance's memory was allocated
+// whole at creation (exclusive/static baselines and TP fallback models).
+func (c *Controller) isStaticInstance(inst *engine.Instance) bool {
+	return !c.Cfg.DynamicMemory || len(inst.NodeIdxs) > 1
+}
+
+// shareFor returns the compute share a new instance of m receives.
+func (c *Controller) shareFor(m model.Model, class hwsim.DeviceClass) float64 {
+	switch c.Cfg.Sharing {
+	case Static:
+		// §IX-A: every instance gets half a node, except 13B on CPU.
+		if class.Kind() == hwsim.CPU && m.SizeClass() == "13B" {
+			return 1
+		}
+		return c.Cfg.StaticShare
+	default:
+		return 1
+	}
+}
+
+// tryNewInstance scales out: places a fresh instance for the request via
+// best-fit bin-packing, CPU first (§V).
+func (c *Controller) tryNewInstance(req *engine.Request, m model.Model) bool {
+	if m.TPDegree > 1 {
+		return c.tryNewTPInstance(req, m)
+	}
+	type option struct {
+		node  *cluster.Node
+		class hwsim.DeviceClass
+		share float64
+	}
+	var cands []consolidator.NodeScore
+	byIdx := map[int]option{}
+	for _, n := range c.Cluster.Nodes {
+		class := n.Spec.Class
+		kindCPU := n.Kind() == hwsim.CPU
+		if kindCPU {
+			if !c.Cfg.UseCPU {
+				continue
+			}
+			// SLINFER excludes CPUs without matrix acceleration and CPUs
+			// that cannot meet this request's SLO (§V). Baselines use the
+			// fixed-limit table (0 disables a class entirely).
+			if c.Cfg.ShadowValidation {
+				prof := c.Registry.Get(class, m, c.shareFor(m, class))
+				if !prof.CanMeet(req.W.InputLen, req.Obj) {
+					continue
+				}
+			}
+		}
+		share := c.shareFor(m, class)
+		if lim := c.Cfg.FixedLimit; lim != nil && lim(m, class, share) <= 0 {
+			continue
+		}
+		if !c.nodeHasSlot(n, share) {
+			continue
+		}
+		need := c.creationBytes(m, n, share, req)
+		if need < 0 {
+			continue
+		}
+		cands = append(cands, consolidator.NodeScore{
+			NodeIdx: n.Idx, FreeBytes: n.Mem.OptimisticFree(), IsCPU: kindCPU,
+		})
+		byIdx[n.Idx] = option{node: n, class: class, share: share}
+		_ = need
+	}
+	var needs = func(idx int) int64 {
+		o := byIdx[idx]
+		return c.creationBytes(m, o.node, o.share, req)
+	}
+	ordered := consolidator.PlaceOrder(cands, 0, c.Cfg.CPUFirst)
+	for _, cand := range ordered {
+		if cand.FreeBytes < needs(cand.NodeIdx) {
+			continue
+		}
+		o := byIdx[cand.NodeIdx]
+		// Elastic scale-out shares the node with whoever is already there;
+		// it must pass the same shadow validation as a scale-up (§VI-C).
+		if c.Cfg.Sharing == Elastic && c.Cfg.ShadowValidation {
+			ex := c.elasticExecs[o.node.Idx]
+			prof := c.Registry.Get(o.class, m, o.share*orOne(o.node.SpeedFactor))
+			if !c.validateNewInstanceOn(ex, prof, req, o.node.Spec.LoadTime(m)) {
+				continue
+			}
+		}
+		inst := c.createInstance(m, []*cluster.Node{o.node}, o.share, req)
+		if inst == nil {
+			continue
+		}
+		c.place(req, inst)
+		return true
+	}
+	return false
+}
+
+// tryNewTPInstance places a tensor-parallel model across two free GPU nodes
+// (§IX-E). Large models fall back to exclusive allocation (§X).
+func (c *Controller) tryNewTPInstance(req *engine.Request, m model.Model) bool {
+	var free []*cluster.Node
+	for _, n := range c.Cluster.NodesOfKind(hwsim.GPU) {
+		if !n.Occupied() && c.nodeHasSlot(n, 1) {
+			free = append(free, n)
+		}
+	}
+	if len(free) < m.TPDegree {
+		return false
+	}
+	inst := c.createInstance(m, free[:m.TPDegree], 1, req)
+	if inst == nil {
+		return false
+	}
+	c.place(req, inst)
+	return true
+}
+
+// nodeHasSlot reports whether a node has compute share available.
+func (c *Controller) nodeHasSlot(n *cluster.Node, share float64) bool {
+	switch c.Cfg.Sharing {
+	case Elastic:
+		return true // admission is gated by validation and memory instead
+	default:
+		return c.slotUsed[n.Idx]+share <= 1.0001
+	}
+}
+
+// creationBytes returns the per-node memory a new instance needs at
+// creation: weights + activation reserve + its initial KV allocation.
+// Negative means the node can never host it.
+func (c *Controller) creationBytes(m model.Model, n *cluster.Node, share float64, req *engine.Request) int64 {
+	weights := m.WeightBytes() + hwsim.ActivationReserve
+	if c.Cfg.DynamicMemory {
+		est := c.estimators[m.Name]
+		kv := c.Cfg.Watermark.Recommend(est.RequireBytes(m,
+			[]kvcache.ReqState{{InputLen: req.W.InputLen}}, 1))
+		return weights + kv
+	}
+	// Static memory: the instance takes its whole share.
+	memShare := int64(float64(n.Spec.MemBytes) * share)
+	kv := memShare - weights
+	minKV := int64(req.W.InputLen+1024) * m.KVBytesPerToken()
+	if kv < minKV {
+		return -1
+	}
+	return memShare
+}
+
+// createInstance builds the instance, carves its executor, and issues the
+// cold-start load. Returns nil when memory admission fails.
+func (c *Controller) createInstance(m model.Model, nodes []*cluster.Node, share float64, first *engine.Request) *engine.Instance {
+	idxs := make([]int, len(nodes))
+	for i, n := range nodes {
+		idxs[i] = n.Idx
+	}
+	inst := &engine.Instance{
+		ID: c.nextInstID, Model: m, Class: nodes[0].Spec.Class, Share: share,
+		NodeIdxs:  idxs,
+		Profile:   c.Registry.Get(nodes[0].Spec.Class, m, share*orOne(nodes[0].SpeedFactor)),
+		Cache:     kvcache.NewCache(m, len(nodes)),
+		State:     engine.Loading,
+		Role:      wantRole(c.Cfg, engine.PrefillWork),
+		CreatedAt: c.Sim.Now(),
+	}
+	c.nextInstID++
+	if c.Cfg.NEOAssist {
+		inst.DecodePenalty = c.Cfg.NEODecodePenalty
+	}
+
+	// Per-node allocations.
+	div := int64(len(nodes))
+	weights := m.WeightBytes()/div + hwsim.ActivationReserve
+	dynamicKV := c.Cfg.DynamicMemory && len(nodes) == 1
+	var kvInit int64
+	if dynamicKV {
+		est := c.estimators[m.Name]
+		states := []kvcache.ReqState{}
+		if first != nil {
+			states = append(states, kvcache.ReqState{InputLen: first.W.InputLen})
+		}
+		kvInit = c.Cfg.Watermark.Recommend(est.RequireBytes(m, states, 1))
+	} else {
+		memShare := int64(float64(nodes[0].Spec.MemBytes) * share)
+		kvInit = memShare - weights
+		if c.Cfg.NEOAssist {
+			kvInit += c.Cfg.NEOExtraKVBytes
+		}
+		if kvInit <= 0 {
+			return nil
+		}
+	}
+
+	// Admission across all host nodes first (all-or-nothing). Offloaded
+	// NEO KV lives in host DRAM, not node memory.
+	kvCharge := kvInit
+	if c.Cfg.NEOAssist {
+		kvCharge = kvInit - c.Cfg.NEOExtraKVBytes
+	}
+	for _, n := range nodes {
+		if !n.Mem.CanAdmit(weights + kvCharge) {
+			return nil
+		}
+	}
+
+	// Weights load; under dynamic memory the KV allocation is a separate
+	// resize op so later admissions see a truthful ledger.
+	loadTo := weights
+	staticKV := int64(0)
+	if !dynamicKV {
+		loadTo += kvCharge
+		staticKV = kvInit
+	}
+	loadDur := nodes[0].Spec.LoadTime(m)
+	c.loadETA[inst.ID] = c.Sim.Now().Add(loadDur)
+	remaining := len(nodes)
+	for _, n := range nodes {
+		ok := n.Mem.Demand(&memctl.Op{
+			Kind: memctl.LoadWeights, Owner: inst.WeightsOwner(),
+			From: 0, To: loadTo, Duration: loadDur,
+			OnComplete: func() {
+				remaining--
+				if remaining > 0 {
+					return
+				}
+				c.finishLoad(inst, staticKV)
+			},
+		})
+		if !ok {
+			panic("core: load demand rejected after CanAdmit")
+		}
+	}
+
+	// Carve compute.
+	var ex *cluster.Executor
+	if c.Cfg.Sharing == Elastic {
+		ex = c.elasticExecs[nodes[0].Idx]
+	} else {
+		ex = nodes[0].NewExecutor(share)
+		c.wireExecutor(ex)
+		for _, n := range nodes {
+			c.slotUsed[n.Idx] += share
+		}
+	}
+	ex.AddInstance(inst)
+	c.instExec[inst.ID] = ex
+	for i, n := range nodes {
+		if i > 0 {
+			n.ReservedBy = inst.ID
+		}
+		c.Collector.NodeActive(n.Idx, n.Kind(), c.Sim.Now())
+	}
+	c.instances[m.Name] = append(c.instances[m.Name], inst)
+	c.Collector.ColdStarts++
+	if dynamicKV && kvInit > 0 {
+		c.issueResize(inst, kvInit)
+	}
+	return inst
+}
+
+func orOne(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	return v
+}
+
+// finishLoad activates a loaded instance. staticKV is nonzero for
+// whole-allocation (static-memory) instances; dynamic instances receive
+// their capacity from the creation resize op instead.
+func (c *Controller) finishLoad(inst *engine.Instance, staticKV int64) {
+	if inst.State != engine.Loading {
+		return
+	}
+	delete(c.loadETA, inst.ID)
+	inst.State = engine.Active
+	if staticKV > 0 {
+		inst.Cache.SetCapacity(staticKV)
+		inst.KVTarget = staticKV
+	}
+	if ex := c.instExec[inst.ID]; ex != nil {
+		ex.Kick()
+	}
+	if inst.Idle() {
+		c.scheduleKeepAlive(inst)
+	}
+	c.retryPending()
+}
+
+// scheduleKeepAlive arms the idle-reclamation timer (§V).
+func (c *Controller) scheduleKeepAlive(inst *engine.Instance) {
+	c.cancelKeepAlive(inst)
+	c.keepAlive[inst.ID] = c.Sim.After(c.Cfg.KeepAlive, func() {
+		delete(c.keepAlive, inst.ID)
+		c.reclaim(inst)
+	})
+}
+
+func (c *Controller) cancelKeepAlive(inst *engine.Instance) {
+	if ev := c.keepAlive[inst.ID]; ev != nil {
+		ev.Cancel()
+		delete(c.keepAlive, inst.ID)
+	}
+}
+
+// reclaim tears an idle instance down, releasing compute and memory.
+func (c *Controller) reclaim(inst *engine.Instance) {
+	if inst.State != engine.Active || !inst.Idle() {
+		return
+	}
+	if inst.ResizeInFlight {
+		// Let the in-flight resize land first; re-try shortly after.
+		c.Sim.After(0.2, func() { c.reclaim(inst) })
+		return
+	}
+	c.removeInstance(inst, true)
+	c.Collector.Reclaims++
+}
+
+// removeInstance detaches an instance and issues its unload operations.
+// countLifetime records instance lifetime stats (skipped for PD helpers).
+func (c *Controller) removeInstance(inst *engine.Instance, countLifetime bool) {
+	inst.State = engine.Unloading
+	c.cancelKeepAlive(inst)
+	if countLifetime {
+		c.Collector.InstanceLifetime += c.Sim.Now().Sub(inst.CreatedAt)
+	}
+	// Detach compute.
+	if ex := c.instExec[inst.ID]; ex != nil {
+		ex.RemoveInstance(inst)
+		if c.Cfg.Sharing != Elastic {
+			ex.Node.RemoveExecutor(ex)
+			for _, idx := range inst.NodeIdxs {
+				c.slotUsed[idx] -= inst.Share
+				if c.slotUsed[idx] < 0 {
+					c.slotUsed[idx] = 0
+				}
+			}
+		}
+		delete(c.instExec, inst.ID)
+	}
+	// Drop from the live set.
+	list := c.instances[inst.Model.Name]
+	for i, x := range list {
+		if x == inst {
+			c.instances[inst.Model.Name] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	// Release memory: the whole allocation (weights + activation + resident
+	// KV) unloads per node.
+	div := int64(len(inst.NodeIdxs))
+	weights := inst.Model.WeightBytes()/div + hwsim.ActivationReserve
+	kv := inst.Cache.CapacityBytes()
+	if c.Cfg.NEOAssist {
+		kv -= c.Cfg.NEOExtraKVBytes
+		if kv < 0 {
+			kv = 0
+		}
+	}
+	for _, idx := range inst.NodeIdxs {
+		node := c.Cluster.Nodes[idx]
+		dur := node.Spec.UnloadTime(inst.Model)
+		node.Mem.Demand(&memctl.Op{
+			Kind: memctl.UnloadWeights, Owner: inst.WeightsOwner(),
+			From: weights + kv, To: 0, Duration: dur,
+			OnComplete: func() {
+				if node.ReservedBy == inst.ID {
+					node.ReservedBy = 0
+				}
+				if !node.Occupied() {
+					c.Collector.NodeInactive(node.Idx, c.Sim.Now())
+				}
+				c.retryPending()
+			},
+		})
+	}
+	inst.Cache.SetCapacity(0)
+}
+
+// ---- Proactive consolidation (§VIII-A) --------------------------------------
+
+// tryPreemption looks for a node where an existing instance of m could
+// absorb the request if a smaller neighbour were preempted, validates the
+// move, and executes it.
+func (c *Controller) tryPreemption(req *engine.Request, m model.Model) bool {
+	for _, grower := range c.routeCandidates(m, wantRole(c.Cfg, engine.PrefillWork)) {
+		if grower.State != engine.Active {
+			continue
+		}
+		// Batch consolidation pays off on GPUs, where larger batches
+		// amortize the memory-bound weight reads; on compute-bound CPUs
+		// the aggregate-decode budget caps the gain below the re-prefill
+		// cost of the preempted requests.
+		if grower.Class.Kind() == hwsim.CPU {
+			continue
+		}
+		ex := c.instExec[grower.ID]
+		if ex == nil || len(ex.Instances) < 2 {
+			continue
+		}
+		victims := consolidator.PreemptionVictims(grower, ex.Instances)
+		for _, victim := range victims {
+			if !c.preemptAndAdmit(req, grower, victim) {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// preemptAndAdmit tears the victim down, reschedules its requests, and
+// admits req to the grower. Preemption only proceeds when the grower can
+// actually take the request afterwards.
+func (c *Controller) preemptAndAdmit(req *engine.Request, grower, victim *engine.Instance) bool {
+	// Cheap feasibility pre-check: without the victim, would the grower's
+	// executor pass shadow validation?
+	ex := c.instExec[grower.ID]
+	views := make([]compute.InstView, 0, len(ex.Instances))
+	candIdx := -1
+	for _, other := range ex.Instances {
+		if other == victim {
+			continue
+		}
+		if other == grower {
+			candIdx = len(views)
+		}
+		views = append(views, compute.ViewInstance(other, c.Sim.Now()))
+	}
+	busyUntil := c.Sim.Now()
+	if ex.Busy() {
+		busyUntil = ex.BusyUntil()
+	}
+	if c.Validator.Validate(c.Sim.Now(), busyUntil, views, candIdx,
+		compute.ViewRequest(req), req.Obj.TPOT) != compute.OK {
+		return false
+	}
+	// §VIII-A: preemption is allowed only when shadow validation shows the
+	// preempted requests still meet their SLOs after rescheduling. Dry-run
+	// every victim request before committing.
+	moved := append(append([]*engine.Request(nil), victim.Running...), victim.WaitingPrefill...)
+	for _, r := range moved {
+		if !c.canRehome(r, victim, grower) {
+			return false
+		}
+	}
+	// Execute: migrate the victim's requests away, then reclaim it.
+	c.Collector.Preemptions++
+	for _, r := range moved {
+		c.migrate(r, victim)
+	}
+	// reclaim handles idle/resize guards; a victim with a resize in flight
+	// retires once the operation lands.
+	c.reclaim(victim)
+	// Now admit (memory freed by the victim may still be unloading; the
+	// optimistic budget already reflects it).
+	return c.admit(req, grower)
+}
+
+// canRehome dry-runs whether a victim's request could be re-placed on
+// another *existing* instance of its model and still meet its SLO
+// (re-prefilling its context). Fresh instances are deliberately excluded:
+// rehoming a victim to a new replica would merely relocate the fragment the
+// preemption was supposed to eliminate.
+func (c *Controller) canRehome(r *engine.Request, victim, grower *engine.Instance) bool {
+	m := c.models[r.W.ModelName]
+	rv := compute.ViewRequest(r)
+	for _, inst := range c.routeCandidates(m, wantRole(c.Cfg, engine.PrefillWork)) {
+		if inst == victim || inst == grower {
+			continue
+		}
+		if inst.TotalLoad() >= c.Cfg.MaxBatch {
+			continue
+		}
+		if inst.Class.Kind() == hwsim.CPU && !inst.Profile.CanMeet(r.ContextTokens(), r.Obj) {
+			continue
+		}
+		if ex := c.instExec[inst.ID]; ex != nil && c.validateOnExecutor(ex, inst, rv, r.Obj.TPOT, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- PD disaggregation (§IX-G) -----------------------------------------------
+
+// startPDTransfer ships a prefilled request's KV to a decode instance.
+func (c *Controller) startPDTransfer(req *engine.Request, from *engine.Instance) {
+	kvBytes := int64(req.ContextTokens()) * from.Model.KVBytesPerToken()
+	dur := c.specOf(from).KVTransferTime(kvBytes)
+	if from.Idle() && from.State == engine.Active {
+		c.scheduleKeepAlive(from)
+	}
+	c.Sim.After(dur, func() { c.finishPDTransfer(req) })
+}
+
+func (c *Controller) finishPDTransfer(req *engine.Request) {
+	if req.State != engine.Transferring {
+		return
+	}
+	m := c.models[req.W.ModelName]
+	// Join the largest decode instance that fits; else create one. A
+	// decode instance still loading grants the request a cold-start grace
+	// window (§IX-A) and is joined once up.
+	for _, inst := range c.decodeCandidates(m) {
+		if inst.State == engine.Loading {
+			if eta, ok := c.loadETA[inst.ID]; ok && eta > c.Sim.Now() {
+				req.Tracker.ExtendGrace(eta.Sub(c.Sim.Now()))
+				c.Sim.After(eta.Sub(c.Sim.Now())+0.02, func() { c.finishPDTransfer(req) })
+				return
+			}
+			continue
+		}
+		if inst.State != engine.Active || inst.TotalLoad() >= c.Cfg.MaxBatch {
+			continue
+		}
+		if lim := c.Cfg.FixedLimit; lim != nil && inst.TotalLoad() >= lim(inst.Model, inst.Class, inst.Share) {
+			continue
+		}
+		// The arriving KV needs cache space; drive the §VII-B scale-up.
+		if !c.ensureMemoryFor(req, inst) {
+			continue
+		}
+		if inst.JoinDecode(req) {
+			if ex := c.instExec[inst.ID]; ex != nil {
+				ex.Kick()
+			}
+			return
+		}
+		// A scale-up is in flight; join once it lands.
+		c.Sim.After(0.25, func() { c.finishPDTransfer(req) })
+		return
+	}
+	if inst := c.createDecodeInstance(m, req); inst != nil {
+		return
+	}
+	// Nowhere to decode: the request stalls until capacity appears; its
+	// tracker keeps ticking and will record the violation at completion.
+	c.Sim.After(0.5, func() { c.finishPDTransfer(req) })
+}
+
+func (c *Controller) decodeCandidates(m model.Model) []*engine.Instance {
+	var out []*engine.Instance
+	for _, inst := range c.instances[m.Name] {
+		if inst.Role == engine.DecodeOnly {
+			out = append(out, inst)
+		}
+	}
+	return consolidator.RouteOrder(out)
+}
+
+// createDecodeInstance spawns a DecodeOnly instance for PD mode.
+func (c *Controller) createDecodeInstance(m model.Model, req *engine.Request) *engine.Instance {
+	for _, n := range c.Cluster.Nodes {
+		if n.Kind() == hwsim.CPU {
+			if !c.Cfg.UseCPU {
+				continue
+			}
+			if c.Cfg.ShadowValidation {
+				prof := c.Registry.Get(n.Spec.Class, m, c.shareFor(m, n.Spec.Class)*orOne(n.SpeedFactor))
+				if !prof.CanMeet(req.W.InputLen, req.Obj) {
+					continue
+				}
+			}
+		}
+		share := c.shareFor(m, n.Spec.Class)
+		if !c.nodeHasSlot(n, share) {
+			continue
+		}
+		if c.creationBytes(m, n, share, req) < 0 ||
+			n.Mem.OptimisticFree() < c.creationBytes(m, n, share, req) {
+			continue
+		}
+		// Decode instances share nodes too: the same §VI-C scale-out
+		// validation applies or colocated decode rounds overrun the SLO.
+		if c.Cfg.Sharing == Elastic && c.Cfg.ShadowValidation {
+			ex := c.elasticExecs[n.Idx]
+			prof := c.Registry.Get(n.Spec.Class, m, share*orOne(n.SpeedFactor))
+			if !c.validateNewInstanceOn(ex, prof, req, n.Spec.LoadTime(m)) {
+				continue
+			}
+		}
+		inst := c.createInstance(m, []*cluster.Node{n}, share, req)
+		if inst == nil {
+			continue
+		}
+		inst.Role = engine.DecodeOnly
+		// Re-enter the transfer path once the instance is up, in case a
+		// request is already waiting on its KV handoff.
+		if req.State == engine.Transferring {
+			c.Sim.After(n.Spec.LoadTime(m)+0.05, func() { c.finishPDTransfer(req) })
+		}
+		return inst
+	}
+	return nil
+}
+
+// ---- Metrics sampling ---------------------------------------------------------
+
+func (c *Controller) scheduleSampler(period sim.Duration) {
+	var tick func()
+	tick = func() {
+		if c.Sim.Now() > c.traceEnd {
+			return
+		}
+		for _, list := range c.instances {
+			for _, inst := range list {
+				if inst.State != engine.Active {
+					continue
+				}
+				weights := inst.WeightBytesOnNode()
+				used := float64(weights + inst.Cache.UsedBytes())
+				alloc := float64(weights + inst.Cache.CapacityBytes())
+				if alloc > 0 {
+					c.Collector.SampleMemUtil(inst.Class.Kind(), used/alloc)
+				}
+				if inst.Cache.CapacityBytes() > 0 && !inst.Idle() {
+					c.Collector.SampleKVUtil(inst.Cache.Utilization())
+				}
+			}
+		}
+		c.Sim.After(period, tick)
+	}
+	c.Sim.After(period, tick)
+}

@@ -1,0 +1,412 @@
+// Package engine models LLM inference instances: continuous batching with
+// prefill and decode iterations (§III-A), per-request SLO tracking, KV-cache
+// token accounting, cold-start/keep-alive lifecycle, and the PD-disaggregated
+// roles of §IX-G. The engine is pure state machine; virtual-time execution
+// lives in the cluster executor, and policy lives in compute/core.
+package engine
+
+import (
+	"fmt"
+
+	"slinfer/internal/hwsim"
+	"slinfer/internal/kvcache"
+	"slinfer/internal/model"
+	"slinfer/internal/perfmodel"
+	"slinfer/internal/sim"
+	"slinfer/internal/slo"
+	"slinfer/internal/workload"
+)
+
+// ReqState is a request's lifecycle state.
+type ReqState int
+
+const (
+	// Queued: not yet admitted to any instance.
+	Queued ReqState = iota
+	// WaitingPrefill: admitted, prefill not yet executed.
+	WaitingPrefill
+	// Decoding: prefill done, generating tokens in the batch.
+	Decoding
+	// Transferring: KV in flight to a decode instance (PD disaggregation).
+	Transferring
+	// Done: all output tokens generated.
+	Done
+	// Dropped: abandoned because queueing exceeded the TTFT SLO.
+	Dropped
+)
+
+func (s ReqState) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case WaitingPrefill:
+		return "waiting-prefill"
+	case Decoding:
+		return "decoding"
+	case Transferring:
+		return "transferring"
+	case Done:
+		return "done"
+	default:
+		return "dropped"
+	}
+}
+
+// Request is the runtime state of one invocation.
+type Request struct {
+	// W is the arrival record from the trace.
+	W workload.Request
+	// Obj is the request's SLO.
+	Obj slo.Objective
+	// Tracker accumulates attainment.
+	Tracker *slo.Tracker
+	// State is the lifecycle state.
+	State ReqState
+	// Generated is the number of output tokens produced.
+	Generated int
+	// Inst is the hosting instance (nil while queued).
+	Inst *Instance
+	// Migrations counts §VII-D evictions/reschedules of this request.
+	Migrations int
+}
+
+// NewRequest wraps a trace record with its SLO and tracker.
+func NewRequest(w workload.Request) *Request {
+	obj := slo.Default(w.InputLen)
+	return &Request{
+		W: w, Obj: obj,
+		Tracker: slo.NewTracker(obj, w.Arrival),
+		State:   Queued,
+	}
+}
+
+// ContextTokens is the KV footprint of the request in tokens.
+func (r *Request) ContextTokens() int { return r.W.InputLen + r.Generated }
+
+// Finished reports whether all output tokens have been generated.
+func (r *Request) Finished() bool { return r.Generated >= r.W.OutputLen }
+
+// Headroom returns the Eq.-1 headroom at now.
+func (r *Request) Headroom(now sim.Time) sim.Duration { return r.Tracker.Headroom(now) }
+
+// InstState is an instance's lifecycle state.
+type InstState int
+
+const (
+	// Loading: weights are being fetched (cold start).
+	Loading InstState = iota
+	// Active: serving (possibly idle within keep-alive).
+	Active
+	// Draining: preempted; no new requests, existing ones migrating out.
+	Draining
+	// Unloading: weights being released; terminal.
+	Unloading
+)
+
+func (s InstState) String() string {
+	switch s {
+	case Loading:
+		return "loading"
+	case Active:
+		return "active"
+	case Draining:
+		return "draining"
+	default:
+		return "unloading"
+	}
+}
+
+// Role distinguishes PD-disaggregated instances (§IX-G).
+type Role int
+
+const (
+	// Mixed instances run both stages (SLINFER's default, §V).
+	Mixed Role = iota
+	// PrefillOnly instances run prefill and ship KV to a decode instance.
+	PrefillOnly
+	// DecodeOnly instances receive KV and run decode.
+	DecodeOnly
+)
+
+// Instance is one loaded copy of a model on a node (or node pair for TP).
+type Instance struct {
+	// ID is unique within a run.
+	ID int
+	// Model is the served model.
+	Model model.Model
+	// Class is the host device class (drives ground-truth latencies).
+	Class hwsim.DeviceClass
+	// Share is the node fraction this instance may use: 1 under elastic or
+	// exclusive allocation, 1/k under static partitioning.
+	Share float64
+	// NodeIdxs are the indices of host nodes in the cluster (len 2 for TP).
+	NodeIdxs []int
+	// Profile is the perfmodel used for estimates (scheduling only).
+	Profile *perfmodel.Profile
+	// Cache is the KV accounting.
+	Cache *kvcache.Cache
+	// State is the lifecycle state.
+	State InstState
+	// Role is Mixed unless PD disaggregation is enabled.
+	Role Role
+
+	// WaitingPrefill holds admitted requests awaiting their prefill
+	// iteration, in admission order.
+	WaitingPrefill []*Request
+	// Running is the continuous batch in decode.
+	Running []*Request
+
+	// ResizeInFlight marks a KV resize in progress; iterations are blocked
+	// until it completes (this is the scaling overhead of §IX-I5).
+	ResizeInFlight bool
+	// KVTarget is the allocation size the latest admitted resize moves to.
+	KVTarget int64
+
+	// CreatedAt is the creation time; stats below feed the metrics.
+	CreatedAt    sim.Time
+	LastActiveAt sim.Time
+	Iterations   int64
+	ScalingBusy  sim.Duration
+
+	// DecodePenalty multiplies decode durations (NEO+ CPU-offload path or
+	// background CPU stress); zero means no penalty.
+	DecodePenalty float64
+}
+
+// KVOwner returns the memctl allocation name for this instance's KV cache.
+func (i *Instance) KVOwner() string { return fmt.Sprintf("inst%d/kv", i.ID) }
+
+// WeightsOwner returns the memctl allocation name for the weights.
+func (i *Instance) WeightsOwner() string { return fmt.Sprintf("inst%d/weights", i.ID) }
+
+// BatchSize returns the current decode batch size.
+func (i *Instance) BatchSize() int { return len(i.Running) }
+
+// TotalLoad returns batch size plus pending prefills: the §VIII preemption
+// ordering key.
+func (i *Instance) TotalLoad() int { return len(i.Running) + len(i.WaitingPrefill) }
+
+// TotalContextTokens returns the summed context of the running batch.
+func (i *Instance) TotalContextTokens() int {
+	n := 0
+	for _, r := range i.Running {
+		n += r.ContextTokens()
+	}
+	return n
+}
+
+// AvgContextLen returns the mean per-sequence context of the running batch.
+func (i *Instance) AvgContextLen() int {
+	if len(i.Running) == 0 {
+		return 0
+	}
+	return i.TotalContextTokens() / len(i.Running)
+}
+
+// HasWork reports whether the instance has an iteration to run.
+func (i *Instance) HasWork() bool {
+	if i.State != Active && i.State != Draining {
+		return false
+	}
+	if i.ResizeInFlight {
+		return false
+	}
+	return len(i.WaitingPrefill) > 0 || len(i.Running) > 0
+}
+
+// WorkKind distinguishes the two iteration types.
+type WorkKind int
+
+const (
+	// PrefillWork processes one request's whole prompt.
+	PrefillWork WorkKind = iota
+	// DecodeWork advances every running request by one token.
+	DecodeWork
+)
+
+func (k WorkKind) String() string {
+	if k == PrefillWork {
+		return "prefill"
+	}
+	return "decode"
+}
+
+// Work is one schedulable iteration.
+type Work struct {
+	Inst *Instance
+	Kind WorkKind
+	// Req is the prefilling request (nil for decode).
+	Req *Request
+}
+
+// NextWork returns the most urgent iteration for this instance and the
+// headroom of the request driving it (§VI-A): the earliest-deadline request
+// decides both whether to run, and whether the iteration is its prefill or
+// the batch's decode. Returns nil when the instance has no runnable work.
+func (i *Instance) NextWork(now sim.Time) (*Work, sim.Duration) {
+	if !i.HasWork() {
+		return nil, 0
+	}
+	var best *Work
+	bestH := sim.Duration(0)
+	for _, r := range i.WaitingPrefill {
+		if h := r.Headroom(now); best == nil || h < bestH {
+			best, bestH = &Work{Inst: i, Kind: PrefillWork, Req: r}, h
+		}
+	}
+	for _, r := range i.Running {
+		if h := r.Headroom(now); best == nil || h < bestH {
+			best, bestH = &Work{Inst: i, Kind: DecodeWork}, h
+		}
+	}
+	return best, bestH
+}
+
+// GroundTruthDuration computes the true duration of a work item from the
+// hardware substrate, including any decode penalty. Schedulers must not call
+// this; they use Profile estimates. A migrated request's (re-)prefill covers
+// its whole context, not just the original prompt.
+func (i *Instance) GroundTruthDuration(w *Work) sim.Duration {
+	var d sim.Duration
+	switch w.Kind {
+	case PrefillWork:
+		d = i.Class.PrefillTime(i.Model, w.Req.ContextTokens(), i.Share)
+	default:
+		d = i.Class.DecodeTime(i.Model, i.BatchSize(), i.TotalContextTokens(), i.Share)
+		if i.DecodePenalty > 0 {
+			d *= sim.Duration(1 + i.DecodePenalty)
+		}
+	}
+	return d
+}
+
+// Admit appends a request to the prefill queue.
+func (i *Instance) Admit(r *Request) {
+	r.State = WaitingPrefill
+	r.Inst = i
+	i.WaitingPrefill = append(i.WaitingPrefill, r)
+}
+
+// RemoveWaiting removes a request from the prefill queue (migration/drop).
+func (i *Instance) RemoveWaiting(r *Request) bool {
+	for k, x := range i.WaitingPrefill {
+		if x == r {
+			i.WaitingPrefill = append(i.WaitingPrefill[:k], i.WaitingPrefill[k+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveRunning removes a request from the decode batch and releases its KV
+// tokens.
+func (i *Instance) RemoveRunning(r *Request) bool {
+	for k, x := range i.Running {
+		if x == r {
+			i.Running = append(i.Running[:k], i.Running[k+1:]...)
+			i.Cache.ReleaseTokens(int64(r.ContextTokens()))
+			return true
+		}
+	}
+	return false
+}
+
+// CompletePrefill transitions a request into the decode batch at time now,
+// emitting one token. For fresh requests that is the first output token;
+// for migrated requests (§VII-D eviction, §VIII-A preemption) the prefill
+// recomputes the full context — prompt plus already-generated tokens — and
+// produces the next one. It reports whether the KV tokens fit; on false the
+// caller must handle the underestimation path before retrying.
+func (i *Instance) CompletePrefill(r *Request, now sim.Time) bool {
+	// Context tokens plus the newly generated one.
+	tokens := int64(r.ContextTokens()) + 1
+	if !i.Cache.AddTokens(tokens) {
+		return false
+	}
+	i.RemoveWaiting(r)
+	r.Generated++
+	r.Tracker.RecordToken(now)
+	if r.Finished() || i.Role == PrefillOnly {
+		// Single-token outputs complete at prefill; PD prefill instances
+		// hand off without joining a batch.
+		i.Cache.ReleaseTokens(tokens)
+		if r.Finished() {
+			r.State = Done
+		} else {
+			r.State = Transferring
+		}
+		r.Inst = nil
+		return true
+	}
+	r.State = Decoding
+	i.Running = append(i.Running, r)
+	return true
+}
+
+// JoinDecode admits a prefilled request (PD transfer arrival) directly into
+// the decode batch. Reports whether the KV fits.
+func (i *Instance) JoinDecode(r *Request) bool {
+	if !i.Cache.AddTokens(int64(r.ContextTokens())) {
+		return false
+	}
+	r.State = Decoding
+	r.Inst = i
+	i.Running = append(i.Running, r)
+	return true
+}
+
+// CompleteDecode advances every running request one token at time now and
+// returns the requests that finished (already removed from the batch, KV
+// released). It reports underestimation when the batch's new tokens do not
+// fit the cache (§VII-D); in that case no tokens are produced.
+func (i *Instance) CompleteDecode(now sim.Time) (finished []*Request, underestimated bool) {
+	if len(i.Running) == 0 {
+		return nil, false
+	}
+	if !i.Cache.AddTokens(int64(len(i.Running))) {
+		return nil, true
+	}
+	keep := i.Running[:0]
+	for _, r := range i.Running {
+		r.Generated++
+		r.Tracker.RecordToken(now)
+		if r.Finished() {
+			r.State = Done
+			r.Inst = nil
+			i.Cache.ReleaseTokens(int64(r.ContextTokens()))
+			finished = append(finished, r)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	i.Running = append([]*Request(nil), keep...)
+	return finished, false
+}
+
+// KVReqStates converts the live requests to Eq.-2 inputs, covering both the
+// decode batch and admitted-but-unprefilled requests.
+func (i *Instance) KVReqStates() []kvcache.ReqState {
+	out := make([]kvcache.ReqState, 0, len(i.Running)+len(i.WaitingPrefill))
+	for _, r := range i.Running {
+		out = append(out, kvcache.ReqState{InputLen: r.W.InputLen, Generated: r.Generated})
+	}
+	for _, r := range i.WaitingPrefill {
+		out = append(out, kvcache.ReqState{InputLen: r.W.InputLen, Generated: r.Generated})
+	}
+	return out
+}
+
+// Idle reports whether the instance holds no requests at all.
+func (i *Instance) Idle() bool {
+	return len(i.WaitingPrefill) == 0 && len(i.Running) == 0
+}
+
+// WeightBytesOnNode returns the per-node weight footprint (TP shards on
+// GPUs).
+func (i *Instance) WeightBytesOnNode() int64 {
+	n := len(i.NodeIdxs)
+	if n < 1 {
+		n = 1
+	}
+	return i.Model.WeightBytes() / int64(n)
+}

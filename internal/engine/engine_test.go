@@ -1,0 +1,265 @@
+package engine
+
+import (
+	"testing"
+
+	"slinfer/internal/hwsim"
+	"slinfer/internal/kvcache"
+	"slinfer/internal/model"
+	"slinfer/internal/perfmodel"
+	"slinfer/internal/sim"
+	"slinfer/internal/workload"
+)
+
+func newTestInstance(m model.Model, class hwsim.DeviceClass) *Instance {
+	inst := &Instance{
+		ID: 1, Model: m, Class: class, Share: 1,
+		NodeIdxs: []int{0},
+		Profile:  perfmodel.NewProfile(class, m, 1, 256),
+		Cache:    kvcache.NewCache(m, 1),
+		State:    Active,
+	}
+	inst.Cache.SetCapacity(64 * model.GiB)
+	return inst
+}
+
+func newReq(id int64, in, out int, arrival sim.Time) *Request {
+	return NewRequest(workload.Request{
+		ID: id, ModelName: "m", Arrival: arrival, InputLen: in, OutputLen: out,
+	})
+}
+
+func TestPrefillToDecodeLifecycle(t *testing.T) {
+	inst := newTestInstance(model.Llama2_7B, hwsim.A100)
+	r := newReq(1, 1024, 3, 0)
+	inst.Admit(r)
+	if r.State != WaitingPrefill || len(inst.WaitingPrefill) != 1 {
+		t.Fatal("admit failed")
+	}
+	w, _ := inst.NextWork(0)
+	if w == nil || w.Kind != PrefillWork || w.Req != r {
+		t.Fatalf("NextWork = %+v, want prefill of r", w)
+	}
+	if !inst.CompletePrefill(r, 0.2) {
+		t.Fatal("prefill should fit")
+	}
+	if r.State != Decoding || r.Generated != 1 || inst.BatchSize() != 1 {
+		t.Fatalf("state=%v gen=%d bs=%d", r.State, r.Generated, inst.BatchSize())
+	}
+	if got := inst.Cache.UsedTokens(); got != 1025 {
+		t.Fatalf("cache tokens = %d, want 1025", got)
+	}
+	// Two decode iterations finish the request (out=3).
+	fin, under := inst.CompleteDecode(0.3)
+	if under || len(fin) != 0 {
+		t.Fatalf("unexpected finish: %v %v", fin, under)
+	}
+	fin, _ = inst.CompleteDecode(0.4)
+	if len(fin) != 1 || fin[0] != r || r.State != Done {
+		t.Fatalf("request should finish: %v, state %v", fin, r.State)
+	}
+	if inst.Cache.UsedTokens() != 0 {
+		t.Fatalf("cache should be empty, got %d", inst.Cache.UsedTokens())
+	}
+	if !inst.Idle() {
+		t.Fatal("instance should be idle")
+	}
+	if !r.Tracker.Met() {
+		t.Fatal("SLO should be met")
+	}
+}
+
+func TestSingleTokenOutputCompletesAtPrefill(t *testing.T) {
+	inst := newTestInstance(model.Llama2_7B, hwsim.A100)
+	r := newReq(1, 128, 1, 0)
+	inst.Admit(r)
+	if !inst.CompletePrefill(r, 0.1) {
+		t.Fatal("prefill failed")
+	}
+	if r.State != Done || inst.BatchSize() != 0 || inst.Cache.UsedTokens() != 0 {
+		t.Fatalf("state=%v bs=%d tokens=%d", r.State, inst.BatchSize(), inst.Cache.UsedTokens())
+	}
+}
+
+func TestNextWorkPicksMostUrgent(t *testing.T) {
+	inst := newTestInstance(model.Llama2_7B, hwsim.XeonGen4)
+	// An old decoding request with little headroom vs a fresh prefill.
+	old := newReq(1, 512, 100, 0)
+	inst.Admit(old)
+	inst.CompletePrefill(old, 0.9) // TTFT budget 1s, close deadline chain
+	fresh := newReq(2, 512, 100, 1.0)
+	inst.Admit(fresh)
+	// At t=1.05: old's next deadline = 1 + 0.25 = 1.25 (headroom 0.2);
+	// fresh's deadline = 1 + 1 = 2 (headroom 0.95). Decode should win.
+	w, h := inst.NextWork(1.05)
+	if w.Kind != DecodeWork {
+		t.Fatalf("want decode, got %v (headroom %v)", w.Kind, h)
+	}
+	// At a time where fresh is late and old has banked headroom, prefill
+	// should win: advance old's token record far ahead.
+	for k := 0; k < 19; k++ {
+		old.Tracker.RecordToken(1.0) // deadline now 1 + 20*0.25 = 6
+	}
+	w, _ = inst.NextWork(1.6)
+	if w.Kind != PrefillWork || w.Req != fresh {
+		t.Fatalf("want prefill of fresh, got %v", w)
+	}
+}
+
+func TestUnderestimationBlocksDecode(t *testing.T) {
+	inst := newTestInstance(model.Llama2_7B, hwsim.A100)
+	r := newReq(1, 100, 50, 0)
+	inst.Admit(r)
+	inst.CompletePrefill(r, 0.1)
+	// Shrink capacity to exactly current usage: next decode token cannot fit.
+	inst.Cache.SetCapacity(inst.Cache.UsedBytes())
+	fin, under := inst.CompleteDecode(0.2)
+	if !under || fin != nil {
+		t.Fatalf("want underestimation, got fin=%v under=%v", fin, under)
+	}
+	if r.Generated != 1 {
+		t.Fatal("no tokens must be produced on underestimation")
+	}
+}
+
+func TestPrefillUnderestimation(t *testing.T) {
+	inst := newTestInstance(model.Llama2_7B, hwsim.A100)
+	inst.Cache.SetCapacity(50 * 524288) // 50 tokens
+	r := newReq(1, 100, 10, 0)
+	inst.Admit(r)
+	if inst.CompletePrefill(r, 0.1) {
+		t.Fatal("prefill of 100 tokens must not fit 50-token cache")
+	}
+	if r.State != WaitingPrefill || len(inst.WaitingPrefill) != 1 {
+		t.Fatal("request must stay queued on failed prefill")
+	}
+}
+
+func TestPDRolePrefillOnly(t *testing.T) {
+	p := newTestInstance(model.Llama2_7B, hwsim.A100)
+	p.Role = PrefillOnly
+	r := newReq(1, 512, 100, 0)
+	p.Admit(r)
+	if !p.CompletePrefill(r, 0.1) {
+		t.Fatal("prefill failed")
+	}
+	if r.State != Transferring || p.BatchSize() != 0 || p.Cache.UsedTokens() != 0 {
+		t.Fatalf("state=%v bs=%d", r.State, p.BatchSize())
+	}
+	// Decode instance receives the transferred request.
+	d := newTestInstance(model.Llama2_7B, hwsim.A100)
+	d.Role = DecodeOnly
+	if !d.JoinDecode(r) {
+		t.Fatal("join failed")
+	}
+	if r.State != Decoding || d.BatchSize() != 1 {
+		t.Fatal("join state wrong")
+	}
+	if d.Cache.UsedTokens() != int64(r.ContextTokens()) {
+		t.Fatalf("cache tokens = %d, want %d", d.Cache.UsedTokens(), r.ContextTokens())
+	}
+}
+
+func TestDrainingAcceptsNoNewWorkButRuns(t *testing.T) {
+	inst := newTestInstance(model.Llama2_7B, hwsim.A100)
+	r := newReq(1, 100, 5, 0)
+	inst.Admit(r)
+	inst.CompletePrefill(r, 0.1)
+	inst.State = Draining
+	if !inst.HasWork() {
+		t.Fatal("draining instance must finish running work")
+	}
+	inst.State = Loading
+	if inst.HasWork() {
+		t.Fatal("loading instance has no runnable work")
+	}
+}
+
+func TestResizeBlocksWork(t *testing.T) {
+	inst := newTestInstance(model.Llama2_7B, hwsim.A100)
+	r := newReq(1, 100, 5, 0)
+	inst.Admit(r)
+	inst.ResizeInFlight = true
+	if inst.HasWork() {
+		t.Fatal("resize must block iterations")
+	}
+	w, _ := inst.NextWork(0)
+	if w != nil {
+		t.Fatal("NextWork during resize must be nil")
+	}
+}
+
+func TestGroundTruthDurationMatchesSubstrate(t *testing.T) {
+	inst := newTestInstance(model.Llama2_7B, hwsim.XeonGen4)
+	r := newReq(1, 1024, 10, 0)
+	inst.Admit(r)
+	w := &Work{Inst: inst, Kind: PrefillWork, Req: r}
+	want := hwsim.XeonGen4.PrefillTime(model.Llama2_7B, 1024, 1)
+	if got := inst.GroundTruthDuration(w); got != want {
+		t.Fatalf("prefill dur = %v, want %v", got, want)
+	}
+	inst.CompletePrefill(r, 0.1)
+	wd := &Work{Inst: inst, Kind: DecodeWork}
+	base := inst.GroundTruthDuration(wd)
+	inst.DecodePenalty = 0.5
+	if got := inst.GroundTruthDuration(wd); got <= base {
+		t.Fatal("decode penalty must slow decode")
+	}
+}
+
+func TestKVReqStatesCoversWaitingAndRunning(t *testing.T) {
+	inst := newTestInstance(model.Llama2_7B, hwsim.A100)
+	a := newReq(1, 100, 10, 0)
+	b := newReq(2, 200, 10, 0)
+	inst.Admit(a)
+	inst.Admit(b)
+	inst.CompletePrefill(a, 0.1)
+	states := inst.KVReqStates()
+	if len(states) != 2 {
+		t.Fatalf("len = %d, want 2", len(states))
+	}
+	if states[0].Generated != 1 || states[0].InputLen != 100 {
+		t.Fatalf("running state wrong: %+v", states[0])
+	}
+	if states[1].Generated != 0 || states[1].InputLen != 200 {
+		t.Fatalf("waiting state wrong: %+v", states[1])
+	}
+}
+
+func TestRemoveHelpers(t *testing.T) {
+	inst := newTestInstance(model.Llama2_7B, hwsim.A100)
+	a := newReq(1, 100, 10, 0)
+	b := newReq(2, 100, 10, 0)
+	inst.Admit(a)
+	inst.Admit(b)
+	if !inst.RemoveWaiting(a) || inst.RemoveWaiting(a) {
+		t.Fatal("RemoveWaiting semantics wrong")
+	}
+	inst.CompletePrefill(b, 0.1)
+	tokens := inst.Cache.UsedTokens()
+	if tokens == 0 {
+		t.Fatal("setup")
+	}
+	if !inst.RemoveRunning(b) || inst.RemoveRunning(b) {
+		t.Fatal("RemoveRunning semantics wrong")
+	}
+	if inst.Cache.UsedTokens() != 0 {
+		t.Fatal("RemoveRunning must release KV")
+	}
+}
+
+func TestTotalLoadAndAverages(t *testing.T) {
+	inst := newTestInstance(model.Llama2_7B, hwsim.A100)
+	for i := 0; i < 3; i++ {
+		r := newReq(int64(i), 300, 10, 0)
+		inst.Admit(r)
+		inst.CompletePrefill(r, 0.1)
+	}
+	inst.Admit(newReq(9, 500, 10, 0))
+	if inst.TotalLoad() != 4 || inst.BatchSize() != 3 {
+		t.Fatalf("load=%d bs=%d", inst.TotalLoad(), inst.BatchSize())
+	}
+	if inst.AvgContextLen() != 301 {
+		t.Fatalf("avg ctx = %d, want 301", inst.AvgContextLen())
+	}
+}

@@ -1,0 +1,208 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§IX) plus the motivation studies (§III-IV) and the §X
+// quantization discussion. Each experiment is registered by its paper
+// artifact id (fig04 ... fig35, tab01 ... tab03, quant) and produces a
+// printable table whose rows mirror what the paper reports.
+//
+// Absolute numbers come from the calibrated hwsim substrate, so they are
+// not expected to equal the paper's testbed measurements; the shapes — who
+// wins, by what factor, where the crossovers sit — are the reproduction
+// target and are recorded against the paper in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"slinfer/internal/core"
+	"slinfer/internal/hwsim"
+	"slinfer/internal/metrics"
+	"slinfer/internal/model"
+	"slinfer/internal/sim"
+	"slinfer/internal/workload"
+)
+
+// Scale selects experiment size. Quick shrinks traces and sweeps so a full
+// `go test -bench=.` stays tractable; Full reproduces the paper's setup.
+type Scale int
+
+const (
+	// Quick runs shortened traces (10 min) and sparser sweeps.
+	Quick Scale = iota
+	// Full runs the paper's 30-minute traces and full sweeps.
+	Full
+)
+
+// Result is one experiment's regenerated artifact.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the result as an aligned text table.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Metric extracts a named numeric cell for bench reporting: the value at
+// (row, col) parsed leniently; zero if unparsable.
+func (r Result) Metric(row, col int) float64 {
+	if row >= len(r.Rows) || col >= len(r.Rows[row]) {
+		return 0
+	}
+	var v float64
+	fmt.Sscanf(strings.TrimSuffix(r.Rows[row][col], "%"), "%f", &v)
+	return v
+}
+
+// Experiment is a registered, regenerable artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarizes the expected shape from the paper.
+	Paper string
+	Run   func(Scale) Result
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment in id order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---- Shared harness helpers -------------------------------------------------
+
+// traceMinutes returns the trace length for a scale.
+func traceMinutes(s Scale) sim.Duration {
+	if s == Full {
+		return 30 * sim.Minute
+	}
+	return 8 * sim.Minute
+}
+
+// replicaNames derives n model identities from a base model.
+func replicaNames(base model.Model, n int) ([]model.Model, []string) {
+	models := model.Replicas(base, n)
+	names := make([]string, n)
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	return models, names
+}
+
+// paperTrace generates the Azure-style trace for n models of a base size.
+func paperTrace(base model.Model, n int, s Scale, seed uint64) ([]model.Model, workload.Trace) {
+	models, names := replicaNames(base, n)
+	tr := workload.Generate(workload.TraceConfig{
+		ModelNames: names,
+		Duration:   traceMinutes(s),
+		Dataset:    workload.AzureConv,
+		Seed:       seed,
+		MaxInput:   base.MaxContext,
+	})
+	return models, tr
+}
+
+// runSystem executes one system over a trace on a testbed.
+func runSystem(cfg core.Config, specs []hwsim.NodeSpec, models []model.Model, tr workload.Trace) metrics.Report {
+	s := sim.New()
+	c := core.New(s, specs, models, cfg)
+	return c.Run(tr)
+}
+
+// runSystemCtl is runSystem exposing the controller for deeper inspection.
+func runSystemCtl(cfg core.Config, specs []hwsim.NodeSpec, models []model.Model, tr workload.Trace) (*core.Controller, metrics.Report) {
+	s := sim.New()
+	c := core.New(s, specs, models, cfg)
+	rep := c.Run(tr)
+	return c, rep
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+func ms(d sim.Duration) string {
+	return fmt.Sprintf("%.0f", d.Milliseconds())
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// mixedModels builds the 3B/7B/13B mix used in Figures 4 and 25.
+func mixedModels(n int) ([]model.Model, []string) {
+	bases := []model.Model{model.Llama32_3B, model.Llama2_7B, model.Llama2_13B}
+	models := make([]model.Model, 0, n)
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		m := bases[i%len(bases)]
+		m.Name = fmt.Sprintf("%s#mix%02d", m.Name, i)
+		models = append(models, m)
+		names = append(names, m.Name)
+	}
+	return models, names
+}
+
+func mixedTrace(n int, s Scale, seed uint64) ([]model.Model, workload.Trace) {
+	models, names := mixedModels(n)
+	tr := workload.Generate(workload.TraceConfig{
+		ModelNames: names,
+		Duration:   traceMinutes(s),
+		Dataset:    workload.AzureConv,
+		Seed:       seed,
+		MaxInput:   4096,
+	})
+	return models, tr
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"slinfer/internal/model"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure from the DESIGN.md experiment index.
+	want := []string{
+		"fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
+		"fig12", "tab01", "tab02", "fig21", "fig22a", "fig22b", "fig22c",
+		"fig23", "fig24", "fig25", "fig26", "tab03", "fig27", "fig28",
+		"fig29", "fig30", "fig31", "fig32", "fig33", "fig34", "fig35",
+		"quant", "abl-fifo", "abl-margin",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+// The cheap analytic experiments run at any scale; verify their content.
+func TestAnalyticExperiments(t *testing.T) {
+	for _, id := range []string{"fig06", "fig07", "fig08", "fig10", "fig11", "fig28", "tab01", "tab02", "fig34"} {
+		e, _ := ByID(id)
+		res := e.Run(Quick)
+		if len(res.Rows) == 0 || len(res.Header) == 0 {
+			t.Errorf("%s: empty result", id)
+		}
+		if !strings.Contains(res.String(), res.ID) {
+			t.Errorf("%s: render broken", id)
+		}
+	}
+}
+
+func TestTab02ShapeMatchesPaper(t *testing.T) {
+	e, _ := ByID("tab02")
+	res := e.Run(Quick)
+	// C-7B-2K row: quarter infeasible, full ~27.
+	var c7b2k []string
+	for _, row := range res.Rows {
+		if row[0] == "C-7B-2K" {
+			c7b2k = row
+		}
+	}
+	if c7b2k == nil {
+		t.Fatal("missing C-7B-2K row")
+	}
+	if c7b2k[1] != "-" {
+		t.Errorf("C-7B-2K quarter = %s, want infeasible", c7b2k[1])
+	}
+	full := res.Metric(0, 4)
+	if full < 25 || full > 29 {
+		t.Errorf("C-7B-2K full limit = %v, want ~27", full)
+	}
+}
+
+func TestFig04ShowsCapacityCliff(t *testing.T) {
+	e, _ := ByID("fig04")
+	res := e.Run(Quick)
+	first := res.Metric(0, 1)
+	last := res.Metric(len(res.Rows)-1, 1)
+	if first < 0.85 {
+		t.Errorf("sllm at 16 models: SLO rate %.2f, want near 1", first)
+	}
+	if last > first-0.2 {
+		t.Errorf("sllm SLO rate should collapse: %0.2f -> %0.2f", first, last)
+	}
+}
+
+func TestFig05LowUtilization(t *testing.T) {
+	e, _ := ByID("fig05")
+	res := e.Run(Quick)
+	// Mean utilization row is last; paper reports ~23%.
+	mean := res.Metric(len(res.Rows)-1, 1)
+	if mean < 8 || mean > 45 {
+		t.Errorf("sllm mean GPU memory utilization = %.1f%%, want low (~23%%)", mean)
+	}
+}
+
+func TestFig23SharingMattersMost(t *testing.T) {
+	e, _ := ByID("fig23")
+	res := e.Run(Quick)
+	rates := map[string]float64{}
+	for i, row := range res.Rows {
+		rates[row[0]] = res.Metric(i, 1)
+	}
+	if rates["SLINFER-Full"] < rates["w/o Sharing"] {
+		t.Errorf("full (%.3f) should beat w/o sharing (%.3f)", rates["SLINFER-Full"], rates["w/o Sharing"])
+	}
+}
+
+func TestQuantReducesGPUs(t *testing.T) {
+	e, _ := ByID("quant")
+	res := e.Run(Quick)
+	fp16 := res.Metric(0, 1)
+	int4 := res.Metric(1, 1)
+	if int4 >= fp16 {
+		t.Errorf("INT4 GPUs (%.2f) should be below FP16 (%.2f)", int4, fp16)
+	}
+}
+
+func TestMetricParsing(t *testing.T) {
+	r := Result{Rows: [][]string{{"a", "1.25", "33.0%"}}}
+	if r.Metric(0, 1) != 1.25 {
+		t.Errorf("Metric = %v", r.Metric(0, 1))
+	}
+	if r.Metric(0, 2) != 33 {
+		t.Errorf("Metric pct = %v", r.Metric(0, 2))
+	}
+	if r.Metric(5, 5) != 0 {
+		t.Error("out of range should be 0")
+	}
+}
+
+func TestMixedModelsComposition(t *testing.T) {
+	models, names := mixedModels(12)
+	if len(models) != 12 || len(names) != 12 {
+		t.Fatal("size")
+	}
+	sizes := map[string]int{}
+	for _, m := range models {
+		sizes[m.SizeClass()]++
+		if m.Validate() != nil {
+			t.Errorf("invalid model %s", m.Name)
+		}
+	}
+	if sizes["3B"] != 4 || sizes["7B"] != 4 || sizes["13B"] != 4 {
+		t.Errorf("mix = %v, want 4/4/4", sizes)
+	}
+	if models[0].Name == model.Llama32_3B.Name {
+		t.Error("mixed models must have unique identities")
+	}
+}

@@ -1,0 +1,433 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"slinfer/internal/core"
+	"slinfer/internal/hwsim"
+	"slinfer/internal/metrics"
+	"slinfer/internal/model"
+	"slinfer/internal/sim"
+	"slinfer/internal/slo"
+	"slinfer/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig04",
+		Title: "ServerlessLLM serving capacity vs number of LLMs (motivation)",
+		Paper: "SLO rate near 1 at 16 models, dropping sharply toward 128",
+		Run:   runFig04,
+	})
+	register(Experiment{
+		ID:    "fig05",
+		Title: "GPU memory utilization CDF when serving 128 LLMs with sllm",
+		Paper: "average per-instance utilization ~23%; most instances far below half",
+		Run:   runFig05,
+	})
+	register(Experiment{
+		ID:    "fig06",
+		Title: "TTFT vs input length for CPU/GPU x {7B, 13B, 34B}",
+		Paper: "CPU meets SLO for 7B/13B short inputs; 34B never; GPU always",
+		Run:   runFig06,
+	})
+	register(Experiment{
+		ID:    "fig07",
+		Title: "TPOT vs batch size, Llama-2-7B, CPU/GPU x token lengths",
+		Paper: "CPU under 250ms SLO with batching headroom; 4-batch ~ +14% over 1-batch",
+		Run:   func(s Scale) Result { return runTPOTFig("fig07", model.Llama2_7B) },
+	})
+	register(Experiment{
+		ID:    "fig08",
+		Title: "TPOT vs batch size, Llama-2-13B, CPU/GPU x token lengths",
+		Paper: "13B 32-batch doubles TPOT from 512 to 2K, violating the SLO",
+		Run:   func(s Scale) Result { return runTPOTFig("fig08", model.Llama2_13B) },
+	})
+	register(Experiment{
+		ID:    "fig09",
+		Title: "Memory footprint of 7B/13B under percentile workloads",
+		Paper: "floor at weights (14/26 GB); P99 peaks >160 GB; >50% of time below ~17/43 GB",
+		Run:   runFig09,
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "vLLM GPU decode throughput and CPU core usage vs batch size",
+		Paper: "throughput grows with batch; CPU use never exceeds one core",
+		Run:   runFig10,
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Title: "vLLM TPOT under background CPU stress",
+		Paper: "only ~4% slowdown with 64 stress processes on 32 cores",
+		Run:   runFig11,
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "CDF of workload concurrency per function percentile",
+		Paper: "top-1% functions range from 1 to >128 concurrent requests",
+		Run:   runFig12,
+	})
+	register(Experiment{
+		ID:    "tab01",
+		Title: "Llama-2-7B on 3rd- vs 4th-gen Xeon (Table I)",
+		Paper: "prefill speedup 6.7-7.3x; decode speedup 1.4-1.7x",
+		Run:   runTab01,
+	})
+	register(Experiment{
+		ID:    "tab02",
+		Title: "Aggregated concurrency limits under static partitioning (Table II)",
+		Paper: "partitioned instances sum to roughly half the whole node's limit",
+		Run:   runTab02,
+	})
+	register(Experiment{
+		ID:    "fig21",
+		Title: "Azure trace characterization for 32/64/128 models",
+		Paper: "aggregate ~79/156/309 RPM; heavy per-model skew",
+		Run:   runFig21,
+	})
+	register(Experiment{
+		ID:    "fig28",
+		Title: "Total CPU core usage during multi-model GPU colocation",
+		Paper: "eight colocated instances use barely more than one core",
+		Run:   runFig28,
+	})
+	register(Experiment{
+		ID:    "fig34",
+		Title: "Input/output length characterization of the five datasets",
+		Paper: "LongBench up to 32K inputs; ShareGPT long outputs",
+		Run:   runFig34,
+	})
+}
+
+func runFig04(s Scale) Result {
+	res := Result{
+		ID: "fig04", Title: "sllm SLO attainment vs model count",
+		Header: []string{"models", "slo_rate", "met", "total", "dropped"},
+	}
+	counts := []int{16, 32, 64, 128}
+	if s == Full {
+		counts = []int{16, 32, 64, 96, 128}
+	}
+	for _, n := range counts {
+		models, tr := mixedTrace(n, s, 4)
+		rep := runSystem(core.Sllm(), hwsim.Testbed(0, 4), models, tr)
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(n), f3(rep.SLORate), fmt.Sprint(rep.Met), fmt.Sprint(rep.Total), fmt.Sprint(rep.Dropped),
+		})
+	}
+	return res
+}
+
+func runFig05(s Scale) Result {
+	n := 64
+	if s == Full {
+		n = 128
+	}
+	models, tr := mixedTrace(n, s, 5)
+	rep := runSystem(core.Sllm(), hwsim.Testbed(0, 4), models, tr)
+	cdf := rep.MemUtilCDF[hwsim.GPU]
+	res := Result{
+		ID: "fig05", Title: "per-instance GPU memory utilization (sllm)",
+		Header: []string{"percentile", "utilization"},
+	}
+	for _, p := range []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.99} {
+		v := 0.0
+		if len(cdf) > 0 {
+			v = cdf[int(p*float64(len(cdf)-1))]
+		}
+		res.Rows = append(res.Rows, []string{fmt.Sprintf("P%.0f", p*100), pct(v)})
+	}
+	res.Rows = append(res.Rows, []string{"mean", pct(rep.MeanMemUtil[hwsim.GPU])})
+	res.Notes = append(res.Notes, "paper reports ~23% average utilization")
+	return res
+}
+
+func runFig06(Scale) Result {
+	res := Result{
+		ID: "fig06", Title: "TTFT (ms) vs input length",
+		Header: []string{"len", "SLO", "C-7B", "C-13B", "C-34B", "G-7B", "G-13B", "G-34B"},
+	}
+	for _, l := range []int{128, 256, 512, 1024, 2048, 4096, 8192} {
+		obj := slo.Default(l)
+		row := []string{fmt.Sprint(l), ms(obj.TTFT)}
+		for _, m := range []model.Model{model.Llama2_7B, model.Llama2_13B, model.CodeLlama34B} {
+			row = append(row, ms(hwsim.XeonGen4.PrefillTime(m, l, 1)))
+		}
+		for _, m := range []model.Model{model.Llama2_7B, model.Llama2_13B, model.CodeLlama34B} {
+			row = append(row, ms(hwsim.A100.PrefillTime(m, l, 1)))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func runTPOTFig(id string, m model.Model) Result {
+	res := Result{
+		ID: id, Title: fmt.Sprintf("TPOT (ms) vs batch size, %s", m.Name),
+		Header: []string{"batch", "C-512", "C-1K", "C-2K", "G-512", "G-1K", "G-2K"},
+	}
+	for _, b := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		row := []string{fmt.Sprint(b)}
+		for _, l := range []int{512, 1024, 2048} {
+			row = append(row, ms(hwsim.XeonGen4.DecodeTime(m, b, b*l, 1)))
+		}
+		for _, l := range []int{512, 1024, 2048} {
+			row = append(row, ms(hwsim.A100.DecodeTime(m, b, b*l, 1)))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Notes = append(res.Notes, "TPOT SLO is 250 ms")
+	return res
+}
+
+// runFig09 maps a model onto percentile functions of the serverless trace
+// and integrates its offered memory footprint over time.
+func runFig09(s Scale) Result {
+	res := Result{
+		ID: "fig09", Title: "offered memory footprint (GB) under percentile workloads",
+		Header: []string{"series", "weights", "P50", "P95", "peak"},
+	}
+	// Build a 128-function trace; pick functions at popularity percentiles.
+	names := make([]string, 128)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%03d", i)
+	}
+	tr := workload.Generate(workload.TraceConfig{
+		ModelNames: names, Duration: traceMinutes(s), Seed: 9,
+		Dataset: workload.AzureConv, MaxInput: 4096,
+	})
+	var ranked []rankEntry
+	for n, r := range tr.RPM {
+		ranked = append(ranked, rankEntry{n, r})
+	}
+	sortByRPMDesc(ranked)
+	for _, m := range []model.Model{model.Llama2_7B, model.Llama2_13B} {
+		for _, pLabel := range []struct {
+			label string
+			idx   int
+		}{{"P99", 0}, {"P95", 5}, {"P90", 12}, {"P80", 25}, {"P50", 63}} {
+			fn := ranked[pLabel.idx].name
+			cc := workload.ConcurrencyCDF(tr, fn, slo.DefaultTPOT.Seconds())
+			weightsGB := float64(m.WeightBytes()) / 1e9
+			footprint := func(conc int) float64 {
+				// Concurrency x (typical context ~1.3K tokens) of KV.
+				return weightsGB + float64(conc)*1300*float64(m.KVBytesPerToken())/1e9
+			}
+			p50, p95, peak := 0, 0, 0
+			if len(cc) > 0 {
+				p50, p95, peak = cc[len(cc)/2], cc[int(0.95*float64(len(cc)-1))], cc[len(cc)-1]
+			}
+			res.Rows = append(res.Rows, []string{
+				fmt.Sprintf("%s, %s", pLabel.label, m.SizeClass()),
+				f1(weightsGB), f1(footprint(p50)), f1(footprint(p95)), f1(footprint(peak)),
+			})
+		}
+	}
+	res.Notes = append(res.Notes, "footprint = weights + concurrency x per-request KV at ~1.3K tokens")
+	return res
+}
+
+func runFig10(Scale) Result {
+	res := Result{
+		ID: "fig10", Title: "GPU decode throughput and host CPU core usage vs batch",
+		Header: []string{"batch", "decode_tok_s", "cpu_cores"},
+	}
+	m := model.Llama2_7B
+	for _, b := range []int{1, 2, 4, 8, 16, 32, 64} {
+		d := hwsim.A100.DecodeTime(m, b, b*1024, 1)
+		thr := float64(b) / d.Seconds()
+		res.Rows = append(res.Rows, []string{fmt.Sprint(b), f1(thr), f2(hwsim.CPUCoreUsage(1, b))})
+	}
+	return res
+}
+
+func runFig11(Scale) Result {
+	res := Result{
+		ID: "fig11", Title: "TPOT under background CPU stress (batch 64)",
+		Header: []string{"stress_procs", "tpot_ms", "slowdown"},
+	}
+	m := model.Llama2_7B
+	base := hwsim.A100.DecodeTime(m, 64, 64*1024, 1)
+	for _, procs := range []int{0, 4, 8, 16, 32, 64} {
+		slow := hwsim.StressSlowdown(procs, 32)
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(procs), ms(base * sim.Duration(slow)), f3(slow),
+		})
+	}
+	return res
+}
+
+func runFig12(s Scale) Result {
+	res := Result{
+		ID: "fig12", Title: "offered concurrency by function popularity",
+		Header: []string{"function", "P50", "P90", "max"},
+	}
+	names := make([]string, 128)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%03d", i)
+	}
+	tr := workload.Generate(workload.TraceConfig{
+		ModelNames: names, Duration: traceMinutes(s), Seed: 12,
+		Dataset: workload.AzureConv,
+	})
+	var ranked []rankEntry
+	for n, r := range tr.RPM {
+		ranked = append(ranked, rankEntry{n, r})
+	}
+	sortByRPMDesc(ranked)
+	for _, p := range []struct {
+		label string
+		idx   int
+	}{{"top-1%", 0}, {"top-10%", 12}, {"median", 63}} {
+		cc := workload.ConcurrencyCDF(tr, ranked[p.idx].name, slo.DefaultTPOT.Seconds())
+		if len(cc) == 0 {
+			res.Rows = append(res.Rows, []string{p.label, "0", "0", "0"})
+			continue
+		}
+		res.Rows = append(res.Rows, []string{
+			p.label,
+			fmt.Sprint(cc[len(cc)/2]),
+			fmt.Sprint(cc[int(0.9*float64(len(cc)-1))]),
+			fmt.Sprint(cc[len(cc)-1]),
+		})
+	}
+	return res
+}
+
+type rankEntry struct {
+	name string
+	rpm  float64
+}
+
+func sortByRPMDesc(entries []rankEntry) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].rpm > entries[j].rpm })
+}
+
+func runTab01(Scale) Result {
+	m := model.Llama2_7B
+	res := Result{
+		ID: "tab01", Title: "Llama-2-7B on gen-3 vs gen-4 Xeon",
+		Header: []string{"cpu", "ttft256", "ttft1K", "ttft4K", "tpot1bs1K", "tpot32bs1K", "tpot1bs4K", "tpot32bs4K"},
+	}
+	row := func(label string, c hwsim.DeviceClass) []string {
+		return []string{
+			label,
+			ms(c.PrefillTime(m, 256, 1)), ms(c.PrefillTime(m, 1024, 1)), ms(c.PrefillTime(m, 4096, 1)),
+			ms(c.DecodeTime(m, 1, 1024, 1)), ms(c.DecodeTime(m, 32, 32*1024, 1)),
+			ms(c.DecodeTime(m, 1, 4096, 1)), ms(c.DecodeTime(m, 32, 32*4096, 1)),
+		}
+	}
+	g3 := row("3rd Gen", hwsim.XeonGen3)
+	g4 := row("4th Gen", hwsim.XeonGen4)
+	speed := []string{"Speedup"}
+	for i := 1; i < len(g3); i++ {
+		var a, b float64
+		fmt.Sscanf(g3[i], "%f", &a)
+		fmt.Sscanf(g4[i], "%f", &b)
+		speed = append(speed, fmt.Sprintf("%.1fx", a/b))
+	}
+	res.Rows = [][]string{g3, g4, speed}
+	return res
+}
+
+func runTab02(Scale) Result {
+	res := Result{
+		ID: "tab02", Title: "concurrency limits vs node partitioning",
+		Header: []string{"scenario", "4x1/4", "3x1/3", "2x1/2", "1x1"},
+	}
+	cpu := hwsim.NewCPUNode("c")
+	gpu := hwsim.NewGPUNode("g")
+	cases := []struct {
+		label string
+		spec  hwsim.NodeSpec
+		m     model.Model
+		l     int
+	}{
+		{"C-7B-2K", cpu, model.Llama2_7B, 2048},
+		{"C-7B-4K", cpu, model.Llama2_7B, 4096},
+		{"G-7B-2K", gpu, model.Llama2_7B, 2048},
+		{"G-7B-4K", gpu, model.Llama2_7B, 4096},
+		{"G-13B-2K", gpu, model.Llama2_13B, 2048},
+		{"G-13B-4K", gpu, model.Llama2_13B, 4096},
+	}
+	for _, c := range cases {
+		row := []string{c.label}
+		for _, part := range []struct {
+			k     int
+			share float64
+		}{{4, 0.25}, {3, 1.0 / 3}, {2, 0.5}, {1, 1}} {
+			lim := hwsim.ConcurrencyLimit(c.spec, c.m, c.l, part.share, slo.DefaultTPOT)
+			if lim == 0 {
+				row = append(row, "-")
+			} else if part.k > 1 {
+				row = append(row, fmt.Sprintf("%dx%d", part.k, lim))
+			} else {
+				row = append(row, fmt.Sprint(lim))
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func runFig21(s Scale) Result {
+	res := Result{
+		ID: "fig21", Title: "trace characterization",
+		Header: []string{"models", "total_reqs", "agg_rpm", "median_rpm", "top_share"},
+	}
+	for _, n := range []int{32, 64, 128} {
+		_, names := replicaNames(model.Llama2_7B, n)
+		tr := workload.Generate(workload.TraceConfig{
+			ModelNames: names, Duration: traceMinutes(s), Seed: 21,
+		})
+		st := workload.Summarize(tr)
+		med := 0.0
+		if len(st.PerModelRPM) > 0 {
+			med = st.PerModelRPM[len(st.PerModelRPM)/2]
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(st.TotalRequests), f1(st.AggregateRPM), f2(med), pct(st.TopShare),
+		})
+	}
+	res.Notes = append(res.Notes, "paper: 2366/4684/9266 requests over 30 min (79/156/309 RPM)")
+	return res
+}
+
+func runFig28(Scale) Result {
+	res := Result{
+		ID: "fig28", Title: "host CPU core usage vs colocated GPU instances",
+		Header: []string{"colocated", "total_cores"},
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		res.Rows = append(res.Rows, []string{fmt.Sprint(n), f2(hwsim.CPUCoreUsage(n, 4))})
+	}
+	return res
+}
+
+func runFig34(Scale) Result {
+	res := Result{
+		ID: "fig34", Title: "dataset token-length characterization",
+		Header: []string{"dataset", "in_P50", "in_P95", "in_max", "out_P50", "out_P95", "out_max"},
+	}
+	rng := sim.NewRNG(34, 34)
+	for _, d := range workload.Datasets() {
+		var ins, outs []int
+		for i := 0; i < 4000; i++ {
+			ins = append(ins, d.SampleInput(rng))
+			outs = append(outs, d.SampleOutput(rng))
+		}
+		sortInts(ins)
+		sortInts(outs)
+		res.Rows = append(res.Rows, []string{
+			d.Name,
+			fmt.Sprint(ins[len(ins)/2]), fmt.Sprint(ins[int(0.95*float64(len(ins)-1))]), fmt.Sprint(ins[len(ins)-1]),
+			fmt.Sprint(outs[len(outs)/2]), fmt.Sprint(outs[int(0.95*float64(len(outs)-1))]), fmt.Sprint(outs[len(outs)-1]),
+		})
+	}
+	return res
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+var _ = metrics.Report{}

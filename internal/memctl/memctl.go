@@ -1,0 +1,251 @@
+// Package memctl implements SLINFER's hazard-aware memory subsystem
+// (§VII-C): per-node orchestration of asynchronous memory operations
+// (weight loads/unloads and KV-cache resizes) that combines an optimistic
+// admission budget with pessimistic execution tracking and a reservation
+// station, so that operations run in parallel — and out of order — without
+// ever risking OOM (Figure 18/19).
+//
+// Accounting model. Every allocation (an instance's weights, an instance's
+// KV cache) has a current physical size and possibly one in-flight
+// operation moving it to a target size.
+//
+//   - The optimistic budget charges each allocation at its *target* size the
+//     moment a demand is admitted: scale-downs free budget immediately (the
+//     release will happen), scale-ups consume budget immediately (so later
+//     demands cannot double-book).
+//   - The pessimistic tracker charges each allocation at the *maximum* of
+//     its current and target sizes: a scale-down still holds its old bytes
+//     until the operation completes; a scale-up is assumed to touch its new
+//     bytes the moment it starts executing.
+//
+// A scale-up may be admitted optimistically yet unsafe to execute right now
+// (pessimistic would exceed capacity); it then waits in the reservation
+// station and is re-evaluated whenever a completion frees pessimistic bytes.
+// Since an operation only starts executing when pessimistic usage stays
+// within capacity, physical usage can never exceed capacity.
+package memctl
+
+import (
+	"fmt"
+
+	"slinfer/internal/sim"
+)
+
+// OpKind labels a memory operation for observability.
+type OpKind int
+
+const (
+	// LoadWeights brings model weights into node memory (cold start).
+	LoadWeights OpKind = iota
+	// UnloadWeights evicts model weights (keep-alive reclaim).
+	UnloadWeights
+	// ResizeKV grows or shrinks an instance's KV-cache allocation.
+	ResizeKV
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case LoadWeights:
+		return "load-weights"
+	case UnloadWeights:
+		return "unload-weights"
+	default:
+		return "resize-kv"
+	}
+}
+
+// Op is one asynchronous memory operation against a single allocation.
+type Op struct {
+	Kind OpKind
+	// Owner identifies the allocation (e.g. "inst42/kv"). One allocation
+	// must have at most one in-flight op at a time; NodeMemory enforces it.
+	Owner string
+	// From and To are the allocation's size before and after the op.
+	From, To int64
+	// Duration is how long the operation takes once it starts executing.
+	Duration sim.Duration
+	// OnComplete runs when the operation finishes (physical state updated).
+	OnComplete func()
+
+	canceled bool
+	started  bool
+}
+
+// Cancel abandons a reservation-station entry. Ops that already started
+// cannot be cancelled (the hardware is already copying); Cancel reports
+// whether it took effect. The optimistic budget is rolled back by the
+// NodeMemory that admitted the op.
+func (o *Op) Cancel() bool {
+	if o.started || o.canceled {
+		return false
+	}
+	o.canceled = true
+	return true
+}
+
+// NodeMemory orchestrates the memory of one node (one device).
+type NodeMemory struct {
+	sim      *sim.Simulator
+	name     string
+	capacity int64
+
+	optimistic  int64
+	pessimistic int64
+
+	station []*Op // reservation station: admitted scale-ups awaiting safety
+
+	// Stats.
+	opsStarted     int64
+	opsCompleted   int64
+	stationedTotal int64
+	rejected       int64
+}
+
+// New returns a NodeMemory with the given capacity.
+func New(s *sim.Simulator, name string, capacity int64) *NodeMemory {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("memctl: non-positive capacity for %s", name))
+	}
+	return &NodeMemory{sim: s, name: name, capacity: capacity}
+}
+
+// Capacity returns the node's memory capacity in bytes.
+func (nm *NodeMemory) Capacity() int64 { return nm.capacity }
+
+// OptimisticUsed returns the admitted (target-size) usage.
+func (nm *NodeMemory) OptimisticUsed() int64 { return nm.optimistic }
+
+// OptimisticFree returns capacity minus admitted usage: what a shadow memory
+// check may still admit (§V).
+func (nm *NodeMemory) OptimisticFree() int64 { return nm.capacity - nm.optimistic }
+
+// PessimisticUsed returns the execution-safety usage bound.
+func (nm *NodeMemory) PessimisticUsed() int64 { return nm.pessimistic }
+
+// PhysicalUsed returns the upper bound on bytes physically occupied right
+// now (operations are charged at their peak for their whole duration).
+func (nm *NodeMemory) PhysicalUsed() int64 { return nm.pessimistic }
+
+// StationDepth returns the number of operations waiting in the reservation
+// station.
+func (nm *NodeMemory) StationDepth() int {
+	n := 0
+	for _, op := range nm.station {
+		if !op.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns (started, completed, ever-stationed, rejected) counters.
+func (nm *NodeMemory) Stats() (started, completed, stationed, rejected int64) {
+	return nm.opsStarted, nm.opsCompleted, nm.stationedTotal, nm.rejected
+}
+
+// CanAdmit reports whether a demand growing an allocation by delta bytes
+// would pass the optimistic budget check.
+func (nm *NodeMemory) CanAdmit(delta int64) bool {
+	if delta <= 0 {
+		return true
+	}
+	return nm.optimistic+delta <= nm.capacity
+}
+
+// Demand submits a memory operation (Figure 19). It returns false — and
+// performs no accounting — when a scale-up exceeds the optimistic budget;
+// the caller may retry with a compromised (smaller) size per §VII-D.
+// Scale-downs are always admitted.
+func (nm *NodeMemory) Demand(op *Op) bool {
+	delta := op.To - op.From
+	if delta > 0 && nm.optimistic+delta > nm.capacity {
+		nm.rejected++
+		return false
+	}
+	nm.optimistic += delta
+	if delta <= 0 {
+		// Scale-down (or no-op): execute immediately. Pessimistic keeps
+		// charging the old size until completion.
+		nm.execute(op)
+		return true
+	}
+	// Scale-up: execute only when pessimistically safe, else park it.
+	if nm.pessimistic+delta <= nm.capacity {
+		nm.execute(op)
+	} else {
+		nm.station = append(nm.station, op)
+		nm.stationedTotal++
+	}
+	return true
+}
+
+// execute starts an operation: pessimistic charges the peak of (from, to)
+// for its duration; physical moves at completion.
+func (nm *NodeMemory) execute(op *Op) {
+	op.started = true
+	nm.opsStarted++
+	delta := op.To - op.From
+	if delta > 0 {
+		// Assume the new bytes are touched as soon as the op starts.
+		nm.pessimistic += delta
+	}
+	complete := func() {
+		nm.opsCompleted++
+		if delta < 0 {
+			nm.pessimistic += delta // frees only now
+		}
+		if op.OnComplete != nil {
+			op.OnComplete()
+		}
+		if delta < 0 {
+			nm.drainStation()
+		}
+	}
+	if op.Duration <= 0 {
+		complete()
+		return
+	}
+	nm.sim.After(op.Duration, complete)
+}
+
+// drainStation re-evaluates parked scale-ups, launching — out of order —
+// every operation that is now pessimistically safe.
+func (nm *NodeMemory) drainStation() {
+	remaining := nm.station[:0]
+	for _, op := range nm.station {
+		if op.canceled {
+			// Roll back its optimistic admission.
+			nm.optimistic -= op.To - op.From
+			continue
+		}
+		delta := op.To - op.From
+		if nm.pessimistic+delta <= nm.capacity {
+			nm.execute(op)
+		} else {
+			remaining = append(remaining, op)
+		}
+	}
+	nm.station = append([]*Op(nil), remaining...)
+}
+
+// CancelStationed cancels a parked op and rolls back its optimistic budget.
+// Returns false if the op already started.
+func (nm *NodeMemory) CancelStationed(op *Op) bool {
+	if !op.Cancel() {
+		return false
+	}
+	nm.drainStation()
+	return true
+}
+
+// CheckInvariants verifies the safety conditions; tests call it after every
+// step. It returns an error describing the first violation.
+func (nm *NodeMemory) CheckInvariants() error {
+	if nm.pessimistic > nm.capacity {
+		return fmt.Errorf("%s: OOM risk: pessimistic %d > capacity %d", nm.name, nm.pessimistic, nm.capacity)
+	}
+	if nm.optimistic < 0 || nm.pessimistic < 0 {
+		return fmt.Errorf("%s: negative accounting: opt=%d pess=%d", nm.name, nm.optimistic, nm.pessimistic)
+	}
+	return nil
+}

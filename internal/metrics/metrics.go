@@ -1,0 +1,281 @@
+// Package metrics collects the observables the paper's evaluation reports:
+// SLO-met request counts, TTFT CDFs, average nodes used (per device kind),
+// decode throughput in tokens/(node·s), per-instance memory utilization,
+// batch-size distributions, KV-scaling overhead, and real (wall-clock)
+// scheduling overhead (§IX-B, Figures 22/25/31/33).
+package metrics
+
+import (
+	"sort"
+
+	"slinfer/internal/hwsim"
+	"slinfer/internal/sim"
+)
+
+// Collector accumulates raw observations during a run.
+type Collector struct {
+	// Request accounting.
+	Total     int64
+	Completed int64
+	Met       int64
+	Dropped   int64
+
+	// TTFTs holds observed time-to-first-token values (seconds).
+	TTFTs []float64
+
+	// DecodeTokens counts generated decode tokens per device kind.
+	DecodeTokens map[hwsim.Kind]int64
+
+	// Node activity integration.
+	nodeKind   map[int]hwsim.Kind
+	nodeSince  map[int]sim.Time // active since; absent = inactive
+	nodeActive map[int]sim.Duration
+
+	// MemUtil holds sampled per-instance memory utilization by kind.
+	MemUtil map[hwsim.Kind][]float64
+	// KVUtil holds sampled KV allocation utilization (used/allocated).
+	KVUtil []float64
+
+	// BatchHist histograms decode batch sizes weighted by iterations.
+	BatchHist map[int]int64
+
+	// Lifecycle counters.
+	ColdStarts  int64
+	Reclaims    int64
+	Preemptions int64
+	Migrations  int64
+	Evictions   int64
+	KVResizes   int64
+
+	// ScalingBusy accumulates instance time blocked on KV resizes;
+	// InstanceLifetime accumulates total instance lifetime (§IX-I5).
+	ScalingBusy      sim.Duration
+	InstanceLifetime sim.Duration
+
+	// Wall-clock scheduling overhead (Figure 33).
+	ValidationNs    int64
+	ValidationCount int64
+	ScheduleNs      int64
+	ScheduleCount   int64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		DecodeTokens: map[hwsim.Kind]int64{},
+		nodeKind:     map[int]hwsim.Kind{},
+		nodeSince:    map[int]sim.Time{},
+		nodeActive:   map[int]sim.Duration{},
+		MemUtil:      map[hwsim.Kind][]float64{},
+		BatchHist:    map[int]int64{},
+	}
+}
+
+// RecordArrival counts an incoming request.
+func (c *Collector) RecordArrival() { c.Total++ }
+
+// RecordCompletion records a finished request and whether it met its SLO,
+// with its observed TTFT.
+func (c *Collector) RecordCompletion(met bool, ttft sim.Duration, haveTTFT bool) {
+	c.Completed++
+	if met {
+		c.Met++
+	}
+	if haveTTFT {
+		c.TTFTs = append(c.TTFTs, ttft.Seconds())
+	}
+}
+
+// RecordDrop records an abandoned request.
+func (c *Collector) RecordDrop() { c.Dropped++ }
+
+// RecordDecode records one decode iteration of the given batch size on a
+// device kind.
+func (c *Collector) RecordDecode(kind hwsim.Kind, batch int) {
+	c.DecodeTokens[kind] += int64(batch)
+	c.BatchHist[batch]++
+}
+
+// NodeActive marks a node as hosting work from time at.
+func (c *Collector) NodeActive(nodeIdx int, kind hwsim.Kind, at sim.Time) {
+	if _, ok := c.nodeSince[nodeIdx]; ok {
+		return
+	}
+	c.nodeKind[nodeIdx] = kind
+	c.nodeSince[nodeIdx] = at
+}
+
+// NodeInactive marks a node as empty from time at.
+func (c *Collector) NodeInactive(nodeIdx int, at sim.Time) {
+	since, ok := c.nodeSince[nodeIdx]
+	if !ok {
+		return
+	}
+	delete(c.nodeSince, nodeIdx)
+	c.nodeActive[nodeIdx] += at.Sub(since)
+}
+
+// SampleMemUtil records one instance-level memory utilization observation.
+func (c *Collector) SampleMemUtil(kind hwsim.Kind, util float64) {
+	c.MemUtil[kind] = append(c.MemUtil[kind], util)
+}
+
+// SampleKVUtil records one KV-allocation utilization observation.
+func (c *Collector) SampleKVUtil(util float64) { c.KVUtil = append(c.KVUtil, util) }
+
+// Finalize closes all open node-activity intervals at time end.
+func (c *Collector) Finalize(end sim.Time) {
+	for idx := range c.nodeSince {
+		c.NodeInactive(idx, end)
+	}
+}
+
+// Report is the derived summary used by the experiment harness.
+type Report struct {
+	System   string
+	Duration sim.Duration
+
+	Total     int64
+	Completed int64
+	Met       int64
+	Dropped   int64
+
+	// SLORate is Met/Total.
+	SLORate float64
+
+	// TTFT percentiles in seconds.
+	TTFTP50, TTFTP95, TTFTP99 float64
+	// TTFTCDF is the sorted TTFT sample set (seconds).
+	TTFTCDF []float64
+
+	// AvgNodesUsed is the time-averaged count of occupied nodes per kind.
+	AvgNodesUsed map[hwsim.Kind]float64
+	// DecodeSpeed is decode tokens per (node x second) per kind.
+	DecodeSpeed map[hwsim.Kind]float64
+
+	// AvgBatch is the iteration-weighted mean decode batch size.
+	AvgBatch float64
+	// BatchCDF is the sorted batch-size sample distribution.
+	BatchCDF []int
+
+	// MemUtilCDF per kind, sorted ascending.
+	MemUtilCDF map[hwsim.Kind][]float64
+	// MeanMemUtil per kind.
+	MeanMemUtil map[hwsim.Kind]float64
+	// MeanKVUtil is the mean KV allocation utilization (Figure 31).
+	MeanKVUtil float64
+
+	// ScalingOverhead is ScalingBusy / InstanceLifetime (Figure 31).
+	ScalingOverhead float64
+	// MigrationRate is migrations per completed request (§IX-I5).
+	MigrationRate float64
+
+	ColdStarts, Reclaims, Preemptions, Migrations, Evictions, KVResizes int64
+
+	// Wall-clock overheads in milliseconds per operation (Figure 33).
+	ValidationMS float64
+	ScheduleUS   float64
+}
+
+// BuildReport derives the summary for a run of the given duration.
+func (c *Collector) BuildReport(system string, duration sim.Duration) Report {
+	r := Report{
+		System: system, Duration: duration,
+		Total: c.Total, Completed: c.Completed, Met: c.Met, Dropped: c.Dropped,
+		AvgNodesUsed: map[hwsim.Kind]float64{},
+		DecodeSpeed:  map[hwsim.Kind]float64{},
+		MemUtilCDF:   map[hwsim.Kind][]float64{},
+		MeanMemUtil:  map[hwsim.Kind]float64{},
+		ColdStarts:   c.ColdStarts, Reclaims: c.Reclaims,
+		Preemptions: c.Preemptions, Migrations: c.Migrations,
+		Evictions: c.Evictions, KVResizes: c.KVResizes,
+	}
+	if c.Total > 0 {
+		r.SLORate = float64(c.Met) / float64(c.Total)
+	}
+	r.TTFTCDF = append([]float64(nil), c.TTFTs...)
+	sort.Float64s(r.TTFTCDF)
+	r.TTFTP50 = percentile(r.TTFTCDF, 0.50)
+	r.TTFTP95 = percentile(r.TTFTCDF, 0.95)
+	r.TTFTP99 = percentile(r.TTFTCDF, 0.99)
+
+	// Node usage and decode speed.
+	activeByKind := map[hwsim.Kind]sim.Duration{}
+	for idx, d := range c.nodeActive {
+		activeByKind[c.nodeKind[idx]] += d
+	}
+	for kind, act := range activeByKind {
+		if duration > 0 {
+			r.AvgNodesUsed[kind] = act.Seconds() / duration.Seconds()
+		}
+		if act > 0 {
+			r.DecodeSpeed[kind] = float64(c.DecodeTokens[kind]) / act.Seconds()
+		}
+	}
+
+	var batchSum, batchN int64
+	for b, n := range c.BatchHist {
+		batchSum += int64(b) * n
+		batchN += n
+		for k := int64(0); k < n && len(r.BatchCDF) < 200000; k++ {
+			r.BatchCDF = append(r.BatchCDF, b)
+		}
+	}
+	sort.Ints(r.BatchCDF)
+	if batchN > 0 {
+		r.AvgBatch = float64(batchSum) / float64(batchN)
+	}
+
+	for kind, samples := range c.MemUtil {
+		s := append([]float64(nil), samples...)
+		sort.Float64s(s)
+		r.MemUtilCDF[kind] = s
+		r.MeanMemUtil[kind] = mean(s)
+	}
+	r.MeanKVUtil = mean(c.KVUtil)
+
+	if c.InstanceLifetime > 0 {
+		r.ScalingOverhead = c.ScalingBusy.Seconds() / c.InstanceLifetime.Seconds()
+	}
+	if c.Completed > 0 {
+		r.MigrationRate = float64(c.Migrations) / float64(c.Completed)
+	}
+	if c.ValidationCount > 0 {
+		r.ValidationMS = float64(c.ValidationNs) / float64(c.ValidationCount) / 1e6
+	}
+	if c.ScheduleCount > 0 {
+		r.ScheduleUS = float64(c.ScheduleNs) / float64(c.ScheduleCount) / 1e3
+	}
+	return r
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// CDFAt returns the fraction of samples <= x in an ascending sample set.
+func CDFAt(sorted []float64, x float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(sorted, x)
+	for i < len(sorted) && sorted[i] <= x {
+		i++
+	}
+	return float64(i) / float64(len(sorted))
+}

@@ -1,0 +1,211 @@
+// Package perfmodel implements SLINFER's performance quantification (§VI-B):
+// per-(hardware, model) profiles built from a small 2^k sampling grid, with
+// linear interpolation for prefill time over input length and bilinear
+// interpolation for decode time over (batch size, average token length).
+//
+// The profiler samples the hwsim ground truth the way the paper's profiler
+// samples real hardware: O(log Lmax x log Bmax) measurements, a few hundred
+// points. Schedulers then query estimates — never the ground truth — so any
+// interpolation error propagates into scheduling exactly as it would in the
+// real system.
+package perfmodel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"slinfer/internal/hwsim"
+	"slinfer/internal/model"
+	"slinfer/internal/sim"
+	"slinfer/internal/slo"
+)
+
+// Profile holds sampled latency grids for one (device class, model, share)
+// combination and answers interpolated estimates.
+type Profile struct {
+	Class hwsim.DeviceClass
+	Model model.Model
+	Share float64
+
+	lenSamples   []int // ascending, powers of two
+	batchSamples []int // ascending, powers of two
+	ttft         []sim.Duration
+	tpot         [][]sim.Duration // [batchIdx][lenIdx]
+}
+
+// minLenSample is the smallest profiled input length. Queries below are
+// clamped; the constant overhead term dominates there anyway.
+const minLenSample = 64
+
+// NewProfile samples the ground-truth model on 2^k grids up to the model's
+// max context length and maxBatch, mirroring §VI-B.
+func NewProfile(class hwsim.DeviceClass, m model.Model, share float64, maxBatch int) *Profile {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	p := &Profile{Class: class, Model: m, Share: share}
+	for l := minLenSample; l/2 < m.MaxContext; l *= 2 {
+		if l > m.MaxContext {
+			l = m.MaxContext
+		}
+		p.lenSamples = append(p.lenSamples, l)
+		if l == m.MaxContext {
+			break
+		}
+	}
+	for b := 1; b/2 < maxBatch; b *= 2 {
+		if b > maxBatch {
+			b = maxBatch
+		}
+		p.batchSamples = append(p.batchSamples, b)
+		if b == maxBatch {
+			break
+		}
+	}
+	p.ttft = make([]sim.Duration, len(p.lenSamples))
+	for i, l := range p.lenSamples {
+		p.ttft[i] = class.PrefillTime(m, l, share)
+	}
+	p.tpot = make([][]sim.Duration, len(p.batchSamples))
+	for bi, b := range p.batchSamples {
+		row := make([]sim.Duration, len(p.lenSamples))
+		for li, l := range p.lenSamples {
+			row[li] = class.DecodeTime(m, b, b*l, share)
+		}
+		p.tpot[bi] = row
+	}
+	return p
+}
+
+// SampleCount returns the number of ground-truth measurements taken,
+// O(log Lmax * log Bmax) per §VI-B.
+func (p *Profile) SampleCount() int {
+	return len(p.lenSamples) + len(p.lenSamples)*len(p.batchSamples)
+}
+
+// EstimatePrefill returns the interpolated prefill (TTFT) time for an input
+// of length tokens.
+func (p *Profile) EstimatePrefill(length int) sim.Duration {
+	if length < minLenSample {
+		length = minLenSample
+	}
+	return interp1(p.lenSamples, p.ttft, length)
+}
+
+// EstimateDecode returns the interpolated duration of one decode iteration
+// for the given batch size and average per-sequence token length.
+func (p *Profile) EstimateDecode(batch, avgLen int) sim.Duration {
+	if batch < 1 {
+		batch = 1
+	}
+	if avgLen < minLenSample {
+		avgLen = minLenSample
+	}
+	// Bilinear: interpolate along length within the two bracketing batch
+	// rows, then along batch.
+	bi0, bi1, bw := bracket(p.batchSamples, batch)
+	v0 := interp1(p.lenSamples, p.tpot[bi0], avgLen)
+	if bi0 == bi1 {
+		return v0
+	}
+	v1 := interp1(p.lenSamples, p.tpot[bi1], avgLen)
+	return v0 + sim.Duration(bw)*(v1-v0)
+}
+
+// interp1 linearly interpolates ys over xs at x, extrapolating beyond the
+// grid using the nearest segment's slope.
+func interp1(xs []int, ys []sim.Duration, x int) sim.Duration {
+	i0, i1, w := bracket(xs, x)
+	if i0 == i1 {
+		return ys[i0]
+	}
+	return ys[i0] + sim.Duration(w)*(ys[i1]-ys[i0])
+}
+
+// bracket returns the two indices surrounding x in ascending xs and the
+// interpolation weight in [0, 1] (or beyond 1 for extrapolation above the
+// grid). When x is below the grid it clamps to the first sample.
+func bracket(xs []int, x int) (i0, i1 int, w float64) {
+	n := len(xs)
+	if n == 1 || x <= xs[0] {
+		return 0, 0, 0
+	}
+	if x >= xs[n-1] {
+		// Extrapolate from the last segment.
+		i0, i1 = n-2, n-1
+		w = float64(x-xs[i0]) / float64(xs[i1]-xs[i0])
+		return i0, i1, w
+	}
+	j := sort.SearchInts(xs, x)
+	if xs[j] == x {
+		return j, j, 0
+	}
+	i0, i1 = j-1, j
+	w = float64(x-xs[i0]) / float64(xs[i1]-xs[i0])
+	return i0, i1, w
+}
+
+// CanMeet reports whether this profile can serve a request of the given
+// input length within its SLO at all: the estimated prefill must fit the
+// TTFT budget and a 1-batch decode iteration must fit the TPOT budget.
+// SLINFER uses this to exclude unsuitable CPUs and fall back to GPUs (§V).
+func (p *Profile) CanMeet(inputLen int, obj slo.Objective) bool {
+	if !p.Class.HasMatrixAccel() {
+		return false
+	}
+	if p.EstimatePrefill(inputLen) > obj.TTFT {
+		return false
+	}
+	return p.EstimateDecode(1, inputLen) <= obj.TPOT
+}
+
+// MaxBatchWithin returns the largest batch size whose estimated decode
+// iteration at avgLen stays within budget; 0 if none.
+func (p *Profile) MaxBatchWithin(avgLen int, budget sim.Duration) int {
+	lo, hi := 0, p.batchSamples[len(p.batchSamples)-1]*2
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if p.EstimateDecode(mid, avgLen) <= budget {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Registry caches profiles per (class, model, share). It is safe for
+// concurrent use; experiments share one registry to amortize profiling,
+// exactly as SLINFER profiles each hardware type once (§VI-B).
+type Registry struct {
+	mu       sync.Mutex
+	maxBatch int
+	profiles map[string]*Profile
+}
+
+// NewRegistry returns a registry whose profiles cover batch sizes up to
+// maxBatch (the paper uses Bmax ~256).
+func NewRegistry(maxBatch int) *Registry {
+	return &Registry{maxBatch: maxBatch, profiles: make(map[string]*Profile)}
+}
+
+// Get returns (building on first use) the profile for the combination.
+func (r *Registry) Get(class hwsim.DeviceClass, m model.Model, share float64) *Profile {
+	key := fmt.Sprintf("%d|%s|%.4f", class, m.Name, share)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.profiles[key]; ok {
+		return p
+	}
+	p := NewProfile(class, m, share, r.maxBatch)
+	r.profiles[key] = p
+	return p
+}
+
+// Size returns the number of cached profiles.
+func (r *Registry) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.profiles)
+}

@@ -1,0 +1,174 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"slinfer/internal/hwsim"
+	"slinfer/internal/model"
+	"slinfer/internal/sim"
+	"slinfer/internal/slo"
+)
+
+func TestSampleCountIsLogarithmic(t *testing.T) {
+	p := NewProfile(hwsim.A100, model.Llama2_7B, 1, 256)
+	// Lmax 4096 -> 7 length samples (64..4096); Bmax 256 -> 9 batch samples.
+	// §VI-B: "only a few hundred samples".
+	if p.SampleCount() > 300 {
+		t.Errorf("SampleCount = %d, want a few hundred at most", p.SampleCount())
+	}
+	if p.SampleCount() < 20 {
+		t.Errorf("SampleCount = %d suspiciously small", p.SampleCount())
+	}
+}
+
+func TestExactGridPointsRoundTrip(t *testing.T) {
+	m := model.Llama2_7B
+	p := NewProfile(hwsim.XeonGen4, m, 1, 256)
+	for _, l := range []int{64, 256, 1024, 4096} {
+		want := hwsim.XeonGen4.PrefillTime(m, l, 1)
+		if got := p.EstimatePrefill(l); got != want {
+			t.Errorf("EstimatePrefill(%d) = %v, want exact %v", l, got, want)
+		}
+	}
+	for _, b := range []int{1, 4, 32, 256} {
+		want := hwsim.XeonGen4.DecodeTime(m, b, b*1024, 1)
+		if got := p.EstimateDecode(b, 1024); !closeTo(got, want, 1e-9) {
+			t.Errorf("EstimateDecode(%d, 1024) = %v, want %v", b, got, want)
+		}
+	}
+}
+
+func closeTo(a, b sim.Duration, tol float64) bool {
+	return math.Abs(a.Seconds()-b.Seconds()) <= tol
+}
+
+// §VI-B: "average relative deviations between the actual TTFT/TPOT and the
+// estimated values were only 5.9% and 3.9%". Our interpolation against the
+// analytic ground truth over 100 random workloads must be comparably tight.
+func TestInterpolationAccuracy(t *testing.T) {
+	rng := sim.NewRNG(42, 99)
+	for _, class := range []hwsim.DeviceClass{hwsim.XeonGen4, hwsim.A100} {
+		for _, m := range []model.Model{model.Llama2_7B, model.Llama2_13B} {
+			p := NewProfile(class, m, 1, 256)
+			var sumTTFT, sumTPOT float64
+			n := 100
+			for i := 0; i < n; i++ {
+				l := 64 + rng.IntN(m.MaxContext-64)
+				b := 1 + rng.IntN(128)
+				actP := class.PrefillTime(m, l, 1).Seconds()
+				estP := p.EstimatePrefill(l).Seconds()
+				sumTTFT += math.Abs(estP-actP) / actP
+				actD := class.DecodeTime(m, b, b*l, 1).Seconds()
+				estD := p.EstimateDecode(b, l).Seconds()
+				sumTPOT += math.Abs(estD-actD) / actD
+			}
+			if avg := sumTTFT / float64(n); avg > 0.08 {
+				t.Errorf("%v/%s: mean TTFT deviation = %.1f%%, want <8%%", class, m.Name, avg*100)
+			}
+			if avg := sumTPOT / float64(n); avg > 0.08 {
+				t.Errorf("%v/%s: mean TPOT deviation = %.1f%%, want <8%%", class, m.Name, avg*100)
+			}
+		}
+	}
+}
+
+func TestExtrapolationBeyondGrid(t *testing.T) {
+	m := model.Llama2_7B
+	p := NewProfile(hwsim.XeonGen4, m, 1, 64)
+	// Batch beyond Bmax extrapolates and stays monotone.
+	if p.EstimateDecode(128, 1024) <= p.EstimateDecode(64, 1024) {
+		t.Error("extrapolated decode should grow with batch")
+	}
+	// Length below the grid clamps to the smallest sample.
+	if p.EstimatePrefill(1) != p.EstimatePrefill(64) {
+		t.Error("short inputs should clamp to the first sample")
+	}
+}
+
+func TestCanMeetGatesCPUs(t *testing.T) {
+	m7 := model.Llama2_7B
+	gen4 := NewProfile(hwsim.XeonGen4, m7, 1, 256)
+	gen3 := NewProfile(hwsim.XeonGen3, m7, 1, 256)
+	gpu := NewProfile(hwsim.A100, m7, 1, 256)
+	obj := slo.Default(1024)
+	if !gen4.CanMeet(1024, obj) {
+		t.Error("gen4 CPU should serve 7B @1K")
+	}
+	// §V: SLINFER excludes CPUs lacking matrix acceleration.
+	if gen3.CanMeet(1024, obj) {
+		t.Error("gen3 CPU must be excluded")
+	}
+	if !gpu.CanMeet(1024, obj) {
+		t.Error("GPU should serve everything here")
+	}
+	// 34B on CPU is infeasible at any length (Fig 6).
+	p34 := NewProfile(hwsim.XeonGen4, model.CodeLlama34B, 1, 64)
+	for _, l := range []int{256, 1024, 4096} {
+		if p34.CanMeet(l, slo.Default(l)) {
+			t.Errorf("C-34B CanMeet(%d) = true, want false", l)
+		}
+	}
+	// LongBench-style 32K inputs exceed CPU ability for 8B (§IX-I1).
+	p8 := NewProfile(hwsim.XeonGen4, model.Llama31_8B, 1, 256)
+	if p8.CanMeet(32768, slo.Default(32768)) {
+		t.Error("C-8B @32K should be infeasible")
+	}
+	if !p8.CanMeet(4096, slo.Default(4096)) {
+		t.Error("C-8B @4K should be feasible")
+	}
+}
+
+func TestMaxBatchWithinMatchesConcurrencyLimit(t *testing.T) {
+	m := model.Llama2_7B
+	p := NewProfile(hwsim.XeonGen4, m, 1, 256)
+	got := p.MaxBatchWithin(2048, slo.DefaultTPOT)
+	// Table II: C-7B-2K limit 27.
+	if got < 25 || got > 29 {
+		t.Errorf("MaxBatchWithin(2K) = %d, want ~27", got)
+	}
+	if p.MaxBatchWithin(2048, 0.001) != 0 {
+		t.Error("impossible budget should yield 0")
+	}
+}
+
+func TestRegistryCaches(t *testing.T) {
+	r := NewRegistry(256)
+	a := r.Get(hwsim.A100, model.Llama2_7B, 1)
+	b := r.Get(hwsim.A100, model.Llama2_7B, 1)
+	if a != b {
+		t.Error("registry should return the cached profile")
+	}
+	c := r.Get(hwsim.A100, model.Llama2_7B, 0.5)
+	if c == a {
+		t.Error("different share must produce a different profile")
+	}
+	if r.Size() != 2 {
+		t.Errorf("Size = %d, want 2", r.Size())
+	}
+}
+
+// Property: estimates are monotone in batch and length, and positive.
+func TestEstimateMonotonicityProperty(t *testing.T) {
+	p := NewProfile(hwsim.XeonGen4, model.Llama2_7B, 1, 256)
+	f := func(lRaw uint16, bRaw uint8) bool {
+		l := int(lRaw)%4000 + 64
+		b := int(bRaw)%128 + 1
+		d := p.EstimateDecode(b, l)
+		if d <= 0 {
+			return false
+		}
+		if p.EstimateDecode(b+1, l) < d {
+			return false
+		}
+		if p.EstimateDecode(b, l+64) < d {
+			return false
+		}
+		pf := p.EstimatePrefill(l)
+		return pf > 0 && p.EstimatePrefill(l+64) >= pf
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

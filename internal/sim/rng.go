@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// RNG wraps a deterministic random source with the distribution helpers the
+// workload generators need. Each component derives its own RNG from a name
+// so that adding a consumer never perturbs another component's stream.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG for the given seed pair.
+func NewRNG(seed1, seed2 uint64) *RNG {
+	return &RNG{r: rand.New(rand.NewPCG(seed1, seed2))}
+}
+
+// Derive returns an independent RNG keyed by the parent stream and a name.
+func (g *RNG) Derive(name string) *RNG {
+	var h uint64 = 1469598103934665603 // FNV-1a offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return NewRNG(g.r.Uint64()^h, h)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// IntN returns a uniform value in [0, n).
+func (g *RNG) IntN(n int) int { return g.r.IntN(n) }
+
+// Uint64 returns a uniform 64-bit value.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// Exp returns an exponentially distributed value with the given mean.
+func (g *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return g.r.ExpFloat64() * mean
+}
+
+// Norm returns a normally distributed value.
+func (g *RNG) Norm(mean, stddev float64) float64 {
+	return g.r.NormFloat64()*stddev + mean
+}
+
+// LogNormal returns exp(N(mu, sigma)).
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(g.r.NormFloat64()*sigma + mu)
+}
+
+// Pareto returns a Pareto(xm, alpha) variate: xm / U^(1/alpha).
+func (g *RNG) Pareto(xm, alpha float64) float64 {
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return xm * math.Pow(u, -1/alpha)
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }

@@ -1,0 +1,204 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All SLINFER experiments run in virtual time: the cluster, instances, and
+// memory operations schedule events on a shared Simulator, and the engine
+// executes them in nondecreasing time order. Ties are broken by scheduling
+// order, which makes every run fully deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since the simulation epoch.
+type Time float64
+
+// Duration is a span of virtual time, in seconds.
+type Duration float64
+
+// Common durations.
+const (
+	Millisecond Duration = 1e-3
+	Second      Duration = 1
+	Minute      Duration = 60
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the duration as a float64 number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// Milliseconds returns the duration as a float64 number of milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) * 1e3 }
+
+func (t Time) String() string     { return fmt.Sprintf("%.6fs", float64(t)) }
+func (d Duration) String() string { return fmt.Sprintf("%.6fs", float64(d)) }
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 once popped or cancelled
+	canceled bool
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Returns true if the event was pending.
+func (e *Event) Cancel() bool {
+	if e == nil || e.canceled || e.index < 0 {
+		return false
+	}
+	e.canceled = true
+	return true
+}
+
+// Canceled reports whether Cancel was called before the event fired.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the pending-event queue.
+// The zero value is not usable; construct with New.
+type Simulator struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	fired   uint64
+	stopped bool
+}
+
+// New returns a simulator with the clock at time zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still scheduled.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it would silently reorder causality and every caller bug we have seen
+// manifests this way.
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(float64(t)) || math.IsInf(float64(t), 0) {
+		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", float64(t)))
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (s *Simulator) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Stop makes Run return after the currently-executing event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It returns false when no events remain.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline. Events scheduled beyond the deadline remain pending.
+func (s *Simulator) RunUntil(deadline Time) {
+	s.stopped = false
+	for !s.stopped {
+		e := s.peek()
+		if e == nil || e.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+func (s *Simulator) peek() *Event {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if !e.canceled {
+			return e
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}

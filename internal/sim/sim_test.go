@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(3, func() { got = append(got, 3) })
+	s.At(1, func() { got = append(got, 1) })
+	s.At(2, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", s.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("ties not FIFO: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(1, func() { fired = true })
+	if !e.Cancel() {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if s.Fired() != 0 {
+		t.Fatalf("Fired = %d, want 0", s.Fired())
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	s := New()
+	var times []Time
+	s.After(1, func() {
+		times = append(times, s.Now())
+		s.After(2, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v, want [1 3]", times)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(Time(i), func() { count++ })
+	}
+	s.RunUntil(5)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("Now = %v, want 5", s.Now())
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", s.Pending())
+	}
+	s.Run()
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	s.At(1, func() { count++; s.Stop() })
+	s.At(2, func() { count++ })
+	s.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (Stop should halt)", count)
+	}
+	s.Run()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 after resuming", count)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	s := New()
+	s.At(5, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestNonFiniteTimePanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling at NaN")
+		}
+	}()
+	s.At(Time(math.NaN()), func() {})
+}
+
+// Property: for any set of timestamps, events fire in sorted order.
+func TestEventsFireSortedProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New()
+		var fired []Time
+		for _, r := range raw {
+			tm := Time(r)
+			s.At(tm, func() { fired = append(fired, tm) })
+		}
+		s.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(1, 2)
+	b := NewRNG(1, 2)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestRNGDeriveIndependence(t *testing.T) {
+	a := NewRNG(7, 7).Derive("workload")
+	b := NewRNG(7, 7).Derive("placement")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("derived streams look identical (%d/64 equal)", same)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	g := NewRNG(3, 9)
+	n := 20000
+	over := 0
+	for i := 0; i < n; i++ {
+		v := g.Pareto(1, 1.5)
+		if v < 1 {
+			t.Fatalf("Pareto below xm: %v", v)
+		}
+		if v > 4 {
+			over++
+		}
+	}
+	// P(X > 4) = 4^-1.5 = 0.125 for Pareto(1, 1.5).
+	frac := float64(over) / float64(n)
+	if frac < 0.10 || frac > 0.15 {
+		t.Fatalf("Pareto tail fraction = %.3f, want ~0.125", frac)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := NewRNG(11, 13)
+	sum := 0.0
+	n := 50000
+	for i := 0; i < n; i++ {
+		sum += g.Exp(2.5)
+	}
+	mean := sum / float64(n)
+	if mean < 2.4 || mean > 2.6 {
+		t.Fatalf("Exp mean = %.3f, want ~2.5", mean)
+	}
+}

@@ -1,0 +1,132 @@
+// Package slinfer is the public facade of the SLINFER reproduction: a
+// resource-efficient serverless LLM inference scheme (HPCA 2026) rebuilt as
+// a deterministic discrete-event simulation over calibrated CPU/GPU
+// hardware models.
+//
+// A minimal session:
+//
+//	cluster := slinfer.Testbed(4, 4)                  // 4 CPU + 4 GPU nodes
+//	models := slinfer.Replicas(slinfer.Llama2_7B, 64) // 64 hosted 7B models
+//	trace := slinfer.AzureTrace(models, 30, 1)        // 30-minute trace, seed 1
+//	report := slinfer.Run(slinfer.SLINFER(), cluster, models, trace)
+//	fmt.Println(report.SLORate)
+//
+// Baseline systems (Sllm, SllmC, SllmCS, NEOPlus), the ablation variants,
+// and every knob of the paper's sensitivity studies are exposed through
+// Config. See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package slinfer
+
+import (
+	"slinfer/internal/core"
+	"slinfer/internal/hwsim"
+	"slinfer/internal/metrics"
+	"slinfer/internal/model"
+	"slinfer/internal/sim"
+	"slinfer/internal/workload"
+)
+
+// Re-exported types.
+type (
+	// Config selects a serving system and its policies.
+	Config = core.Config
+	// Controller orchestrates one serving system (advanced use).
+	Controller = core.Controller
+	// Model describes a hosted LLM.
+	Model = model.Model
+	// NodeSpec describes one cluster node.
+	NodeSpec = hwsim.NodeSpec
+	// Trace is a multi-model request stream.
+	Trace = workload.Trace
+	// Request is one trace entry.
+	Request = workload.Request
+	// Dataset is a token-length distribution.
+	Dataset = workload.Dataset
+	// Report is a run's derived metrics.
+	Report = metrics.Report
+)
+
+// Device kinds for Report lookups.
+const (
+	CPU = hwsim.CPU
+	GPU = hwsim.GPU
+)
+
+// Model catalog (§IX-A).
+var (
+	Llama32_3B     = model.Llama32_3B
+	Llama2_7B      = model.Llama2_7B
+	Llama2_13B     = model.Llama2_13B
+	CodeLlama34B   = model.CodeLlama34B
+	Llama31_8B     = model.Llama31_8B
+	DeepSeekQwen7B = model.DeepSeekQwen7B
+	Codestral22B   = model.Codestral22B
+)
+
+// Datasets (§IX-A, §IX-I1).
+var (
+	AzureConv = workload.AzureConv
+	AzureCode = workload.AzureCode
+	HumanEval = workload.HumanEval
+	ShareGPT  = workload.ShareGPT
+	LongBench = workload.LongBench
+)
+
+// System presets.
+var (
+	// SLINFER is the full system (§V-VIII).
+	SLINFER = core.SLINFER
+	// Sllm is the ServerlessLLM-style exclusive-GPU baseline.
+	Sllm = core.Sllm
+	// SllmC adds CPU serving to Sllm.
+	SllmC = core.SllmC
+	// SllmCS adds static half-node time-sharing to SllmC.
+	SllmCS = core.SllmCS
+	// NEOPlus is the NEO-style CPU-assist comparison (Figure 29).
+	NEOPlus = core.NEOPlus
+)
+
+// Testbed returns the paper's evaluation cluster shape: nCPU 32-core AMX
+// CPU nodes plus nGPU A100-80GB nodes.
+func Testbed(nCPU, nGPU int) []NodeSpec { return hwsim.Testbed(nCPU, nGPU) }
+
+// Replicas derives n independently-hosted replicas of a base model.
+func Replicas(base Model, n int) []Model { return model.Replicas(base, n) }
+
+// AzureTrace generates an Azure-Serverless-style trace over the models:
+// Zipf popularity, bursty arrivals, AzureConv token lengths.
+func AzureTrace(models []Model, minutes float64, seed uint64) Trace {
+	names := make([]string, len(models))
+	maxCtx := 0
+	for i, m := range models {
+		names[i] = m.Name
+		if m.MaxContext > maxCtx {
+			maxCtx = m.MaxContext
+		}
+	}
+	return workload.Generate(workload.TraceConfig{
+		ModelNames: names,
+		Duration:   sim.Duration(minutes) * sim.Minute,
+		Dataset:    workload.AzureConv,
+		Seed:       seed,
+		MaxInput:   maxCtx,
+	})
+}
+
+// CustomTrace generates a trace with full control over the workload.
+func CustomTrace(cfg workload.TraceConfig) Trace { return workload.Generate(cfg) }
+
+// Run executes one serving system over a cluster and trace, returning the
+// metrics report. Runs are deterministic for a given (config, trace) pair.
+func Run(cfg Config, specs []NodeSpec, models []Model, tr Trace) Report {
+	s := sim.New()
+	c := core.New(s, specs, models, cfg)
+	return c.Run(tr)
+}
+
+// NewController builds a controller for step-by-step simulations (submit
+// individual requests, inspect instances). Most callers want Run.
+func NewController(cfg Config, specs []NodeSpec, models []Model) (*Controller, *sim.Simulator) {
+	s := sim.New()
+	return core.New(s, specs, models, cfg), s
+}

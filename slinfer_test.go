@@ -1,0 +1,54 @@
+package slinfer
+
+import (
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cluster := Testbed(1, 1)
+	models := Replicas(Llama2_7B, 4)
+	trace := AzureTrace(models, 3, 1)
+	if len(trace.Requests) == 0 {
+		t.Fatal("empty trace")
+	}
+	rep := Run(SLINFER(), cluster, models, trace)
+	if rep.Total != int64(len(trace.Requests)) {
+		t.Fatalf("report total %d != trace %d", rep.Total, len(trace.Requests))
+	}
+	if rep.SLORate <= 0 {
+		t.Fatal("nothing served")
+	}
+}
+
+func TestFacadeDeterminism(t *testing.T) {
+	models := Replicas(Llama32_3B, 6)
+	trace := AzureTrace(models, 3, 7)
+	a := Run(SLINFER(), Testbed(1, 1), models, trace)
+	b := Run(SLINFER(), Testbed(1, 1), models, trace)
+	if a.Met != b.Met || a.Dropped != b.Dropped || a.AvgBatch != b.AvgBatch {
+		t.Fatalf("nondeterministic: %+v vs %+v", a.Met, b.Met)
+	}
+}
+
+func TestFacadeController(t *testing.T) {
+	models := Replicas(Llama2_7B, 1)
+	c, s := NewController(SLINFER(), Testbed(1, 0), models)
+	c.Submit(Request{ID: 1, ModelName: models[0].Name, Arrival: 0, InputLen: 512, OutputLen: 5})
+	s.RunUntil(30)
+	if got := c.Collector.Met; got != 1 {
+		t.Fatalf("met = %d, want 1", got)
+	}
+}
+
+func TestCatalogExports(t *testing.T) {
+	for _, m := range []Model{Llama32_3B, Llama2_7B, Llama2_13B, CodeLlama34B, Llama31_8B, DeepSeekQwen7B, Codestral22B} {
+		if err := m.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+	for _, d := range []Dataset{AzureConv, AzureCode, HumanEval, ShareGPT, LongBench} {
+		if d.Name == "" {
+			t.Error("unnamed dataset export")
+		}
+	}
+}
