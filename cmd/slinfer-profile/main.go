@@ -1,90 +1,155 @@
 // Command slinfer-profile prints the hardware substrate's latency surface
-// and SLINFER's interpolated profile for a model/device pair — the data
+// and SLINFER's interpolated profile for model/device pairs — the data
 // behind §VI-B's performance quantification.
 //
 // Usage:
 //
 //	slinfer-profile -model llama-2-7b -device cpu
 //	slinfer-profile -model llama-2-13b -device gpu -share 0.5
+//	slinfer-profile -model all -device cpu,gpu -parallel 8
+//
+// -model and -device accept comma-separated lists (or "all" for the whole
+// catalog); each (model, device) cell is profiled independently and the
+// sweep fans out over -parallel workers, printing in stable input order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
 	"slinfer/internal/hwsim"
 	"slinfer/internal/model"
+	"slinfer/internal/par"
 	"slinfer/internal/perfmodel"
 	"slinfer/internal/slo"
 )
 
 func main() {
-	name := flag.String("model", "llama-2-7b", "catalog model name")
-	device := flag.String("device", "cpu", "cpu | cpu-gen3 | gpu")
+	names := flag.String("model", "llama-2-7b", "catalog model name(s, comma-separated) or 'all'")
+	devices := flag.String("device", "cpu", "device(s, comma-separated): cpu | cpu-gen3 | gpu, or 'all'")
 	share := flag.Float64("share", 1.0, "node share (static partitioning)")
+	workers := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent profile cells (1 = serial)")
 	flag.Parse()
 
-	m, ok := model.ByName(*name)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown model %q; catalog:\n", *name)
-		for _, cm := range model.Catalog() {
-			fmt.Fprintf(os.Stderr, "  %s (%s, %d layers, %.1f GB weights)\n",
-				cm.Name, cm.SizeClass(), cm.Layers, float64(cm.WeightBytes())/1e9)
+	models, err := resolveModels(*names)
+	if err != nil {
+		fmt.Fprint(os.Stderr, err)
+		os.Exit(2)
+	}
+	classes, err := resolveDevices(*devices)
+	if err != nil {
+		fmt.Fprint(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	type cell struct {
+		m     model.Model
+		class hwsim.DeviceClass
+	}
+	var cells []cell
+	for _, m := range models {
+		for _, c := range classes {
+			cells = append(cells, cell{m, c})
 		}
-		os.Exit(2)
-	}
-	var class hwsim.DeviceClass
-	switch *device {
-	case "cpu":
-		class = hwsim.XeonGen4
-	case "cpu-gen3":
-		class = hwsim.XeonGen3
-	case "gpu":
-		class = hwsim.A100
-	default:
-		fmt.Fprintln(os.Stderr, "device must be cpu, cpu-gen3, or gpu")
-		os.Exit(2)
 	}
 
-	prof := perfmodel.NewProfile(class, m, *share, 256)
-	fmt.Printf("%s on %v (share %.2f) — %d profile samples\n\n", m.Name, class, *share, prof.SampleCount())
+	// Profile construction is CPU-bound and independent per cell: fan out
+	// over a bounded worker pool, render to strings, print in order.
+	out := par.Do(par.NewSem(*workers), len(cells), func(i int) string {
+		return profileReport(cells[i].m, cells[i].class, *share)
+	})
+	for _, s := range out {
+		fmt.Print(s)
+	}
+}
 
-	fmt.Println("Prefill (TTFT):")
-	fmt.Printf("  %-8s %-12s %-12s %-10s %s\n", "len", "ground(ms)", "estim(ms)", "slo(ms)", "meets")
+func resolveModels(arg string) ([]model.Model, error) {
+	if arg == "all" {
+		return model.Catalog(), nil
+	}
+	var out []model.Model
+	for _, name := range strings.Split(arg, ",") {
+		m, ok := model.ByName(strings.TrimSpace(name))
+		if !ok {
+			var b strings.Builder
+			fmt.Fprintf(&b, "unknown model %q; catalog:\n", name)
+			for _, cm := range model.Catalog() {
+				fmt.Fprintf(&b, "  %s (%s, %d layers, %.1f GB weights)\n",
+					cm.Name, cm.SizeClass(), cm.Layers, float64(cm.WeightBytes())/1e9)
+			}
+			return nil, fmt.Errorf("%s", b.String())
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func resolveDevices(arg string) ([]hwsim.DeviceClass, error) {
+	if arg == "all" {
+		return []hwsim.DeviceClass{hwsim.XeonGen4, hwsim.XeonGen3, hwsim.A100}, nil
+	}
+	var out []hwsim.DeviceClass
+	for _, d := range strings.Split(arg, ",") {
+		switch strings.TrimSpace(d) {
+		case "cpu":
+			out = append(out, hwsim.XeonGen4)
+		case "cpu-gen3":
+			out = append(out, hwsim.XeonGen3)
+		case "gpu":
+			out = append(out, hwsim.A100)
+		default:
+			return nil, fmt.Errorf("device must be cpu, cpu-gen3, gpu, or all\n")
+		}
+	}
+	return out, nil
+}
+
+// profileReport renders the full latency/limit table for one cell.
+func profileReport(m model.Model, class hwsim.DeviceClass, share float64) string {
+	var b strings.Builder
+	prof := perfmodel.NewProfile(class, m, share, 256)
+	fmt.Fprintf(&b, "%s on %v (share %.2f) — %d profile samples\n\n", m.Name, class, share, prof.SampleCount())
+
+	fmt.Fprintln(&b, "Prefill (TTFT):")
+	fmt.Fprintf(&b, "  %-8s %-12s %-12s %-10s %s\n", "len", "ground(ms)", "estim(ms)", "slo(ms)", "meets")
 	for _, l := range []int{128, 256, 512, 1024, 2048, 4096, 8192} {
 		if l > m.MaxContext {
 			break
 		}
 		obj := slo.Default(l)
-		g := class.PrefillTime(m, l, *share)
+		g := class.PrefillTime(m, l, share)
 		e := prof.EstimatePrefill(l)
-		fmt.Printf("  %-8d %-12.0f %-12.0f %-10.0f %v\n",
+		fmt.Fprintf(&b, "  %-8d %-12.0f %-12.0f %-10.0f %v\n",
 			l, g.Milliseconds(), e.Milliseconds(), obj.TTFT.Milliseconds(), prof.CanMeet(l, obj))
 	}
 
-	fmt.Println("\nDecode (TPOT, ms) by batch x avg length:")
+	fmt.Fprintln(&b, "\nDecode (TPOT, ms) by batch x avg length:")
 	lengths := []int{512, 1024, 2048, 4096}
-	fmt.Printf("  %-6s", "batch")
+	fmt.Fprintf(&b, "  %-6s", "batch")
 	for _, l := range lengths {
-		fmt.Printf(" %8d", l)
+		fmt.Fprintf(&b, " %8d", l)
 	}
-	fmt.Println()
-	for _, b := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
-		fmt.Printf("  %-6d", b)
+	fmt.Fprintln(&b)
+	for _, bs := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		fmt.Fprintf(&b, "  %-6d", bs)
 		for _, l := range lengths {
-			fmt.Printf(" %8.0f", class.DecodeTime(m, b, b*l, *share).Milliseconds())
+			fmt.Fprintf(&b, " %8.0f", class.DecodeTime(m, bs, bs*l, share).Milliseconds())
 		}
-		fmt.Println()
+		fmt.Fprintln(&b)
 	}
 
-	fmt.Println("\nConcurrency limits (Table II derivation, TPOT SLO 250 ms):")
+	fmt.Fprintln(&b, "\nConcurrency limits (Table II derivation, TPOT SLO 250 ms):")
 	spec := hwsim.NewCPUNode("n")
 	if class == hwsim.A100 {
 		spec = hwsim.NewGPUNode("n")
 	}
 	spec.Class = class
 	for _, l := range []int{1024, 2048, 4096} {
-		fmt.Printf("  len=%-6d limit=%d\n", l, hwsim.ConcurrencyLimit(spec, m, l, *share, slo.DefaultTPOT))
+		fmt.Fprintf(&b, "  len=%-6d limit=%d\n", l, hwsim.ConcurrencyLimit(spec, m, l, share, slo.DefaultTPOT))
 	}
+	fmt.Fprintln(&b)
+	return b.String()
 }

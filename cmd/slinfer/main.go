@@ -2,15 +2,25 @@
 //
 // Usage:
 //
-//	slinfer -list                 # list experiments
-//	slinfer -exp fig22b           # run one experiment (paper-scale)
-//	slinfer -exp all -quick       # run everything at reduced scale
+//	slinfer -list                      # list experiments
+//	slinfer -exp fig22b                # run one experiment (paper-scale)
+//	slinfer -exp fig22a,fig22b,tab03   # run a sweep of experiments
+//	slinfer -exp all -quick            # run everything at reduced scale
+//	slinfer -exp all -parallel 8       # fan simulation cells over 8 workers
+//
+// Every (experiment, config, seed) cell is an independent deterministic
+// simulation, so -parallel is a pure wall-clock optimization: the printed
+// tables are identical to a serial run — except fig33, whose overhead
+// columns measure host wall-clock time and pick up contention from
+// concurrent cells; regenerate it with -parallel 1 for clean numbers.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"slinfer/internal/experiments"
@@ -18,8 +28,10 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list registered experiments and exit")
-	exp := flag.String("exp", "", "experiment id to run, or 'all'")
+	exp := flag.String("exp", "", "experiment id(s, comma-separated) to run, or 'all'")
 	quick := flag.Bool("quick", false, "run at reduced scale (shorter traces, sparser sweeps)")
+	par := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"max concurrent simulation cells (1 = serial)")
 	flag.Parse()
 
 	if *list || *exp == "" {
@@ -28,7 +40,7 @@ func main() {
 			fmt.Printf("  %-10s %s\n             paper: %s\n", e.ID, e.Title, e.Paper)
 		}
 		if *exp == "" && !*list {
-			fmt.Println("\nrun with -exp <id> or -exp all")
+			fmt.Println("\nrun with -exp <id>[,<id>...] or -exp all")
 		}
 		return
 	}
@@ -37,24 +49,29 @@ func main() {
 	if *quick {
 		scale = experiments.Quick
 	}
-
-	run := func(e experiments.Experiment) {
-		start := time.Now()
-		res := e.Run(scale)
-		fmt.Println(res.String())
-		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	if *par < 1 {
+		*par = 1 // nonsensical worker counts degrade to serial
 	}
 
+	start := time.Now()
+	var results []experiments.Result
 	if *exp == "all" {
-		for _, e := range experiments.All() {
-			run(e)
+		results = experiments.RunAll(scale, *par)
+	} else {
+		ids := strings.Split(*exp, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
 		}
-		return
+		var err error
+		results, err = experiments.Sweep(ids, scale, *par)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v; use -list\n", err)
+			os.Exit(2)
+		}
 	}
-	e, ok := experiments.ByID(*exp)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
-		os.Exit(2)
+	for _, res := range results {
+		fmt.Println(res.String())
 	}
-	run(e)
+	fmt.Printf("(%d experiment(s) in %v, %d workers)\n",
+		len(results), time.Since(start).Round(time.Millisecond), *par)
 }

@@ -1,0 +1,116 @@
+// Command custompolicy demonstrates the pluggable policy layer: a
+// user-defined placement policy composed with the stock preemption and a
+// long keep-alive, producing a serving scheme none of the paper's preset
+// knobs can express.
+//
+// The custom scheme is "widest-fit, GPU-first": new instances land on the
+// node with the MOST free memory, preferring GPUs — spreading load for
+// latency headroom instead of packing it for efficiency (the paper's
+// CPU-first best-fit). Latency-sensitive deployments buy lower TTFT
+// dispersion with more nodes; the comparison below shows exactly that
+// trade against stock SLINFER on the same fixed-seed trace.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"slinfer"
+	"slinfer/internal/cluster"
+	"slinfer/internal/engine"
+	"slinfer/internal/hwsim"
+	"slinfer/internal/model"
+)
+
+// WidestFit inverts the paper's placement: candidates are ordered by free
+// memory descending with GPUs ahead of CPUs. Sharing-mode mechanics
+// (share sizing, slot accounting, executor carving, elastic scale-out
+// validation) are inherited from the embedded BinPackPlacement — a custom
+// policy only overrides the decision it cares about.
+type WidestFit struct {
+	slinfer.BinPackPlacement
+}
+
+// PlaceNew spreads the request onto the emptiest feasible node, GPU first.
+func (p *WidestFit) PlaceNew(h slinfer.PolicyHost, req *engine.Request, m model.Model) bool {
+	if m.TPDegree > 1 {
+		// Tensor-parallel spans are placement-order-insensitive; reuse the
+		// stock logic.
+		return p.BinPackPlacement.PlaceNew(h, req, m)
+	}
+	type cand struct {
+		n    *cluster.Node
+		free int64
+	}
+	var gpus, cpus []cand
+	for _, n := range h.Nodes() {
+		share := p.Share(m, n.Spec.Class)
+		if n.Kind() == hwsim.CPU {
+			if !p.UseCPU {
+				continue
+			}
+			// Same CPU feasibility gate as the stock policy: never place a
+			// request on a CPU that cannot meet its TTFT.
+			if p.ShadowValidation && !h.Profile(n.Spec.Class, m, share).CanMeet(req.W.InputLen, req.Obj) {
+				continue
+			}
+		}
+		if !p.HasSlot(h, n, share) {
+			continue
+		}
+		need := h.CreationBytes(m, n, share, req)
+		if need < 0 || n.Mem.OptimisticFree() < need {
+			continue
+		}
+		c := cand{n, n.Mem.OptimisticFree()}
+		if n.Kind() == hwsim.GPU {
+			gpus = append(gpus, c)
+		} else {
+			cpus = append(cpus, c)
+		}
+	}
+	widest := func(cs []cand) {
+		sort.SliceStable(cs, func(i, j int) bool { return cs[i].free > cs[j].free })
+	}
+	widest(gpus)
+	widest(cpus)
+	for _, c := range append(gpus, cpus...) {
+		share := p.Share(m, c.n.Spec.Class)
+		if !p.AdmitScaleOut(h, c.n, m, share, req) {
+			continue
+		}
+		if h.Spawn(m, []*cluster.Node{c.n}, share, req) {
+			return true
+		}
+	}
+	return false
+}
+
+func main() {
+	cluster := slinfer.Testbed(2, 2)
+	models := slinfer.Replicas(slinfer.Llama2_7B, 8)
+	trace := slinfer.AzureTrace(models, 8, 1)
+
+	stock := slinfer.SLINFER()
+
+	custom := slinfer.SLINFER()
+	custom.Name = "widest-fit"
+	custom.Placement = &WidestFit{BinPackPlacement: slinfer.BinPackPlacement{
+		Mode:             slinfer.Elastic,
+		UseCPU:           true,
+		ShadowValidation: true,
+	}}
+	// Latency-provisioned retention: idle instances linger 30 s instead of
+	// 1 s, trading node-hours for fewer cold starts.
+	custom.KeepAlivePolicy = slinfer.FixedKeepAlive{Idle: 30}
+
+	fmt.Println("system      slo     ttft_p50  ttft_p99  cpu_nodes  gpu_nodes  cold")
+	for _, cfg := range []slinfer.Config{stock, custom} {
+		rep := slinfer.Run(cfg, cluster, models, trace)
+		fmt.Printf("%-10s  %.3f   %-8.2f  %-8.2f  %-9.2f  %-9.2f  %d\n",
+			rep.System, rep.SLORate, rep.TTFTP50, rep.TTFTP99,
+			rep.AvgNodesUsed[slinfer.CPU], rep.AvgNodesUsed[slinfer.GPU], rep.ColdStarts)
+	}
+	fmt.Println("\nwidest-fit spreads onto emptier (GPU) nodes and retains them longer:")
+	fmt.Println("lower tail latency, more node-hours — a trade the preset knobs cannot express.")
+}

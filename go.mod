@@ -1,0 +1,3 @@
+module slinfer
+
+go 1.22

@@ -15,40 +15,52 @@ import (
 	"slinfer/internal/hwsim"
 	"slinfer/internal/kvcache"
 	"slinfer/internal/model"
+	"slinfer/internal/policy"
 	"slinfer/internal/sim"
 	"slinfer/internal/slo"
 )
 
-// SharingMode selects how node compute is divided among instances.
-type SharingMode int
+// SharingMode selects how node compute is divided among instances. It
+// lives in the policy package; the alias keeps the historical core API.
+type SharingMode = policy.SharingMode
 
 const (
 	// Exclusive gives each instance a whole node (ServerlessLLM-style).
-	Exclusive SharingMode = iota
+	Exclusive = policy.Exclusive
 	// Static carves fixed partitions (sllm+c+s: half-node instances).
-	Static
+	Static = policy.Static
 	// Elastic shares the full node across instances at token granularity
 	// (SLINFER).
-	Elastic
+	Elastic = policy.Elastic
 )
 
-func (m SharingMode) String() string {
-	switch m {
-	case Exclusive:
-		return "exclusive"
-	case Static:
-		return "static"
-	default:
-		return "elastic"
-	}
-}
-
 // Config is the full policy configuration of a run.
+//
+// A serving system is ultimately a composition of three policies —
+// Placement, Preemption, and KeepAlivePolicy — over the thin controller.
+// The scalar knobs below (Sharing, UseCPU, CPUFirst, ShadowValidation,
+// Consolidation, KeepAlive, ...) describe the paper's stock compositions;
+// when a policy field is nil, New derives it from those knobs via
+// composePolicies, so knob mutation after a preset call keeps working.
+// Setting a policy field directly overrides the knobs and is how serving
+// schemes outside the paper's five presets are built (see
+// examples/custompolicy).
 type Config struct {
 	// Name labels reports.
 	Name string
 	// Sharing is the compute-sharing mode.
 	Sharing SharingMode
+	// Placement decides where new instances land and how node compute is
+	// carved for them. nil composes policy.BinPack from
+	// Sharing/StaticShare/UseCPU/CPUFirst/ShadowValidation.
+	Placement policy.PlacementPolicy
+	// Preemption decides whether neighbours are preempted so an existing
+	// instance can absorb a request (§VIII-A). nil derives from
+	// Consolidation: SLOPreserving when set, NoPreemption otherwise.
+	Preemption policy.PreemptionPolicy
+	// KeepAlivePolicy decides how long idle instances are retained. nil
+	// derives policy.FixedKeepAlive{Idle: KeepAlive}.
+	KeepAlivePolicy policy.KeepAlivePolicy
 	// StaticShare is the partition size under Static sharing (paper: 1/2).
 	StaticShare float64
 	// UseCPU enables CPU nodes for serving.
@@ -133,7 +145,44 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// SLINFER returns the full system configuration (§V-VIII defaults).
+// composePolicies fills nil policy slots from the legacy knobs. This is
+// where the five presets become policy compositions:
+//
+//	SLINFER   BinPack{Elastic, CPU-first, shadow-validated} + SLOPreserving + FixedKeepAlive(1s)
+//	sllm      BinPack{Exclusive, GPU-only}                  + NoPreemption  + FixedKeepAlive(1s)
+//	sllm+c    BinPack{Exclusive, CPU-first}                 + NoPreemption  + FixedKeepAlive(1s)
+//	sllm+c+s  BinPack{Static 1/2, CPU-first}                + NoPreemption  + FixedKeepAlive(1s)
+//	NEO+      sllm's composition; the CPU-offloaded KV extension rides on
+//	          the NEOAssist memory knobs, not on placement.
+//
+// It runs at construction (New), after any knob mutation, so the composed
+// policies always reflect the final knob values.
+func (c Config) composePolicies() Config {
+	if c.Placement == nil {
+		c.Placement = &policy.BinPack{
+			Mode:             c.Sharing,
+			StaticShare:      c.StaticShare,
+			UseCPU:           c.UseCPU,
+			CPUFirst:         c.CPUFirst,
+			ShadowValidation: c.ShadowValidation,
+		}
+	}
+	if c.Preemption == nil {
+		if c.Consolidation {
+			c.Preemption = policy.SLOPreserving{}
+		} else {
+			c.Preemption = policy.NoPreemption{}
+		}
+	}
+	if c.KeepAlivePolicy == nil {
+		c.KeepAlivePolicy = policy.FixedKeepAlive{Idle: c.KeepAlive}
+	}
+	return c
+}
+
+// SLINFER returns the full system configuration (§V-VIII defaults):
+// elastic shadow-validated CPU-first bin-packing, SLO-preserving
+// preemption, and a 1 s fixed keep-alive.
 func SLINFER() Config {
 	return Config{
 		Name:             "SLINFER",
@@ -197,8 +246,8 @@ func pick(cond bool, a, b int) int {
 	return b
 }
 
-// Sllm returns the ServerlessLLM baseline: exclusive GPUs, static memory,
-// fixed concurrency limits.
+// Sllm returns the ServerlessLLM baseline: exclusive GPU-only bin-packing
+// with no preemption, static memory, and fixed concurrency limits.
 func Sllm() Config {
 	return Config{
 		Name:        "sllm",

@@ -48,11 +48,16 @@ type Controller struct {
 	rng        *sim.RNG
 	nextInstID int
 	traceEnd   sim.Time
+
+	// host is the policy.Host view policies call back through.
+	host hostView
+	// pick is the iteration-scheduling function wired into executors.
+	pick func([]*engine.Instance, sim.Time) *engine.Work
 }
 
 // New builds a controller over the given node specs and hosted models.
 func New(s *sim.Simulator, specs []hwsim.NodeSpec, models []model.Model, cfg Config) *Controller {
-	cfg = cfg.withDefaults()
+	cfg = cfg.withDefaults().composePolicies()
 	c := &Controller{
 		Sim: s, Cfg: cfg,
 		Cluster:      cluster.New(s, specs),
@@ -70,6 +75,14 @@ func New(s *sim.Simulator, specs []hwsim.NodeSpec, models []model.Model, cfg Con
 		loadETA:      map[int]sim.Time{},
 		rng:          sim.NewRNG(cfg.Seed^0xC0FFEE, cfg.Seed+13),
 		nextInstID:   1,
+	}
+	c.host = hostView{c}
+	// Iteration scheduling: min-headroom unless the FIFO ablation is on.
+	// Partitioned executors host one instance each, where headroom order
+	// degenerates to FIFO anyway.
+	c.pick = compute.PickFIFO
+	if cfg.TokenLevelSched || cfg.Sharing != Elastic {
+		c.pick = compute.PickMinHeadroom
 	}
 	for _, m := range models {
 		c.models[m.Name] = m
@@ -133,10 +146,10 @@ func (c *Controller) tryPlace(req *engine.Request) bool {
 		placed = true
 	// 2. Proactive consolidation: preempt smaller neighbours so an existing
 	//    instance can scale up in place (§VIII-A).
-	case c.Cfg.Consolidation && c.tryPreemption(req, m):
+	case c.Cfg.Preemption.TryPreempt(c.host, req, m):
 		placed = true
-	// 3. Scale out: a new instance via bin-packing placement.
-	case c.tryNewInstance(req, m):
+	// 3. Scale out: a new instance via the placement policy.
+	case c.Cfg.Placement.PlaceNew(c.host, req, m):
 		placed = true
 	}
 	if placed && c.Cfg.PD {

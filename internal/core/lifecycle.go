@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"slinfer/internal/cluster"
-	"slinfer/internal/compute"
 	"slinfer/internal/consolidator"
 	"slinfer/internal/engine"
 	"slinfer/internal/hwsim"
@@ -20,12 +19,7 @@ import (
 func (c *Controller) wireExecutor(ex *cluster.Executor) {
 	ex.Pick = func(e *cluster.Executor) *engine.Work {
 		start := time.Now()
-		var w *engine.Work
-		if c.Cfg.TokenLevelSched || c.Cfg.Sharing != Elastic {
-			w = compute.PickMinHeadroom(e.Instances, c.Sim.Now())
-		} else {
-			w = compute.PickFIFO(e.Instances, c.Sim.Now())
-		}
+		w := c.pick(e.Instances, c.Sim.Now())
 		c.Collector.ScheduleNs += time.Since(start).Nanoseconds()
 		c.Collector.ScheduleCount++
 		return w
@@ -284,7 +278,7 @@ func (c *Controller) tryPlaceAvoiding(req *engine.Request, avoid *engine.Instanc
 			return true
 		}
 	}
-	return c.tryNewInstance(req, m)
+	return c.Cfg.Placement.PlaceNew(c.host, req, m)
 }
 
 // ---- Instance lifecycle ------------------------------------------------------
@@ -293,126 +287,6 @@ func (c *Controller) tryPlaceAvoiding(req *engine.Request, avoid *engine.Instanc
 // whole at creation (exclusive/static baselines and TP fallback models).
 func (c *Controller) isStaticInstance(inst *engine.Instance) bool {
 	return !c.Cfg.DynamicMemory || len(inst.NodeIdxs) > 1
-}
-
-// shareFor returns the compute share a new instance of m receives.
-func (c *Controller) shareFor(m model.Model, class hwsim.DeviceClass) float64 {
-	switch c.Cfg.Sharing {
-	case Static:
-		// §IX-A: every instance gets half a node, except 13B on CPU.
-		if class.Kind() == hwsim.CPU && m.SizeClass() == "13B" {
-			return 1
-		}
-		return c.Cfg.StaticShare
-	default:
-		return 1
-	}
-}
-
-// tryNewInstance scales out: places a fresh instance for the request via
-// best-fit bin-packing, CPU first (§V).
-func (c *Controller) tryNewInstance(req *engine.Request, m model.Model) bool {
-	if m.TPDegree > 1 {
-		return c.tryNewTPInstance(req, m)
-	}
-	type option struct {
-		node  *cluster.Node
-		class hwsim.DeviceClass
-		share float64
-	}
-	var cands []consolidator.NodeScore
-	byIdx := map[int]option{}
-	for _, n := range c.Cluster.Nodes {
-		class := n.Spec.Class
-		kindCPU := n.Kind() == hwsim.CPU
-		if kindCPU {
-			if !c.Cfg.UseCPU {
-				continue
-			}
-			// SLINFER excludes CPUs without matrix acceleration and CPUs
-			// that cannot meet this request's SLO (§V). Baselines use the
-			// fixed-limit table (0 disables a class entirely).
-			if c.Cfg.ShadowValidation {
-				prof := c.Registry.Get(class, m, c.shareFor(m, class))
-				if !prof.CanMeet(req.W.InputLen, req.Obj) {
-					continue
-				}
-			}
-		}
-		share := c.shareFor(m, class)
-		if lim := c.Cfg.FixedLimit; lim != nil && lim(m, class, share) <= 0 {
-			continue
-		}
-		if !c.nodeHasSlot(n, share) {
-			continue
-		}
-		need := c.creationBytes(m, n, share, req)
-		if need < 0 {
-			continue
-		}
-		cands = append(cands, consolidator.NodeScore{
-			NodeIdx: n.Idx, FreeBytes: n.Mem.OptimisticFree(), IsCPU: kindCPU,
-		})
-		byIdx[n.Idx] = option{node: n, class: class, share: share}
-		_ = need
-	}
-	var needs = func(idx int) int64 {
-		o := byIdx[idx]
-		return c.creationBytes(m, o.node, o.share, req)
-	}
-	ordered := consolidator.PlaceOrder(cands, 0, c.Cfg.CPUFirst)
-	for _, cand := range ordered {
-		if cand.FreeBytes < needs(cand.NodeIdx) {
-			continue
-		}
-		o := byIdx[cand.NodeIdx]
-		// Elastic scale-out shares the node with whoever is already there;
-		// it must pass the same shadow validation as a scale-up (§VI-C).
-		if c.Cfg.Sharing == Elastic && c.Cfg.ShadowValidation {
-			ex := c.elasticExecs[o.node.Idx]
-			prof := c.Registry.Get(o.class, m, o.share*orOne(o.node.SpeedFactor))
-			if !c.validateNewInstanceOn(ex, prof, req, o.node.Spec.LoadTime(m)) {
-				continue
-			}
-		}
-		inst := c.createInstance(m, []*cluster.Node{o.node}, o.share, req)
-		if inst == nil {
-			continue
-		}
-		c.place(req, inst)
-		return true
-	}
-	return false
-}
-
-// tryNewTPInstance places a tensor-parallel model across two free GPU nodes
-// (§IX-E). Large models fall back to exclusive allocation (§X).
-func (c *Controller) tryNewTPInstance(req *engine.Request, m model.Model) bool {
-	var free []*cluster.Node
-	for _, n := range c.Cluster.NodesOfKind(hwsim.GPU) {
-		if !n.Occupied() && c.nodeHasSlot(n, 1) {
-			free = append(free, n)
-		}
-	}
-	if len(free) < m.TPDegree {
-		return false
-	}
-	inst := c.createInstance(m, free[:m.TPDegree], 1, req)
-	if inst == nil {
-		return false
-	}
-	c.place(req, inst)
-	return true
-}
-
-// nodeHasSlot reports whether a node has compute share available.
-func (c *Controller) nodeHasSlot(n *cluster.Node, share float64) bool {
-	switch c.Cfg.Sharing {
-	case Elastic:
-		return true // admission is gated by validation and memory instead
-	default:
-		return c.slotUsed[n.Idx]+share <= 1.0001
-	}
 }
 
 // creationBytes returns the per-node memory a new instance needs at
@@ -520,17 +394,9 @@ func (c *Controller) createInstance(m model.Model, nodes []*cluster.Node, share 
 		}
 	}
 
-	// Carve compute.
-	var ex *cluster.Executor
-	if c.Cfg.Sharing == Elastic {
-		ex = c.elasticExecs[nodes[0].Idx]
-	} else {
-		ex = nodes[0].NewExecutor(share)
-		c.wireExecutor(ex)
-		for _, n := range nodes {
-			c.slotUsed[n.Idx] += share
-		}
-	}
+	// Carve compute per the placement policy (shared executor under
+	// elastic sharing, a dedicated partition otherwise).
+	ex := c.Cfg.Placement.CarveExecutor(c.host, nodes, share)
 	ex.AddInstance(inst)
 	c.instExec[inst.ID] = ex
 	for i, n := range nodes {
@@ -576,13 +442,10 @@ func (c *Controller) finishLoad(inst *engine.Instance, staticKV int64) {
 	c.retryPending()
 }
 
-// scheduleKeepAlive arms the idle-reclamation timer (§V).
+// scheduleKeepAlive hands an idle instance to the keep-alive policy (§V),
+// which decides whether and when to arm the reclamation timer.
 func (c *Controller) scheduleKeepAlive(inst *engine.Instance) {
-	c.cancelKeepAlive(inst)
-	c.keepAlive[inst.ID] = c.Sim.After(c.Cfg.KeepAlive, func() {
-		delete(c.keepAlive, inst.ID)
-		c.reclaim(inst)
-	})
+	c.Cfg.KeepAlivePolicy.Arm(c.host, inst)
 }
 
 func (c *Controller) cancelKeepAlive(inst *engine.Instance) {
@@ -617,15 +480,7 @@ func (c *Controller) removeInstance(inst *engine.Instance, countLifetime bool) {
 	// Detach compute.
 	if ex := c.instExec[inst.ID]; ex != nil {
 		ex.RemoveInstance(inst)
-		if c.Cfg.Sharing != Elastic {
-			ex.Node.RemoveExecutor(ex)
-			for _, idx := range inst.NodeIdxs {
-				c.slotUsed[idx] -= inst.Share
-				if c.slotUsed[idx] < 0 {
-					c.slotUsed[idx] = 0
-				}
-			}
-		}
+		c.Cfg.Placement.ReleaseExecutor(c.host, inst, ex)
 		delete(c.instExec, inst.ID)
 	}
 	// Drop from the live set.
@@ -665,111 +520,6 @@ func (c *Controller) removeInstance(inst *engine.Instance, countLifetime bool) {
 		})
 	}
 	inst.Cache.SetCapacity(0)
-}
-
-// ---- Proactive consolidation (§VIII-A) --------------------------------------
-
-// tryPreemption looks for a node where an existing instance of m could
-// absorb the request if a smaller neighbour were preempted, validates the
-// move, and executes it.
-func (c *Controller) tryPreemption(req *engine.Request, m model.Model) bool {
-	for _, grower := range c.routeCandidates(m, wantRole(c.Cfg, engine.PrefillWork)) {
-		if grower.State != engine.Active {
-			continue
-		}
-		// Batch consolidation pays off on GPUs, where larger batches
-		// amortize the memory-bound weight reads; on compute-bound CPUs
-		// the aggregate-decode budget caps the gain below the re-prefill
-		// cost of the preempted requests.
-		if grower.Class.Kind() == hwsim.CPU {
-			continue
-		}
-		ex := c.instExec[grower.ID]
-		if ex == nil || len(ex.Instances) < 2 {
-			continue
-		}
-		victims := consolidator.PreemptionVictims(grower, ex.Instances)
-		for _, victim := range victims {
-			if !c.preemptAndAdmit(req, grower, victim) {
-				continue
-			}
-			return true
-		}
-	}
-	return false
-}
-
-// preemptAndAdmit tears the victim down, reschedules its requests, and
-// admits req to the grower. Preemption only proceeds when the grower can
-// actually take the request afterwards.
-func (c *Controller) preemptAndAdmit(req *engine.Request, grower, victim *engine.Instance) bool {
-	// Cheap feasibility pre-check: without the victim, would the grower's
-	// executor pass shadow validation?
-	ex := c.instExec[grower.ID]
-	views := make([]compute.InstView, 0, len(ex.Instances))
-	candIdx := -1
-	for _, other := range ex.Instances {
-		if other == victim {
-			continue
-		}
-		if other == grower {
-			candIdx = len(views)
-		}
-		views = append(views, compute.ViewInstance(other, c.Sim.Now()))
-	}
-	busyUntil := c.Sim.Now()
-	if ex.Busy() {
-		busyUntil = ex.BusyUntil()
-	}
-	if c.Validator.Validate(c.Sim.Now(), busyUntil, views, candIdx,
-		compute.ViewRequest(req), req.Obj.TPOT) != compute.OK {
-		return false
-	}
-	// §VIII-A: preemption is allowed only when shadow validation shows the
-	// preempted requests still meet their SLOs after rescheduling. Dry-run
-	// every victim request before committing.
-	moved := append(append([]*engine.Request(nil), victim.Running...), victim.WaitingPrefill...)
-	for _, r := range moved {
-		if !c.canRehome(r, victim, grower) {
-			return false
-		}
-	}
-	// Execute: migrate the victim's requests away, then reclaim it.
-	c.Collector.Preemptions++
-	for _, r := range moved {
-		c.migrate(r, victim)
-	}
-	// reclaim handles idle/resize guards; a victim with a resize in flight
-	// retires once the operation lands.
-	c.reclaim(victim)
-	// Now admit (memory freed by the victim may still be unloading; the
-	// optimistic budget already reflects it).
-	return c.admit(req, grower)
-}
-
-// canRehome dry-runs whether a victim's request could be re-placed on
-// another *existing* instance of its model and still meet its SLO
-// (re-prefilling its context). Fresh instances are deliberately excluded:
-// rehoming a victim to a new replica would merely relocate the fragment the
-// preemption was supposed to eliminate.
-func (c *Controller) canRehome(r *engine.Request, victim, grower *engine.Instance) bool {
-	m := c.models[r.W.ModelName]
-	rv := compute.ViewRequest(r)
-	for _, inst := range c.routeCandidates(m, wantRole(c.Cfg, engine.PrefillWork)) {
-		if inst == victim || inst == grower {
-			continue
-		}
-		if inst.TotalLoad() >= c.Cfg.MaxBatch {
-			continue
-		}
-		if inst.Class.Kind() == hwsim.CPU && !inst.Profile.CanMeet(r.ContextTokens(), r.Obj) {
-			continue
-		}
-		if ex := c.instExec[inst.ID]; ex != nil && c.validateOnExecutor(ex, inst, rv, r.Obj.TPOT, 0) {
-			return true
-		}
-	}
-	return false
 }
 
 // ---- PD disaggregation (§IX-G) -----------------------------------------------
@@ -847,14 +597,15 @@ func (c *Controller) createDecodeInstance(m model.Model, req *engine.Request) *e
 				continue
 			}
 			if c.Cfg.ShadowValidation {
-				prof := c.Registry.Get(n.Spec.Class, m, c.shareFor(m, n.Spec.Class)*orOne(n.SpeedFactor))
+				prof := c.Registry.Get(n.Spec.Class, m,
+					c.Cfg.Placement.Share(m, n.Spec.Class)*orOne(n.SpeedFactor))
 				if !prof.CanMeet(req.W.InputLen, req.Obj) {
 					continue
 				}
 			}
 		}
-		share := c.shareFor(m, n.Spec.Class)
-		if !c.nodeHasSlot(n, share) {
+		share := c.Cfg.Placement.Share(m, n.Spec.Class)
+		if !c.Cfg.Placement.HasSlot(c.host, n, share) {
 			continue
 		}
 		if c.creationBytes(m, n, share, req) < 0 ||
@@ -863,12 +614,8 @@ func (c *Controller) createDecodeInstance(m model.Model, req *engine.Request) *e
 		}
 		// Decode instances share nodes too: the same §VI-C scale-out
 		// validation applies or colocated decode rounds overrun the SLO.
-		if c.Cfg.Sharing == Elastic && c.Cfg.ShadowValidation {
-			ex := c.elasticExecs[n.Idx]
-			prof := c.Registry.Get(n.Spec.Class, m, share*orOne(n.SpeedFactor))
-			if !c.validateNewInstanceOn(ex, prof, req, n.Spec.LoadTime(m)) {
-				continue
-			}
+		if !c.Cfg.Placement.AdmitScaleOut(c.host, n, m, share, req) {
+			continue
 		}
 		inst := c.createInstance(m, []*cluster.Node{n}, share, req)
 		if inst == nil {

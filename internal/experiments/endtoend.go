@@ -6,6 +6,7 @@ import (
 	"slinfer/internal/baseline"
 	"slinfer/internal/core"
 	"slinfer/internal/hwsim"
+	"slinfer/internal/metrics"
 	"slinfer/internal/model"
 	"slinfer/internal/workload"
 )
@@ -70,18 +71,29 @@ func runFig22(id string, base model.Model, s Scale) Result {
 	if s == Full {
 		counts = []int{32, 64, 128}
 	}
+	type cell struct {
+		n      int
+		cfg    core.Config
+		models []model.Model
+		tr     workload.Trace
+	}
+	var cells []cell
 	for _, n := range counts {
 		models, tr := paperTrace(base, n, s, uint64(22+n))
 		for _, cfg := range baseline.Systems() {
-			rep := runSystem(cfg, hwsim.Testbed(4, 4), models, tr)
-			res.Rows = append(res.Rows, []string{
-				fmt.Sprint(n), cfg.Name,
-				fmt.Sprint(rep.Met), fmt.Sprint(rep.Total), f3(rep.SLORate), f2(rep.TTFTP50),
-				f2(rep.AvgNodesUsed[hwsim.CPU]), f2(rep.AvgNodesUsed[hwsim.GPU]),
-				f1(rep.DecodeSpeed[hwsim.CPU]), f1(rep.DecodeSpeed[hwsim.GPU]),
-			})
+			cells = append(cells, cell{n, cfg, models, tr})
 		}
 	}
+	res.Rows = sweep(len(cells), func(i int) []string {
+		c := cells[i]
+		rep := runSystem(c.cfg, hwsim.Testbed(4, 4), c.models, c.tr)
+		return []string{
+			fmt.Sprint(c.n), c.cfg.Name,
+			fmt.Sprint(rep.Met), fmt.Sprint(rep.Total), f3(rep.SLORate), f2(rep.TTFTP50),
+			f2(rep.AvgNodesUsed[hwsim.CPU]), f2(rep.AvgNodesUsed[hwsim.GPU]),
+			f1(rep.DecodeSpeed[hwsim.CPU]), f1(rep.DecodeSpeed[hwsim.GPU]),
+		}
+	})
 	return res
 }
 
@@ -91,15 +103,16 @@ func runFig23(s Scale) Result {
 		Header: []string{"variant", "slo_rate", "cpu_nodes", "gpu_nodes", "met", "total"},
 	}
 	models, tr := paperTrace(model.Llama2_7B, 64, s, 23)
-	for _, label := range []string{"SLINFER-Full", "w/o CPU", "w/o Consolidation", "w/o Sharing"} {
-		cfg := baseline.Ablations()[label]
-		rep := runSystem(cfg, hwsim.Testbed(4, 4), models, tr)
-		res.Rows = append(res.Rows, []string{
+	labels := []string{"SLINFER-Full", "w/o CPU", "w/o Consolidation", "w/o Sharing"}
+	res.Rows = sweep(len(labels), func(i int) []string {
+		label := labels[i]
+		rep := runSystem(baseline.Ablations()[label], hwsim.Testbed(4, 4), models, tr)
+		return []string{
 			label, f3(rep.SLORate),
 			f2(rep.AvgNodesUsed[hwsim.CPU]), f2(rep.AvgNodesUsed[hwsim.GPU]),
 			fmt.Sprint(rep.Met), fmt.Sprint(rep.Total),
-		})
-	}
+		}
+	})
 	return res
 }
 
@@ -113,18 +126,26 @@ func runFig24(s Scale) Result {
 	if s == Full {
 		adds = []int{0, 1, 2, 3, 4, 6, 8}
 	}
+	type cell struct {
+		k    int
+		kind string
+	}
+	var cells []cell
 	for _, k := range adds {
-		cpuRep := runSystem(core.SLINFER(), hwsim.Testbed(k, 2), models, tr)
-		res.Rows = append(res.Rows, []string{
-			fmt.Sprint(k), "CPU", fmt.Sprint(cpuRep.Met), fmt.Sprint(cpuRep.Total),
-		})
+		cells = append(cells, cell{k, "CPU"})
 		if k <= 4 {
-			gpuRep := runSystem(core.SLINFER(), hwsim.Testbed(0, 2+k), models, tr)
-			res.Rows = append(res.Rows, []string{
-				fmt.Sprint(k), "GPU", fmt.Sprint(gpuRep.Met), fmt.Sprint(gpuRep.Total),
-			})
+			cells = append(cells, cell{k, "GPU"})
 		}
 	}
+	res.Rows = sweep(len(cells), func(i int) []string {
+		c := cells[i]
+		specs := hwsim.Testbed(c.k, 2)
+		if c.kind == "GPU" {
+			specs = hwsim.Testbed(0, 2+c.k)
+		}
+		rep := runSystem(core.SLINFER(), specs, models, tr)
+		return []string{fmt.Sprint(c.k), c.kind, fmt.Sprint(rep.Met), fmt.Sprint(rep.Total)}
+	})
 	return res
 }
 
@@ -138,7 +159,9 @@ func runFig25(s Scale) Result {
 		n = 96
 	}
 	models, tr := mixedTrace(n, s, 25)
-	for _, cfg := range []core.Config{core.Sllm(), core.SllmCS(), core.SLINFER()} {
+	cfgs := []core.Config{core.Sllm(), core.SllmCS(), core.SLINFER()}
+	res.Rows = sweep(len(cfgs), func(i int) []string {
+		cfg := cfgs[i]
 		rep := runSystem(cfg, hwsim.Testbed(4, 4), models, tr)
 		cdf := rep.MemUtilCDF[hwsim.GPU]
 		at := func(p float64) string {
@@ -151,11 +174,11 @@ func runFig25(s Scale) Result {
 		if len(rep.BatchCDF) > 0 {
 			batchP90 = rep.BatchCDF[int(0.9*float64(len(rep.BatchCDF)-1))]
 		}
-		res.Rows = append(res.Rows, []string{
+		return []string{
 			cfg.Name, at(0.25), at(0.50), at(0.90), pct(rep.MeanMemUtil[hwsim.GPU]),
 			f1(rep.AvgBatch), fmt.Sprint(batchP90),
-		})
-	}
+		}
+	})
 	return res
 }
 
@@ -179,6 +202,13 @@ func runFig26(s Scale) Result {
 		ratios = ratios[:2]
 	}
 	bases := []model.Model{model.Llama32_3B, model.Llama2_7B, model.Llama2_13B, model.CodeLlama34B}
+	type cell struct {
+		label  string
+		cfg    core.Config
+		models []model.Model
+		tr     workload.Trace
+	}
+	var cells []cell
 	for _, r := range ratios {
 		var models []model.Model
 		var names []string
@@ -195,13 +225,17 @@ func runFig26(s Scale) Result {
 			Dataset: workload.AzureConv, MaxInput: 4096,
 		})
 		for _, cfg := range []core.Config{core.SllmC(), core.SllmCS(), core.SLINFER()} {
-			rep := runSystem(cfg, hwsim.Testbed(4, 6), models, tr)
-			res.Rows = append(res.Rows, []string{
-				r.label, cfg.Name,
-				f2(rep.AvgNodesUsed[hwsim.GPU]), f2(rep.AvgNodesUsed[hwsim.CPU]), f3(rep.SLORate),
-			})
+			cells = append(cells, cell{r.label, cfg, models, tr})
 		}
 	}
+	res.Rows = sweep(len(cells), func(i int) []string {
+		c := cells[i]
+		rep := runSystem(c.cfg, hwsim.Testbed(4, 6), c.models, c.tr)
+		return []string{
+			c.label, c.cfg.Name,
+			f2(rep.AvgNodesUsed[hwsim.GPU]), f2(rep.AvgNodesUsed[hwsim.CPU]), f3(rep.SLORate),
+		}
+	})
 	return res
 }
 
@@ -214,17 +248,37 @@ func runTab03(s Scale) Result {
 	if s == Full {
 		counts = []int{32, 64, 128}
 	}
+	type cell struct {
+		cfg    core.Config
+		n      int
+		models []model.Model
+		tr     workload.Trace
+	}
+	var cells []cell
 	for _, cfg := range []core.Config{core.SllmCS(), core.SLINFER()} {
 		for _, n := range counts {
 			models, tr := paperTrace(model.Llama2_7B, n, s, uint64(30+n))
-			agg := runSystem(cfg, hwsim.Testbed(4, 4), models, tr)
-			pd := runSystem(baseline.Disaggregated(cfg), hwsim.Testbed(4, 4), models, tr)
-			res.Rows = append(res.Rows, []string{
-				cfg.Name, fmt.Sprint(n),
-				f2(agg.AvgNodesUsed[hwsim.GPU]), f2(pd.AvgNodesUsed[hwsim.GPU]),
-				f3(agg.SLORate), f3(pd.SLORate),
-			})
+			cells = append(cells, cell{cfg, n, models, tr})
 		}
+	}
+	// The aggregated and disaggregated runs of one row are independent
+	// cells too; flatten to 2x so they parallelize (sweep must not nest:
+	// a cell holding a worker slot would deadlock waiting for inner ones).
+	reps := sweep(2*len(cells), func(i int) metrics.Report {
+		c := cells[i/2]
+		cfg := c.cfg
+		if i%2 == 1 {
+			cfg = baseline.Disaggregated(cfg)
+		}
+		return runSystem(cfg, hwsim.Testbed(4, 4), c.models, c.tr)
+	})
+	for ri, c := range cells {
+		agg, pd := reps[2*ri], reps[2*ri+1]
+		res.Rows = append(res.Rows, []string{
+			c.cfg.Name, fmt.Sprint(c.n),
+			f2(agg.AvgNodesUsed[hwsim.GPU]), f2(pd.AvgNodesUsed[hwsim.GPU]),
+			f3(agg.SLORate), f3(pd.SLORate),
+		})
 	}
 	return res
 }

@@ -174,13 +174,6 @@ func ms(d sim.Duration) string {
 	return fmt.Sprintf("%.0f", d.Milliseconds())
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // mixedModels builds the 3B/7B/13B mix used in Figures 4 and 25.
 func mixedModels(n int) ([]model.Model, []string) {
 	bases := []model.Model{model.Llama32_3B, model.Llama2_7B, model.Llama2_13B}

@@ -1,11 +1,93 @@
 package experiments
 
 import (
+	"reflect"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"slinfer/internal/model"
 )
+
+// quickIDs is every experiment the test suite asserts on. The first
+// quickResult call regenerates them all through one parallel Sweep so a
+// full suite run pays each experiment once, with cells fanned out across
+// cores, while targeted runs of unrelated tests pay nothing.
+var quickIDs = []string{
+	"fig04", "fig05", "fig06", "fig07", "fig08", "fig10", "fig11",
+	"fig22a", "fig22b", "fig23", "fig24", "fig25", "fig28", "fig29",
+	"fig31", "fig32", "fig34", "fig35", "tab01", "tab02", "tab03",
+	"quant", "abl-fifo",
+}
+
+var (
+	quickOnce    sync.Once
+	quickResults map[string]Result
+)
+
+func ensureQuick(t *testing.T) {
+	t.Helper()
+	quickOnce.Do(func() {
+		res, err := Sweep(quickIDs, Quick, runtime.GOMAXPROCS(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		quickResults = make(map[string]Result, len(quickIDs))
+		for i, id := range quickIDs {
+			quickResults[id] = res[i]
+		}
+	})
+}
+
+// quickResult returns the prefetched Quick-scale result for id, running it
+// on demand when it was not part of the sweep.
+func quickResult(t *testing.T, id string) Result {
+	t.Helper()
+	ensureQuick(t)
+	if r, ok := quickResults[id]; ok {
+		return r
+	}
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	return e.Run(Quick)
+}
+
+// The parallel sweep runner must be a pure wall-clock optimization: cell
+// results merged in stable order are identical to serial execution.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	ensureQuick(t)
+	ids := []string{"fig32", "tab02", "fig28"}
+	serial, err := Sweep(ids, Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		got := quickResults[id] // produced by the shared parallel sweep
+		if !reflect.DeepEqual(serial[i], got) {
+			t.Errorf("%s: parallel result diverged from serial\nserial: %+v\nparallel: %+v",
+				id, serial[i], got)
+		}
+	}
+}
+
+func TestSweepUnknownID(t *testing.T) {
+	if _, err := Sweep([]string{"nope"}, Quick, 2); err == nil {
+		t.Fatal("unknown experiment id must error")
+	}
+}
+
+func TestSetParallelismRoundTrip(t *testing.T) {
+	prev := SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism = %d, want 3", got)
+	}
+	if back := SetParallelism(prev); back != 3 {
+		t.Fatalf("SetParallelism returned %d, want 3", back)
+	}
+}
 
 func TestRegistryComplete(t *testing.T) {
 	// Every table and figure from the DESIGN.md experiment index.
@@ -39,8 +121,7 @@ func TestRegistryComplete(t *testing.T) {
 // The cheap analytic experiments run at any scale; verify their content.
 func TestAnalyticExperiments(t *testing.T) {
 	for _, id := range []string{"fig06", "fig07", "fig08", "fig10", "fig11", "fig28", "tab01", "tab02", "fig34"} {
-		e, _ := ByID(id)
-		res := e.Run(Quick)
+		res := quickResult(t, id)
 		if len(res.Rows) == 0 || len(res.Header) == 0 {
 			t.Errorf("%s: empty result", id)
 		}
@@ -51,8 +132,7 @@ func TestAnalyticExperiments(t *testing.T) {
 }
 
 func TestTab02ShapeMatchesPaper(t *testing.T) {
-	e, _ := ByID("tab02")
-	res := e.Run(Quick)
+	res := quickResult(t, "tab02")
 	// C-7B-2K row: quarter infeasible, full ~27.
 	var c7b2k []string
 	for _, row := range res.Rows {
@@ -73,8 +153,7 @@ func TestTab02ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestFig04ShowsCapacityCliff(t *testing.T) {
-	e, _ := ByID("fig04")
-	res := e.Run(Quick)
+	res := quickResult(t, "fig04")
 	first := res.Metric(0, 1)
 	last := res.Metric(len(res.Rows)-1, 1)
 	if first < 0.85 {
@@ -86,8 +165,7 @@ func TestFig04ShowsCapacityCliff(t *testing.T) {
 }
 
 func TestFig05LowUtilization(t *testing.T) {
-	e, _ := ByID("fig05")
-	res := e.Run(Quick)
+	res := quickResult(t, "fig05")
 	// Mean utilization row is last; paper reports ~23%.
 	mean := res.Metric(len(res.Rows)-1, 1)
 	if mean < 8 || mean > 45 {
@@ -96,8 +174,7 @@ func TestFig05LowUtilization(t *testing.T) {
 }
 
 func TestFig23SharingMattersMost(t *testing.T) {
-	e, _ := ByID("fig23")
-	res := e.Run(Quick)
+	res := quickResult(t, "fig23")
 	rates := map[string]float64{}
 	for i, row := range res.Rows {
 		rates[row[0]] = res.Metric(i, 1)
@@ -108,8 +185,7 @@ func TestFig23SharingMattersMost(t *testing.T) {
 }
 
 func TestQuantReducesGPUs(t *testing.T) {
-	e, _ := ByID("quant")
-	res := e.Run(Quick)
+	res := quickResult(t, "quant")
 	fp16 := res.Metric(0, 1)
 	int4 := res.Metric(1, 1)
 	if int4 >= fp16 {

@@ -109,13 +109,14 @@ func runFig04(s Scale) Result {
 	if s == Full {
 		counts = []int{16, 32, 64, 96, 128}
 	}
-	for _, n := range counts {
+	res.Rows = sweep(len(counts), func(i int) []string {
+		n := counts[i]
 		models, tr := mixedTrace(n, s, 4)
 		rep := runSystem(core.Sllm(), hwsim.Testbed(0, 4), models, tr)
-		res.Rows = append(res.Rows, []string{
+		return []string{
 			fmt.Sprint(n), f3(rep.SLORate), fmt.Sprint(rep.Met), fmt.Sprint(rep.Total), fmt.Sprint(rep.Dropped),
-		})
-	}
+		}
+	})
 	return res
 }
 
@@ -125,7 +126,11 @@ func runFig05(s Scale) Result {
 		n = 128
 	}
 	models, tr := mixedTrace(n, s, 5)
-	rep := runSystem(core.Sllm(), hwsim.Testbed(0, 4), models, tr)
+	// Single cell, still routed through the worker pool so -parallel
+	// bounds hold when many experiments run at once.
+	rep := sweep(1, func(int) metrics.Report {
+		return runSystem(core.Sllm(), hwsim.Testbed(0, 4), models, tr)
+	})[0]
 	cdf := rep.MemUtilCDF[hwsim.GPU]
 	res := Result{
 		ID: "fig05", Title: "per-instance GPU memory utilization (sllm)",
@@ -429,5 +434,3 @@ func runFig34(Scale) Result {
 }
 
 func sortInts(xs []int) { sort.Ints(xs) }
-
-var _ = metrics.Report{}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"slinfer/internal/par"
+)
+
+// The experiment harness is embarrassingly parallel: every (experiment,
+// config, seed) cell is one deterministic single-threaded DES run over its
+// own Simulator, so cells never share mutable state. The runner fans cells
+// out over a bounded worker pool (internal/par) and merges per-cell
+// results in stable input order, which keeps the assembled tables
+// byte-identical to serial execution (modulo the wall-clock overhead
+// columns of fig33, which measure host time by design).
+
+var (
+	workerMu sync.RWMutex
+	// workerSem bounds concurrently executing cells across every
+	// experiment in flight; nil means serial.
+	workerSem par.Sem
+	// sweepMu serializes Sweep/RunAll invocations: the worker bound is
+	// package state, so concurrent sweeps queue rather than trample each
+	// other's setting.
+	sweepMu sync.Mutex
+)
+
+func init() { workerSem = par.NewSem(runtime.GOMAXPROCS(0)) }
+
+// SetParallelism bounds how many simulation cells run concurrently.
+// n <= 1 forces fully serial execution; the default is GOMAXPROCS. It
+// returns the previous setting and must not be called while a sweep is in
+// flight (Sweep/RunAll manage it themselves).
+func SetParallelism(n int) (prev int) {
+	workerMu.Lock()
+	defer workerMu.Unlock()
+	prev = cap(workerSem)
+	if workerSem == nil {
+		prev = 1
+	}
+	workerSem = par.NewSem(n)
+	return prev
+}
+
+// Parallelism returns the current cell-concurrency bound.
+func Parallelism() int {
+	workerMu.RLock()
+	defer workerMu.RUnlock()
+	if workerSem == nil {
+		return 1
+	}
+	return cap(workerSem)
+}
+
+// sweep evaluates n independent cells through the shared worker pool,
+// returning results in index order. Cells must not call sweep themselves:
+// a cell holds a worker slot for its whole duration, so nested sweeps can
+// deadlock a saturated pool — flatten instead (see runTab03).
+func sweep[T any](n int, eval func(int) T) []T {
+	workerMu.RLock()
+	sem := workerSem
+	workerMu.RUnlock()
+	return par.Do(sem, n, eval)
+}
+
+// RunAll regenerates every registered experiment at the given scale,
+// fanning simulation cells out over at most workers goroutines
+// (workers <= 0 keeps the current setting). Results are returned in
+// registry (id) order, identical to running each experiment serially.
+func RunAll(s Scale, workers int) []Result {
+	ids := make([]string, 0, len(registry))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	out, _ := Sweep(ids, s, workers)
+	return out
+}
+
+// Sweep regenerates the named experiments at the given scale with at most
+// workers concurrent simulation cells (workers <= 0 keeps the current
+// setting). Results are returned in input order; an unknown id aborts
+// before anything runs. Concurrent Sweep calls serialize against each
+// other so each gets its requested worker bound.
+func Sweep(ids []string, s Scale, workers int) ([]Result, error) {
+	exps := make([]Experiment, len(ids))
+	for i, id := range ids {
+		e, ok := ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+		}
+		exps[i] = e
+	}
+	sweepMu.Lock()
+	defer sweepMu.Unlock()
+	if workers > 0 {
+		prev := SetParallelism(workers)
+		defer SetParallelism(prev)
+	}
+	out := make([]Result, len(exps))
+	if Parallelism() <= 1 {
+		for i := range exps {
+			out[i] = exps[i].Run(s)
+		}
+		return out, nil
+	}
+	// Experiments fan out unbounded — their own work outside cells is
+	// trace generation and row formatting — while every simulation cell
+	// inside them passes through the shared worker pool.
+	var wg sync.WaitGroup
+	for i := range exps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = exps[i].Run(s)
+		}(i)
+	}
+	wg.Wait()
+	return out, nil
+}

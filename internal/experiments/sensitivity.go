@@ -84,20 +84,30 @@ func runFig27(s Scale) Result {
 	if s == Full {
 		levels = []float64{0.5, 1, 2, 4}
 	}
+	type cell struct {
+		rps float64
+		cfg core.Config
+		tr  workload.Trace
+	}
+	var cells []cell
 	for _, rps := range levels {
 		tr := workload.GenerateBurstGPT(workload.BurstGPTConfig{
 			ModelNames: names, Duration: traceMinutes(s), RPS: rps, Seed: 27,
 			Dataset: workload.AzureConv, MaxInput: 4096,
 		})
 		for _, cfg := range []core.Config{core.SllmCS(), core.SLINFER()} {
-			rep := runSystem(cfg, hwsim.Testbed(4, 4), models, tr)
-			res.Rows = append(res.Rows, []string{
-				f1(rps), cfg.Name,
-				f2(rep.AvgNodesUsed[hwsim.CPU]), f2(rep.AvgNodesUsed[hwsim.GPU]),
-				pct(1 - rep.SLORate),
-			})
+			cells = append(cells, cell{rps, cfg, tr})
 		}
 	}
+	res.Rows = sweep(len(cells), func(i int) []string {
+		c := cells[i]
+		rep := runSystem(c.cfg, hwsim.Testbed(4, 4), models, c.tr)
+		return []string{
+			f1(c.rps), c.cfg.Name,
+			f2(rep.AvgNodesUsed[hwsim.CPU]), f2(rep.AvgNodesUsed[hwsim.GPU]),
+			pct(1 - rep.SLORate),
+		}
+	})
 	return res
 }
 
@@ -113,17 +123,23 @@ func runFig29(s Scale) Result {
 	if s == Full {
 		cores = []int{0, 8, 16, 32}
 	}
-	for _, k := range cores {
+	// One cell per (cores, system); rows reassemble three cells each.
+	cfgsFor := func(k int) []core.Config {
+		return []core.Config{core.NEOPlus(k), core.SllmCS(), core.SLINFER()}
+	}
+	misses := sweep(3*len(cores), func(i int) string {
+		k := cores[i/3]
 		specs := hwsim.Testbed(0, 4)
-		for i := 0; i < 4 && k > 0; i++ {
-			specs = append(specs, hwsim.NewHarvestedCPUNode(fmt.Sprintf("harvest-%d", i), k))
+		for j := 0; j < 4 && k > 0; j++ {
+			specs = append(specs, hwsim.NewHarvestedCPUNode(fmt.Sprintf("harvest-%d", j), k))
 		}
-		row := []string{fmt.Sprint(k)}
-		for _, cfg := range []core.Config{core.NEOPlus(k), core.SllmCS(), core.SLINFER()} {
-			rep := runSystem(cfg, specs, models, tr)
-			row = append(row, pct(1-rep.SLORate))
-		}
-		res.Rows = append(res.Rows, row)
+		rep := runSystem(cfgsFor(k)[i%3], specs, models, tr)
+		return pct(1 - rep.SLORate)
+	})
+	for ki, k := range cores {
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(k), misses[3*ki], misses[3*ki+1], misses[3*ki+2],
+		})
 	}
 	return res
 }
@@ -138,6 +154,11 @@ func runFig30(s Scale) Result {
 	if s == Full {
 		thresholds = []float64{0, 1, 2, 4, 8}
 	}
+	type cell struct {
+		ka  float64
+		cfg core.Config
+	}
+	var cells []cell
 	for _, ka := range thresholds {
 		for _, base := range []core.Config{core.SllmCS(), core.SLINFER()} {
 			cfg := base
@@ -145,12 +166,16 @@ func runFig30(s Scale) Result {
 			if ka == 0 {
 				cfg.KeepAlive = 0.01
 			}
-			rep := runSystem(cfg, hwsim.Testbed(4, 4), models, tr)
-			res.Rows = append(res.Rows, []string{
-				f1(ka), cfg.Name, f2(rep.AvgNodesUsed[hwsim.GPU]), f2(rep.TTFTP95),
-			})
+			cells = append(cells, cell{ka, cfg})
 		}
 	}
+	res.Rows = sweep(len(cells), func(i int) []string {
+		c := cells[i]
+		rep := runSystem(c.cfg, hwsim.Testbed(4, 4), models, tr)
+		return []string{
+			f1(c.ka), c.cfg.Name, f2(rep.AvgNodesUsed[hwsim.GPU]), f2(rep.TTFTP95),
+		}
+	})
 	return res
 }
 
@@ -164,14 +189,15 @@ func runFig31(s Scale) Result {
 	if s == Full {
 		marks = []float64{0, 0.10, 0.25, 0.50, 1.0}
 	}
-	for _, w := range marks {
+	res.Rows = sweep(len(marks), func(i int) []string {
+		w := marks[i]
 		cfg := core.SLINFER()
 		cfg.Watermark = kvcache.Watermark{W: w}
 		rep := runSystem(cfg, hwsim.Testbed(4, 4), models, tr)
-		res.Rows = append(res.Rows, []string{
+		return []string{
 			pct(w), pct(rep.MeanKVUtil), pct(rep.ScalingOverhead), pct(rep.MigrationRate), f3(rep.SLORate),
-		})
-	}
+		}
+	})
 	return res
 }
 
@@ -185,14 +211,14 @@ func runFig32(s Scale) Result {
 	if s == Full {
 		ks = []int{1, 2, 3, 4}
 	}
-	for _, k := range ks {
-		for _, cfg := range []core.Config{core.SllmCS(), core.SLINFER()} {
-			rep := runSystem(cfg, hwsim.Testbed(k, k), models, tr)
-			res.Rows = append(res.Rows, []string{
-				fmt.Sprintf("%dC+%dG", k, k), cfg.Name, fmt.Sprint(rep.Met), fmt.Sprint(rep.Total),
-			})
+	cfgs := []core.Config{core.SllmCS(), core.SLINFER()}
+	res.Rows = sweep(len(ks)*len(cfgs), func(i int) []string {
+		k, cfg := ks[i/len(cfgs)], cfgs[i%len(cfgs)]
+		rep := runSystem(cfg, hwsim.Testbed(k, k), models, tr)
+		return []string{
+			fmt.Sprintf("%dC+%dG", k, k), cfg.Name, fmt.Sprint(rep.Met), fmt.Sprint(rep.Total),
 		}
-	}
+	})
 	return res
 }
 
@@ -206,12 +232,13 @@ func runFig33(s Scale) Result {
 	if s == Full {
 		ks = []int{1, 2, 3, 4}
 	}
-	for _, k := range ks {
+	res.Rows = sweep(len(ks), func(i int) []string {
+		k := ks[i]
 		rep := runSystem(core.SLINFER(), hwsim.Testbed(k, k), models, tr)
-		res.Rows = append(res.Rows, []string{
+		return []string{
 			fmt.Sprintf("%dC+%dG", k, k), f3(rep.ValidationMS), f2(rep.ScheduleUS),
-		})
-	}
+		}
+	})
 	return res
 }
 
@@ -225,21 +252,31 @@ func runFig35(s Scale) Result {
 		datasets = workload.Datasets()
 	}
 	models, names := replicaNames(model.Llama31_8B, 64)
+	type cell struct {
+		d   workload.Dataset
+		cfg core.Config
+		tr  workload.Trace
+	}
+	var cells []cell
 	for _, d := range datasets {
 		tr := workload.Generate(workload.TraceConfig{
 			ModelNames: names, Duration: traceMinutes(s), Seed: 35,
 			Dataset: d, MaxInput: model.Llama31_8B.MaxContext,
 		})
 		for _, cfg := range []core.Config{core.SllmCS(), core.SLINFER()} {
-			rep := runSystem(cfg, hwsim.Testbed(4, 4), models, tr)
-			res.Rows = append(res.Rows, []string{
-				d.Name, cfg.Name,
-				f2(rep.AvgNodesUsed[hwsim.CPU]), f2(rep.AvgNodesUsed[hwsim.GPU]),
-				f1(rep.DecodeSpeed[hwsim.CPU]), f1(rep.DecodeSpeed[hwsim.GPU]),
-				f3(rep.SLORate),
-			})
+			cells = append(cells, cell{d, cfg, tr})
 		}
 	}
+	res.Rows = sweep(len(cells), func(i int) []string {
+		c := cells[i]
+		rep := runSystem(c.cfg, hwsim.Testbed(4, 4), models, c.tr)
+		return []string{
+			c.d.Name, c.cfg.Name,
+			f2(rep.AvgNodesUsed[hwsim.CPU]), f2(rep.AvgNodesUsed[hwsim.GPU]),
+			f1(rep.DecodeSpeed[hwsim.CPU]), f1(rep.DecodeSpeed[hwsim.GPU]),
+			f3(rep.SLORate),
+		}
+	})
 	return res
 }
 
@@ -252,7 +289,9 @@ func runQuant(s Scale) Result {
 	if s == Full {
 		n = 32
 	}
-	for _, prec := range []model.Precision{model.FP16, model.INT4} {
+	precs := []model.Precision{model.FP16, model.INT4}
+	res.Rows = sweep(len(precs), func(i int) []string {
+		prec := precs[i]
 		base := model.Codestral22B.Quantized(prec)
 		models, names := replicaNames(base, n)
 		tr := workload.Generate(workload.TraceConfig{
@@ -260,11 +299,11 @@ func runQuant(s Scale) Result {
 			Dataset: workload.AzureConv, MaxInput: 4096,
 		})
 		c, rep := runSystemCtl(core.SLINFER(), hwsim.Testbed(0, 6), models, tr)
-		res.Rows = append(res.Rows, []string{
+		return []string{
 			prec.String(), f2(rep.AvgNodesUsed[hwsim.GPU]), f3(rep.SLORate),
 			fmt.Sprint(c.Collector.ColdStarts),
-		})
-	}
+		}
+	})
 	res.Notes = append(res.Notes, "fp16 22B weights (~44GB) block colocation on 80GB GPUs; int4 (~11GB) shares")
 	return res
 }
@@ -275,15 +314,17 @@ func runAblFIFO(s Scale) Result {
 		Header: []string{"scheduler", "slo_rate", "met", "total"},
 	}
 	models, tr := paperTrace(model.Llama2_7B, 64, s, 40)
-	for _, p := range []struct {
+	variants := []struct {
 		label string
 		token bool
-	}{{"headroom", true}, {"fifo", false}} {
+	}{{"headroom", true}, {"fifo", false}}
+	res.Rows = sweep(len(variants), func(i int) []string {
+		p := variants[i]
 		cfg := core.SLINFER()
 		cfg.TokenLevelSched = p.token
 		rep := runSystem(cfg, hwsim.Testbed(4, 4), models, tr)
-		res.Rows = append(res.Rows, []string{p.label, f3(rep.SLORate), fmt.Sprint(rep.Met), fmt.Sprint(rep.Total)})
-	}
+		return []string{p.label, f3(rep.SLORate), fmt.Sprint(rep.Met), fmt.Sprint(rep.Total)}
+	})
 	return res
 }
 
@@ -297,13 +338,14 @@ func runAblMargin(s Scale) Result {
 	if s == Full {
 		margins = []float64{1.0, 1.10, 1.25, 1.50}
 	}
-	for _, m := range margins {
+	res.Rows = sweep(len(margins), func(i int) []string {
+		m := margins[i]
 		cfg := core.SLINFER()
 		cfg.Overestimate = m
 		rep := runSystem(cfg, hwsim.Testbed(4, 4), models, tr)
-		res.Rows = append(res.Rows, []string{
+		return []string{
 			f2(m), f3(rep.SLORate), f2(rep.AvgNodesUsed[hwsim.CPU]), f2(rep.AvgNodesUsed[hwsim.GPU]),
-		})
-	}
+		}
+	})
 	return res
 }

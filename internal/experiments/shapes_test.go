@@ -10,8 +10,7 @@ import (
 
 func TestFig22SLINFERWinsAtHighLoad(t *testing.T) {
 	for _, id := range []string{"fig22a", "fig22b"} {
-		e, _ := ByID(id)
-		res := e.Run(Quick)
+		res := quickResult(t, id)
 		// Rows: (32, 4 systems), (128, 4 systems); slo_met is column 2.
 		sllmMet := res.Metric(4, 2)
 		slinferMet := res.Metric(7, 2)
@@ -25,8 +24,7 @@ func TestFig22SLINFERWinsAtHighLoad(t *testing.T) {
 }
 
 func TestFig22SLINFERUsesFewerGPUsAtLowLoad(t *testing.T) {
-	e, _ := ByID("fig22b")
-	res := e.Run(Quick)
+	res := quickResult(t, "fig22b")
 	sllmGPU := res.Metric(0, 7)
 	slinferGPU := res.Metric(3, 7)
 	if slinferGPU >= sllmGPU {
@@ -35,8 +33,7 @@ func TestFig22SLINFERUsesFewerGPUsAtLowLoad(t *testing.T) {
 }
 
 func TestFig25MemoryUtilizationTiers(t *testing.T) {
-	e, _ := ByID("fig25")
-	res := e.Run(Quick)
+	res := quickResult(t, "fig25")
 	// mem_mean column 4: sllm < sllm+c+s < SLINFER, SLINFER near 1.
 	sllm, scs, slinfer := res.Metric(0, 4), res.Metric(1, 4), res.Metric(2, 4)
 	if !(sllm < scs && scs < slinfer) {
@@ -51,8 +48,7 @@ func TestFig25MemoryUtilizationTiers(t *testing.T) {
 }
 
 func TestFig29SLINFERBeatsNEO(t *testing.T) {
-	e, _ := ByID("fig29")
-	res := e.Run(Quick)
+	res := quickResult(t, "fig29")
 	for i := range res.Rows {
 		neo, slinfer := res.Metric(i, 1), res.Metric(i, 3)
 		if slinfer >= neo {
@@ -62,8 +58,7 @@ func TestFig29SLINFERBeatsNEO(t *testing.T) {
 }
 
 func TestFig31WatermarkKillsOverhead(t *testing.T) {
-	e, _ := ByID("fig31")
-	res := e.Run(Quick)
+	res := quickResult(t, "fig31")
 	// Column 2 is scaling overhead; row 0 is w=0, row 1 is w=25%.
 	w0, w25 := res.Metric(0, 2), res.Metric(1, 2)
 	if w25 >= w0/3 {
@@ -76,8 +71,7 @@ func TestFig31WatermarkKillsOverhead(t *testing.T) {
 }
 
 func TestFig32MoreNodesMoreCapacity(t *testing.T) {
-	e, _ := ByID("fig32")
-	res := e.Run(Quick)
+	res := quickResult(t, "fig32")
 	// SLINFER rows are odd indices; met must be nondecreasing with nodes
 	// and always above sllm+c+s at the same size.
 	var prev float64
@@ -94,8 +88,7 @@ func TestFig32MoreNodesMoreCapacity(t *testing.T) {
 }
 
 func TestFig35LongBenchPushesSLINFERToGPU(t *testing.T) {
-	e, _ := ByID("fig35")
-	res := e.Run(Quick)
+	res := quickResult(t, "fig35")
 	var rows [][]string
 	for _, row := range res.Rows {
 		if row[0] == "LongBench" {
@@ -123,8 +116,7 @@ func TestFig35LongBenchPushesSLINFERToGPU(t *testing.T) {
 }
 
 func TestTab03PDHurts(t *testing.T) {
-	e, _ := ByID("tab03")
-	res := e.Run(Quick)
+	res := quickResult(t, "tab03")
 	for i := range res.Rows {
 		agg, pd := res.Metric(i, 4), res.Metric(i, 5)
 		if pd >= agg {
@@ -134,8 +126,7 @@ func TestTab03PDHurts(t *testing.T) {
 }
 
 func TestAblationFIFOMuchWorse(t *testing.T) {
-	e, _ := ByID("abl-fifo")
-	res := e.Run(Quick)
+	res := quickResult(t, "abl-fifo")
 	headroom, fifo := res.Metric(0, 1), res.Metric(1, 1)
 	if headroom < fifo+0.2 {
 		t.Errorf("headroom %v should dominate FIFO %v", headroom, fifo)
@@ -143,8 +134,7 @@ func TestAblationFIFOMuchWorse(t *testing.T) {
 }
 
 func TestFig24GPUBeatsCPUAtTheMargin(t *testing.T) {
-	e, _ := ByID("fig24")
-	res := e.Run(Quick)
+	res := quickResult(t, "fig24")
 	// Adding nodes of either kind must not reduce capacity, and an added
 	// GPU is worth more than an added CPU (paper: 3-4 CPUs ~ 1 GPU).
 	byKind := map[string][]float64{}

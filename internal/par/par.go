@@ -1,0 +1,48 @@
+// Package par provides the minimal bounded fan-out primitive shared by
+// the experiment sweep runner and the profile CLI: evaluate n independent
+// cells, gate concurrency on a semaphore, return results in input order.
+package par
+
+import "sync"
+
+// Sem is a counting semaphore bounding concurrent cells. A nil Sem means
+// serial execution.
+type Sem chan struct{}
+
+// NewSem returns a semaphore admitting up to n concurrent cells, or nil
+// (serial) for n <= 1.
+func NewSem(n int) Sem {
+	if n <= 1 {
+		return nil
+	}
+	return make(Sem, n)
+}
+
+// Do evaluates cells 0..n-1 and returns their results in index order.
+// With a nil semaphore it degenerates to a plain loop; otherwise every
+// cell — including a lone one, so single-cell sweeps still respect a
+// shared bound — runs holding a semaphore slot for its duration. Cells
+// must not call Do on the same semaphore: a cell holding a slot while
+// waiting for inner ones can deadlock a saturated pool — flatten nested
+// fan-outs instead.
+func Do[T any](sem Sem, n int, eval func(int) T) []T {
+	out := make([]T, n)
+	if sem == nil {
+		for i := range out {
+			out[i] = eval(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = eval(i)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,42 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoSerialAndOrder(t *testing.T) {
+	got := Do(nil, 5, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestDoBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int32
+	Do(NewSem(3), 64, func(i int) int {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		defer cur.Add(-1)
+		return i
+	})
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency %d exceeds bound 3", p)
+	}
+}
+
+func TestNewSemSerial(t *testing.T) {
+	if NewSem(1) != nil || NewSem(0) != nil {
+		t.Fatal("n<=1 must be serial (nil sem)")
+	}
+	if cap(NewSem(4)) != 4 {
+		t.Fatal("sem capacity")
+	}
+}

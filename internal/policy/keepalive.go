@@ -1,0 +1,25 @@
+package policy
+
+import (
+	"slinfer/internal/engine"
+	"slinfer/internal/sim"
+)
+
+// FixedKeepAlive retains idle instances for a constant window before
+// reclamation (§V; paper default 1 s).
+type FixedKeepAlive struct {
+	// Idle is how long an idle instance lingers.
+	Idle sim.Duration
+}
+
+// Arm (re)schedules the idle-reclamation timer.
+func (p FixedKeepAlive) Arm(h Host, inst *engine.Instance) {
+	h.ArmReclaim(inst, p.Idle)
+}
+
+// Pin never reclaims idle instances — models stay resident once loaded
+// (a provisioned-capacity scenario the knob-based presets cannot express).
+type Pin struct{}
+
+// Arm does nothing: no reclamation timer is ever scheduled.
+func (Pin) Arm(Host, *engine.Instance) {}

@@ -1,0 +1,179 @@
+package policy
+
+import (
+	"testing"
+
+	"slinfer/internal/cluster"
+	"slinfer/internal/compute"
+	"slinfer/internal/engine"
+	"slinfer/internal/hwsim"
+	"slinfer/internal/model"
+	"slinfer/internal/perfmodel"
+	"slinfer/internal/sim"
+)
+
+// fakeHost implements Host for the pure policy mechanics; methods the
+// tested paths never touch panic so an unexpected call fails loudly.
+type fakeHost struct {
+	cl     *cluster.Cluster
+	slots  map[int]float64
+	wired  int
+	armed  []sim.Duration
+	shared *cluster.Executor
+}
+
+func newFakeHost() *fakeHost {
+	return &fakeHost{
+		cl:    cluster.New(sim.New(), hwsim.Testbed(1, 1)),
+		slots: map[int]float64{},
+	}
+}
+
+func (h *fakeHost) Now() sim.Time          { return 0 }
+func (h *fakeHost) Nodes() []*cluster.Node { return h.cl.Nodes }
+func (h *fakeHost) NodesOfKind(k hwsim.Kind) []*cluster.Node {
+	return h.cl.NodesOfKind(k)
+}
+func (h *fakeHost) SlotUsed(idx int) float64 { return h.slots[idx] }
+func (h *fakeHost) AddSlot(idx int, d float64) {
+	h.slots[idx] += d
+	if h.slots[idx] < 0 {
+		h.slots[idx] = 0
+	}
+}
+func (h *fakeHost) RouteCandidates(model.Model) []*engine.Instance { panic("unused") }
+func (h *fakeHost) ExecutorOf(*engine.Instance) *cluster.Executor  { panic("unused") }
+func (h *fakeHost) SharedExecutor(int) *cluster.Executor           { return h.shared }
+func (h *fakeHost) WireExecutor(*cluster.Executor)                 { h.wired++ }
+func (h *fakeHost) Model(string) model.Model                       { panic("unused") }
+func (h *fakeHost) Profile(hwsim.DeviceClass, model.Model, float64) *perfmodel.Profile {
+	panic("unused")
+}
+func (h *fakeHost) FixedLimit(model.Model, hwsim.DeviceClass, float64) (int, bool) {
+	return 0, false
+}
+func (h *fakeHost) MaxBatch() int                 { return 256 }
+func (h *fakeHost) Validator() *compute.Validator { panic("unused") }
+func (h *fakeHost) ValidateOn(*cluster.Executor, *engine.Instance, compute.ReqView, sim.Duration, sim.Duration) bool {
+	panic("unused")
+}
+func (h *fakeHost) ValidateScaleOut(*cluster.Executor, *perfmodel.Profile, *engine.Request, sim.Duration) bool {
+	panic("unused")
+}
+func (h *fakeHost) CreationBytes(model.Model, *cluster.Node, float64, *engine.Request) int64 {
+	panic("unused")
+}
+func (h *fakeHost) Spawn(model.Model, []*cluster.Node, float64, *engine.Request) bool {
+	panic("unused")
+}
+func (h *fakeHost) Admit(*engine.Request, *engine.Instance) bool { panic("unused") }
+func (h *fakeHost) Migrate(*engine.Request, *engine.Instance)    { panic("unused") }
+func (h *fakeHost) Reclaim(*engine.Instance)                     { panic("unused") }
+func (h *fakeHost) ArmReclaim(_ *engine.Instance, d sim.Duration) {
+	h.armed = append(h.armed, d)
+}
+func (h *fakeHost) RecordPreemption() { panic("unused") }
+
+func TestBinPackShare(t *testing.T) {
+	p := &BinPack{Mode: Static, StaticShare: 0.5}
+	if got := p.Share(model.Llama2_7B, hwsim.A100); got != 0.5 {
+		t.Errorf("static GPU share = %v, want 0.5", got)
+	}
+	// §IX-A exception: 13B on CPU keeps the whole node even under static
+	// partitioning.
+	if got := p.Share(model.Llama2_13B, hwsim.XeonGen4); got != 1 {
+		t.Errorf("static 13B CPU share = %v, want 1", got)
+	}
+	elastic := &BinPack{Mode: Elastic}
+	if got := elastic.Share(model.Llama2_13B, hwsim.XeonGen4); got != 1 {
+		t.Errorf("elastic share = %v, want 1", got)
+	}
+}
+
+func TestBinPackHasSlot(t *testing.T) {
+	h := newFakeHost()
+	n := h.cl.Nodes[0]
+	static := &BinPack{Mode: Static, StaticShare: 0.5}
+	if !static.HasSlot(h, n, 0.5) {
+		t.Error("empty node must have a half slot")
+	}
+	h.slots[n.Idx] = 0.75
+	if static.HasSlot(h, n, 0.5) {
+		t.Error("0.75 used + 0.5 share must not fit")
+	}
+	elastic := &BinPack{Mode: Elastic}
+	if !elastic.HasSlot(h, n, 1) {
+		t.Error("elastic sharing always has a slot (validation gates instead)")
+	}
+}
+
+func TestBinPackCarveAndRelease(t *testing.T) {
+	h := newFakeHost()
+	n := h.cl.Nodes[0]
+	p := &BinPack{Mode: Static, StaticShare: 0.5}
+	ex := p.CarveExecutor(h, []*cluster.Node{n}, 0.5)
+	if ex == nil || ex.Node != n {
+		t.Fatal("carved executor not bound to its node")
+	}
+	if h.wired != 1 {
+		t.Errorf("wired = %d, want 1 (dedicated executors must be wired)", h.wired)
+	}
+	if h.slots[n.Idx] != 0.5 {
+		t.Errorf("slot charge = %v, want 0.5", h.slots[n.Idx])
+	}
+	inst := &engine.Instance{NodeIdxs: []int{n.Idx}, Share: 0.5}
+	p.ReleaseExecutor(h, inst, ex)
+	if h.slots[n.Idx] != 0 {
+		t.Errorf("slot after release = %v, want 0", h.slots[n.Idx])
+	}
+	if len(n.Executors) != 0 {
+		t.Error("dedicated executor must detach from its node on release")
+	}
+}
+
+func TestBinPackElasticUsesSharedExecutor(t *testing.T) {
+	h := newFakeHost()
+	n := h.cl.Nodes[0]
+	h.shared = n.NewExecutor(1)
+	p := &BinPack{Mode: Elastic}
+	if got := p.CarveExecutor(h, []*cluster.Node{n}, 1); got != h.shared {
+		t.Fatal("elastic mode must reuse the node's shared executor")
+	}
+	if h.wired != 0 {
+		t.Error("shared executors are wired at construction, not per instance")
+	}
+	inst := &engine.Instance{NodeIdxs: []int{n.Idx}, Share: 1}
+	p.ReleaseExecutor(h, inst, h.shared)
+	if len(n.Executors) != 1 {
+		t.Error("shared executor must survive instance teardown")
+	}
+}
+
+func TestKeepAlivePolicies(t *testing.T) {
+	h := newFakeHost()
+	inst := &engine.Instance{}
+	FixedKeepAlive{Idle: 2.5}.Arm(h, inst)
+	if len(h.armed) != 1 || h.armed[0] != 2.5 {
+		t.Errorf("armed = %v, want [2.5]", h.armed)
+	}
+	Pin{}.Arm(h, inst)
+	if len(h.armed) != 1 {
+		t.Error("Pin must never arm a reclamation timer")
+	}
+}
+
+func TestNoPreemption(t *testing.T) {
+	if (NoPreemption{}).TryPreempt(nil, nil, model.Model{}) {
+		t.Error("NoPreemption must always fail")
+	}
+}
+
+func TestSharingModeString(t *testing.T) {
+	for m, want := range map[SharingMode]string{
+		Exclusive: "exclusive", Static: "static", Elastic: "elastic",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %s, want %s", m, m.String(), want)
+		}
+	}
+}

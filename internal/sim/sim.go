@@ -47,6 +47,7 @@ type Event struct {
 	fn       func()
 	index    int // heap index, -1 once popped or cancelled
 	canceled bool
+	owner    *Simulator
 }
 
 // At returns the virtual time the event is scheduled for.
@@ -54,11 +55,16 @@ func (e *Event) At() Time { return e.at }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op. Returns true if the event was pending.
+//
+// The event is removed from the queue eagerly: long runs that cancel many
+// drop/keep-alive timers do not accumulate dead entries in the heap, and
+// Pending stays an O(1) read.
 func (e *Event) Cancel() bool {
 	if e == nil || e.canceled || e.index < 0 {
 		return false
 	}
 	e.canceled = true
+	heap.Remove(&e.owner.queue, e.index)
 	return true
 }
 
@@ -115,16 +121,9 @@ func (s *Simulator) Now() Time { return s.now }
 // Fired returns the number of events executed so far.
 func (s *Simulator) Fired() uint64 { return s.fired }
 
-// Pending returns the number of events still scheduled.
-func (s *Simulator) Pending() int {
-	n := 0
-	for _, e := range s.queue {
-		if !e.canceled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of events still scheduled. Cancelled events
+// leave the queue immediately, so this is a plain length read.
+func (s *Simulator) Pending() int { return len(s.queue) }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it would silently reorder causality and every caller bug we have seen
@@ -136,7 +135,7 @@ func (s *Simulator) At(t Time, fn func()) *Event {
 	if math.IsNaN(float64(t)) || math.IsInf(float64(t), 0) {
 		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", float64(t)))
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
+	e := &Event{at: t, seq: s.seq, fn: fn, owner: s}
 	s.seq++
 	heap.Push(&s.queue, e)
 	return e
@@ -154,19 +153,17 @@ func (s *Simulator) After(d Duration, fn func()) *Event {
 func (s *Simulator) Stop() { s.stopped = true }
 
 // Step executes the single earliest pending event, advancing the clock to
-// its timestamp. It returns false when no events remain.
+// its timestamp. It returns false when no events remain. Cancelled events
+// were already removed by Cancel, so whatever is popped is live.
 func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.canceled {
-			continue
-		}
-		s.now = e.at
-		s.fired++
-		e.fn()
-		return true
+	if len(s.queue) == 0 {
+		return false
 	}
-	return false
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.at
+	s.fired++
+	e.fn()
+	return true
 }
 
 // Run executes events until the queue drains or Stop is called.
@@ -193,12 +190,8 @@ func (s *Simulator) RunUntil(deadline Time) {
 }
 
 func (s *Simulator) peek() *Event {
-	for len(s.queue) > 0 {
-		e := s.queue[0]
-		if !e.canceled {
-			return e
-		}
-		heap.Pop(&s.queue)
+	if len(s.queue) == 0 {
+		return nil
 	}
-	return nil
+	return s.queue[0]
 }

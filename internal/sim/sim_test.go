@@ -207,3 +207,55 @@ func TestExpMean(t *testing.T) {
 		t.Fatalf("Exp mean = %.3f, want ~2.5", mean)
 	}
 }
+
+func TestCancelRemovesFromHeapEagerly(t *testing.T) {
+	s := New()
+	var evs []*Event
+	for i := 0; i < 1000; i++ {
+		evs = append(evs, s.After(Duration(i+1), func() {}))
+	}
+	fired := 0
+	s.After(2000, func() { fired++ })
+	for _, e := range evs {
+		if !e.Cancel() {
+			t.Fatal("Cancel returned false for a pending event")
+		}
+	}
+	// Cancelled timers must leave the queue immediately, not linger as
+	// dead entries until their timestamp is reached.
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+	s.Run()
+	if fired != 1 || s.Fired() != 1 {
+		t.Fatalf("fired=%d Fired=%d, want 1/1", fired, s.Fired())
+	}
+}
+
+func TestCancelHeadPreservesOrder(t *testing.T) {
+	s := New()
+	var order []int
+	a := s.After(1, func() { order = append(order, 1) })
+	s.After(2, func() { order = append(order, 2) })
+	s.After(3, func() { order = append(order, 3) })
+	a.Cancel()
+	s.Run()
+	if len(order) != 2 || order[0] != 2 || order[1] != 3 {
+		t.Fatalf("order = %v, want [2 3]", order)
+	}
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	s := New()
+	var b *Event
+	ran := false
+	s.After(1, func() { b.Cancel() })
+	b = s.After(2, func() { ran = true })
+	s.Run()
+	if ran {
+		t.Fatal("cancelled-from-an-event callback still ran")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", s.Pending())
+	}
+}

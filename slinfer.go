@@ -22,6 +22,7 @@ import (
 	"slinfer/internal/hwsim"
 	"slinfer/internal/metrics"
 	"slinfer/internal/model"
+	"slinfer/internal/policy"
 	"slinfer/internal/sim"
 	"slinfer/internal/workload"
 )
@@ -44,6 +45,46 @@ type (
 	Dataset = workload.Dataset
 	// Report is a run's derived metrics.
 	Report = metrics.Report
+)
+
+// Policy layer: a serving scheme is a composition of three policies over
+// the thin controller. Set them on Config (Placement, Preemption,
+// KeepAlivePolicy) to build schemes beyond the paper's presets; nil fields
+// compose the preset behavior from the scalar knobs. See DESIGN.md and
+// examples/custompolicy.
+type (
+	// PlacementPolicy decides where new instances land and how node
+	// compute is carved for them.
+	PlacementPolicy = policy.PlacementPolicy
+	// PreemptionPolicy decides whether neighbours are preempted so an
+	// existing instance can absorb a request in place.
+	PreemptionPolicy = policy.PreemptionPolicy
+	// KeepAlivePolicy decides how long idle instances are retained.
+	KeepAlivePolicy = policy.KeepAlivePolicy
+	// PolicyHost is the controller surface custom policies program
+	// against.
+	PolicyHost = policy.Host
+	// SharingMode selects how node compute is divided among instances.
+	SharingMode = policy.SharingMode
+
+	// BinPackPlacement is the paper's best-fit bin-packing placement,
+	// parameterized by sharing mode.
+	BinPackPlacement = policy.BinPack
+	// SLOPreservingPreemption is the §VIII-A consolidation policy.
+	SLOPreservingPreemption = policy.SLOPreserving
+	// NoPreemption disables consolidation.
+	NoPreemption = policy.NoPreemption
+	// FixedKeepAlive reclaims idle instances after a constant window.
+	FixedKeepAlive = policy.FixedKeepAlive
+	// PinKeepAlive never reclaims idle instances.
+	PinKeepAlive = policy.Pin
+)
+
+// Sharing modes.
+const (
+	Exclusive     = policy.Exclusive
+	StaticSharing = policy.Static
+	Elastic       = policy.Elastic
 )
 
 // Device kinds for Report lookups.
