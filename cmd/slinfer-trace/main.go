@@ -1,20 +1,27 @@
 // Command slinfer-trace generates and characterizes synthetic multi-model
 // traces (the Azure-Serverless-style and BurstGPT-style workloads of §IX-A
-// and §IX-I2), printing the Figure-21-style summary.
+// and §IX-I2), printing the Figure-21-style summary. With -o it also
+// persists the trace as versioned JSONL (see internal/workload/traceio) and
+// verifies the file round-trips byte-identically, so the recording can be
+// replayed later with `slinfer -trace`.
 //
 // Usage:
 //
 //	slinfer-trace -models 64 -minutes 30 -dataset AzureConv
 //	slinfer-trace -models 64 -burstgpt -rps 2
+//	slinfer-trace -models 16 -minutes 5 -o trace.jsonl -base llama-2-7b
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
+	"slinfer/internal/model"
 	"slinfer/internal/sim"
 	"slinfer/internal/workload"
+	"slinfer/internal/workload/traceio"
 )
 
 func main() {
@@ -24,6 +31,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generator seed")
 	burst := flag.Bool("burstgpt", false, "generate a BurstGPT-style trace instead")
 	rps := flag.Float64("rps", 1, "aggregate RPS (BurstGPT mode)")
+	out := flag.String("o", "", "save the trace as JSONL to this path (round-trip verified)")
+	base := flag.String("base", model.Llama2_7B.Name,
+		"catalog model recorded as the trace's base identity (used by replay)")
 	flag.Parse()
 
 	ds, ok := workload.DatasetByName(*dataset)
@@ -31,20 +41,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
 		os.Exit(2)
 	}
+	baseModel, ok := model.ByName(*base)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown base model %q\n", *base)
+		os.Exit(2)
+	}
 	names := make([]string, *n)
 	for i := range names {
 		names[i] = fmt.Sprintf("model-%03d", i)
 	}
+	// Only cap input lengths when recording for replay: a saved trace's
+	// lengths should match what replay against the base model will serve.
+	// Pure characterization runs keep the dataset's full distribution.
+	maxInput := 0
+	if *out != "" {
+		maxInput = baseModel.MaxContext
+		if ds.InMax > maxInput {
+			fmt.Fprintf(os.Stderr, "note: capping %s inputs at %s's %d-token context for replay\n",
+				ds.Name, baseModel.Name, maxInput)
+		}
+	}
 	var tr workload.Trace
+	generator := "azure"
 	if *burst {
+		generator = "burstgpt"
 		tr = workload.GenerateBurstGPT(workload.BurstGPTConfig{
 			ModelNames: names, Duration: sim.Duration(*minutes) * sim.Minute,
-			RPS: *rps, Dataset: ds, Seed: *seed,
+			RPS: *rps, Dataset: ds, Seed: *seed, MaxInput: maxInput,
 		})
 	} else {
 		tr = workload.Generate(workload.TraceConfig{
 			ModelNames: names, Duration: sim.Duration(*minutes) * sim.Minute,
-			Dataset: ds, Seed: *seed,
+			Dataset: ds, Seed: *seed, MaxInput: maxInput,
 		})
 	}
 	if err := tr.Validate(); err != nil {
@@ -64,10 +92,48 @@ func main() {
 	if len(cc) > 0 {
 		fmt.Printf("hottest model offered concurrency: P50 %d / max %d\n", cc[len(cc)/2], cc[len(cc)-1])
 	}
+
+	if *out != "" {
+		meta := traceio.Meta{Dataset: ds.Name, Seed: *seed, Generator: generator, BaseModel: baseModel.Name}
+		if err := saveVerified(*out, tr, meta); err != nil {
+			fmt.Fprintf(os.Stderr, "save: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved %d requests to %s (round-trip verified)\n", len(tr.Requests), *out)
+	}
+
 	fmt.Println("\nper-minute request timeline:")
 	for i, c := range st.PerMinute {
 		fmt.Printf("  min %2d: %4d %s\n", i, c, bar(c))
 	}
+}
+
+// saveVerified writes the trace and proves the file is a faithful,
+// canonical recording: it loads the file back, validates the invariants,
+// and re-saves to memory expecting identical bytes.
+func saveVerified(path string, tr workload.Trace, meta traceio.Meta) error {
+	if err := traceio.SaveFile(path, tr, meta); err != nil {
+		return err
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	got, gotMeta, err := traceio.Load(bytes.NewReader(onDisk))
+	if err != nil {
+		return fmt.Errorf("reload failed: %w", err)
+	}
+	if err := got.Validate(); err != nil {
+		return fmt.Errorf("reloaded trace invalid: %w", err)
+	}
+	var resaved bytes.Buffer
+	if err := traceio.Save(&resaved, got, gotMeta); err != nil {
+		return fmt.Errorf("re-save failed: %w", err)
+	}
+	if !bytes.Equal(onDisk, resaved.Bytes()) {
+		return fmt.Errorf("round-trip not byte-identical: %s is not canonical", path)
+	}
+	return nil
 }
 
 func bar(n int) string {

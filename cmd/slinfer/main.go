@@ -1,4 +1,5 @@
-// Command slinfer regenerates the paper's tables and figures.
+// Command slinfer regenerates the paper's tables and figures, or replays a
+// recorded trace through one serving system.
 //
 // Usage:
 //
@@ -7,12 +8,18 @@
 //	slinfer -exp fig22a,fig22b,tab03   # run a sweep of experiments
 //	slinfer -exp all -quick            # run everything at reduced scale
 //	slinfer -exp all -parallel 8       # fan simulation cells over 8 workers
+//	slinfer -trace t.jsonl -system SLINFER   # replay a saved JSONL trace
 //
 // Every (experiment, config, seed) cell is an independent deterministic
 // simulation, so -parallel is a pure wall-clock optimization: the printed
 // tables are identical to a serial run — except fig33, whose overhead
 // columns measure host wall-clock time and pick up contention from
 // concurrent cells; regenerate it with -parallel 1 for clean numbers.
+//
+// Replay mode (-trace, recorded with `slinfer-trace -o`) drives the chosen
+// preset end-to-end from the on-disk request sequence and prints the
+// canonical report: replaying the same file twice — or replaying versus
+// running the in-memory trace it was saved from — is byte-identical.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"time"
 
 	"slinfer/internal/experiments"
+	"slinfer/internal/model"
 )
 
 func main() {
@@ -32,7 +40,31 @@ func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale (shorter traces, sparser sweeps)")
 	par := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"max concurrent simulation cells (1 = serial)")
+	trace := flag.String("trace", "", "replay this JSONL trace instead of running experiments")
+	system := flag.String("system", "SLINFER", "system preset to replay: SLINFER|sllm|sllm+c|sllm+c+s|NEO+")
+	baseName := flag.String("base", "", "catalog model bound to trace model names (default: trace header, else llama-2-7b)")
+	cpus := flag.Int("cpu", 4, "replay testbed CPU nodes")
+	gpus := flag.Int("gpu", 4, "replay testbed GPU nodes")
 	flag.Parse()
+
+	if *trace != "" {
+		opt := experiments.ReplayOptions{System: *system, CPUNodes: *cpus, GPUNodes: *gpus}
+		if *baseName != "" {
+			base, ok := model.ByName(*baseName)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown base model %q\n", *baseName)
+				os.Exit(2)
+			}
+			opt.Base = base
+		}
+		rep, err := experiments.ReplayFile(*trace, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Canonical())
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("Registered experiments (paper artifact -> harness id):")

@@ -1,0 +1,62 @@
+// Tracereplay: record a workload once, then study it forever. A
+// BurstGPT-style trace is generated, persisted as versioned JSONL, loaded
+// back, rate-scaled 4x into a stress scenario, and replayed through two
+// serving systems — which therefore compete on the *identical* request
+// sequence, not merely on statistically similar workloads. The recording
+// also makes every number below reproducible from the file alone.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"slinfer"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "tracereplay")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "burstgpt.jsonl")
+
+	// Record: 16 hosted 7B models, 10 minutes of BurstGPT-style load at
+	// ~1 request/second, saved with provenance.
+	models := slinfer.Replicas(slinfer.Llama2_7B, 16)
+	trace := slinfer.BurstGPTTrace(models, 10, 1, 42)
+	meta := slinfer.TraceMeta{Generator: "burstgpt", Seed: 42, BaseModel: slinfer.Llama2_7B.Name}
+	if err := slinfer.SaveTrace(path, trace, meta); err != nil {
+		panic(err)
+	}
+	fmt.Printf("recorded %d requests / 10 min to %s\n", len(trace.Requests), filepath.Base(path))
+
+	// Replay: one recording, a family of scenarios.
+	loaded, _, err := slinfer.LoadTrace(path)
+	if err != nil {
+		panic(err)
+	}
+	stress := slinfer.ScaleRate(loaded, 4, 7)
+	fmt.Printf("rate-scaled 4x: %d requests on the same timeline\n\n", len(stress.Requests))
+
+	fmt.Printf("%-10s  %-9s  %8s  %8s  %10s  %9s\n",
+		"scenario", "system", "slo_met", "total", "ttft_p99_s", "gpu_nodes")
+	for _, tr := range []struct {
+		label string
+		trace slinfer.Trace
+	}{{"recorded", loaded}, {"4x load", stress}} {
+		for _, system := range []string{"sllm+c+s", "SLINFER"} {
+			rep, err := slinfer.Replay(tr.trace, slinfer.ReplayOptions{
+				System: system, CPUNodes: 2, GPUNodes: 2,
+			})
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("%-10s  %-9s  %8d  %8d  %10.2f  %9.2f\n",
+				tr.label, system, rep.Met, rep.Total, rep.TTFTP99, rep.AvgNodesUsed[slinfer.GPU])
+		}
+	}
+	fmt.Println("\nboth systems saw the identical request sequence in each scenario;")
+	fmt.Println("replaying the saved file reproduces these rows byte-identically.")
+}

@@ -45,9 +45,10 @@ type Controller struct {
 	loadETA    map[int]sim.Time
 	retrying   bool
 
-	rng        *sim.RNG
-	nextInstID int
-	traceEnd   sim.Time
+	rng          *sim.RNG
+	noiseStreams int
+	nextInstID   int
+	traceEnd     sim.Time
 
 	// host is the policy.Host view policies call back through.
 	host hostView

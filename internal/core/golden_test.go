@@ -2,16 +2,12 @@ package core
 
 import (
 	"flag"
-	"fmt"
-	"hash/fnv"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 	"testing"
 
 	"slinfer/internal/hwsim"
-	"slinfer/internal/metrics"
 	"slinfer/internal/model"
 	"slinfer/internal/sim"
 	"slinfer/internal/workload"
@@ -33,65 +29,11 @@ func goldenTrace() ([]model.Model, workload.Trace) {
 	return models, tr
 }
 
-// canonicalReport renders every deterministic Report field in a stable
-// order. Wall-clock overheads (ValidationMS, ScheduleUS) are excluded: they
-// measure host time, not virtual time. Large CDFs are folded to a hash so
-// any divergence still flips the output without bloating testdata.
-func canonicalReport(r metrics.Report) string {
-	var b strings.Builder
-	p := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
-	p("system=%s duration=%v\n", r.System, r.Duration)
-	p("total=%d completed=%d met=%d dropped=%d slo=%.9f\n",
-		r.Total, r.Completed, r.Met, r.Dropped, r.SLORate)
-	p("ttft p50=%.9f p95=%.9f p99=%.9f\n", r.TTFTP50, r.TTFTP95, r.TTFTP99)
-	p("ttftcdf n=%d hash=%x\n", len(r.TTFTCDF), hashFloats(r.TTFTCDF))
-	for _, k := range sortedKinds(r.AvgNodesUsed) {
-		p("nodes[%v]=%.9f\n", k, r.AvgNodesUsed[k])
-	}
-	for _, k := range sortedKinds(r.DecodeSpeed) {
-		p("decode[%v]=%.9f\n", k, r.DecodeSpeed[k])
-	}
-	p("avgbatch=%.9f batchcdf n=%d hash=%x\n", r.AvgBatch, len(r.BatchCDF), hashInts(r.BatchCDF))
-	for _, k := range sortedKinds(r.MeanMemUtil) {
-		p("memutil[%v]=%.9f cdf n=%d hash=%x\n", k, r.MeanMemUtil[k],
-			len(r.MemUtilCDF[k]), hashFloats(r.MemUtilCDF[k]))
-	}
-	p("kvutil=%.9f scaling=%.9f migrate=%.9f\n", r.MeanKVUtil, r.ScalingOverhead, r.MigrationRate)
-	p("cold=%d reclaim=%d preempt=%d migr=%d evict=%d resize=%d\n",
-		r.ColdStarts, r.Reclaims, r.Preemptions, r.Migrations, r.Evictions, r.KVResizes)
-	return b.String()
-}
-
-func sortedKinds[V any](m map[hwsim.Kind]V) []hwsim.Kind {
-	ks := make([]hwsim.Kind, 0, len(m))
-	for k := range m {
-		ks = append(ks, k)
-	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
-	return ks
-}
-
-func hashFloats(vs []float64) uint64 {
-	h := fnv.New64a()
-	for _, v := range vs {
-		fmt.Fprintf(h, "%.9g,", v)
-	}
-	return h.Sum64()
-}
-
-func hashInts(vs []int) uint64 {
-	h := fnv.New64a()
-	for _, v := range vs {
-		fmt.Fprintf(h, "%d,", v)
-	}
-	return h.Sum64()
-}
-
 // TestGoldenPresetReports pins the exact fixed-seed behavior of every system
-// preset. The golden files were captured before the policy-layer extraction;
-// a diff here means the refactor changed simulation semantics, not just
-// structure. Regenerate deliberately with: go test ./internal/core -run
-// Golden -update
+// preset via metrics.Report.Canonical. The goldens were regenerated exactly
+// once for the RNG.Derive purity and percentile-interpolation bugfixes; a
+// diff here means a change in simulation semantics, not just structure.
+// Regenerate deliberately with: go test ./internal/core -run Golden -update
 func TestGoldenPresetReports(t *testing.T) {
 	models, tr := goldenTrace()
 	presets := []Config{SLINFER(), Sllm(), SllmC(), SllmCS(), NEOPlus(16)}
@@ -100,7 +42,7 @@ func TestGoldenPresetReports(t *testing.T) {
 		t.Run(cfg.Name, func(t *testing.T) {
 			s := sim.New()
 			c := New(s, hwsim.Testbed(2, 2), models, cfg)
-			got := canonicalReport(c.Run(tr))
+			got := c.Run(tr).Canonical()
 			name := strings.NewReplacer("+", "_", " ", "_").Replace(cfg.Name)
 			path := filepath.Join("testdata", "golden", name+".golden")
 			if *updateGolden {

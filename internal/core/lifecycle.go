@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"slinfer/internal/cluster"
@@ -28,7 +29,11 @@ func (c *Controller) wireExecutor(ex *cluster.Executor) {
 	amp := c.Cfg.Fluctuation
 	stress := hwsim.StressSlowdown(c.Cfg.CPUStressProcs, 32)
 	if amp > 0 || stress != 1 {
-		noise := c.rng.Derive("noise")
+		// Derive is pure in (seed, name), so each executor needs its own
+		// stream name or they would all draw identical noise. Executor
+		// wiring order is deterministic, making the counter reproducible.
+		c.noiseStreams++
+		noise := c.rng.Derive(fmt.Sprintf("noise#%d", c.noiseStreams))
 		ex.Noise = func() float64 {
 			return stress * (1 + amp*(2*noise.Float64()-1))
 		}

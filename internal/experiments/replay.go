@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"slinfer/internal/baseline"
+	"slinfer/internal/hwsim"
+	"slinfer/internal/metrics"
+	"slinfer/internal/model"
+	"slinfer/internal/workload"
+	"slinfer/internal/workload/traceio"
+)
+
+// ReplayOptions configures a trace replay: which serving system runs the
+// recorded request sequence, on what cluster, with which model identity
+// bound to the trace's model names.
+type ReplayOptions struct {
+	// System is a preset name resolved by baseline.ByName: "SLINFER",
+	// "sllm", "sllm+c", "sllm+c+s", or "NEO+". Empty selects SLINFER.
+	System string
+	// Base is the catalog model every trace model name is bound to; a
+	// zero-value Base selects Llama2_7B, or the trace's recorded base
+	// model when ReplayFile finds one in the header.
+	Base model.Model
+	// CPUNodes and GPUNodes shape the testbed; both zero selects the
+	// paper's 4+4.
+	CPUNodes, GPUNodes int
+}
+
+func (o ReplayOptions) withDefaults() ReplayOptions {
+	if o.System == "" {
+		o.System = "SLINFER"
+	}
+	if o.Base.Name == "" {
+		o.Base = model.Llama2_7B
+	}
+	if o.CPUNodes == 0 && o.GPUNodes == 0 {
+		o.CPUNodes, o.GPUNodes = 4, 4
+	}
+	return o
+}
+
+// Replay drives one serving system end-to-end over an existing request
+// sequence and returns the canonical report. Unlike the generator-driven
+// experiments it never synthesizes requests: the trace — recorded, loaded,
+// or transformed — fully determines arrivals, models, and token lengths, so
+// two systems replaying the same trace are compared on identical inputs,
+// and replaying a saved trace is byte-identical (Report.Canonical) to
+// running the in-memory trace it was saved from.
+func Replay(tr workload.Trace, opt ReplayOptions) (metrics.Report, error) {
+	opt = opt.withDefaults()
+	cfg, ok := baseline.ByName(opt.System)
+	if !ok {
+		return metrics.Report{}, fmt.Errorf("experiments: unknown system %q (want SLINFER, sllm, sllm+c, sllm+c+s, or NEO+)", opt.System)
+	}
+	if err := tr.Validate(); err != nil {
+		return metrics.Report{}, fmt.Errorf("experiments: invalid trace: %w", err)
+	}
+	models := traceModels(tr, opt.Base)
+	rep := runSystem(cfg, hwsim.Testbed(opt.CPUNodes, opt.GPUNodes), models, tr)
+	return rep, nil
+}
+
+// ReplayFile replays a saved JSONL trace. Header provenance fills gaps in
+// the options: a recorded base model binds trace model names when opt.Base
+// is zero.
+func ReplayFile(path string, opt ReplayOptions) (metrics.Report, error) {
+	tr, meta, err := traceio.LoadFile(path)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	if opt.Base.Name == "" && meta.BaseModel != "" {
+		base, ok := model.ByName(meta.BaseModel)
+		if !ok {
+			return metrics.Report{}, fmt.Errorf("experiments: trace %s names unknown base model %q", path, meta.BaseModel)
+		}
+		opt.Base = base
+	}
+	return Replay(tr, opt)
+}
+
+// traceModels binds every distinct model name in the trace to the base
+// model's resource behaviour, in sorted-name order for determinism.
+func traceModels(tr workload.Trace, base model.Model) []model.Model {
+	seen := map[string]bool{}
+	var names []string
+	for _, r := range tr.Requests {
+		if !seen[r.ModelName] {
+			seen[r.ModelName] = true
+			names = append(names, r.ModelName)
+		}
+	}
+	// Models named only in the RPM map (zero requests this trace) still
+	// exist as hosted identities.
+	for name := range tr.RPM {
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	models := make([]model.Model, len(names))
+	for i, name := range names {
+		models[i] = base
+		models[i].Name = name
+	}
+	return models
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slinfer/internal/model"
+	"slinfer/internal/sim"
+	"slinfer/internal/workload"
+	"slinfer/internal/workload/traceio"
+)
+
+func replayTrace(t *testing.T) workload.Trace {
+	t.Helper()
+	_, names := replicaNames(model.Llama2_7B, 12)
+	tr := workload.Generate(workload.TraceConfig{
+		ModelNames: names, Duration: 3 * sim.Minute, Seed: 17,
+		Dataset: workload.AzureConv, MaxInput: model.Llama2_7B.MaxContext,
+	})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// Replaying a saved trace must produce a byte-identical canonical report to
+// running the in-memory trace it was saved from — the determinism guarantee
+// the trace subsystem exists for.
+func TestReplaySavedTraceIsByteIdentical(t *testing.T) {
+	tr := replayTrace(t)
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	meta := traceio.Meta{Dataset: "AzureConv", Seed: 17, Generator: "azure", BaseModel: model.Llama2_7B.Name}
+	if err := traceio.SaveFile(path, tr, meta); err != nil {
+		t.Fatal(err)
+	}
+	for _, system := range []string{"SLINFER", "sllm+c+s"} {
+		opt := ReplayOptions{System: system, CPUNodes: 2, GPUNodes: 2}
+		mem, err := Replay(tr, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disk, err := ReplayFile(path, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := disk.Canonical(), mem.Canonical(); got != want {
+			t.Errorf("%s: replay of saved trace diverged from in-memory run\n--- disk ---\n%s--- mem ---\n%s",
+				system, got, want)
+		}
+	}
+}
+
+func TestReplayUnknownSystem(t *testing.T) {
+	if _, err := Replay(replayTrace(t), ReplayOptions{System: "vllm"}); err == nil {
+		t.Fatal("unknown system must error")
+	} else if !strings.Contains(err.Error(), "vllm") {
+		t.Fatalf("error should name the system: %v", err)
+	}
+}
+
+func TestReplayRejectsInvalidTrace(t *testing.T) {
+	tr := replayTrace(t)
+	tr.Requests[0].InputLen = 0
+	if _, err := Replay(tr, ReplayOptions{}); err == nil {
+		t.Fatal("invalid trace must error")
+	}
+}
+
+func TestReplayFileUsesRecordedBaseModel(t *testing.T) {
+	tr := replayTrace(t)
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := traceio.SaveFile(path, tr, traceio.Meta{BaseModel: model.Llama32_3B.Name}); err != nil {
+		t.Fatal(err)
+	}
+	withHeader, err := ReplayFile(path, ReplayOptions{System: "sllm", CPUNodes: 2, GPUNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Replay(tr, ReplayOptions{System: "sllm", Base: model.Llama32_3B, CPUNodes: 2, GPUNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withHeader.Canonical() != explicit.Canonical() {
+		t.Error("header base model not honoured")
+	}
+	other, err := Replay(tr, ReplayOptions{System: "sllm", Base: model.Llama2_13B, CPUNodes: 2, GPUNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Canonical() == explicit.Canonical() {
+		t.Error("base model choice had no effect — binding is broken")
+	}
+}
+
+// A rate-scaled replay still replays: both presets see the identical
+// transformed sequence, and higher load must not increase met requests.
+func TestReplayScaledTrace(t *testing.T) {
+	tr := replayTrace(t)
+	scaled := traceio.ScaleRate(tr, 3, 99)
+	if err := scaled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	base, err := Replay(tr, ReplayOptions{CPUNodes: 1, GPUNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := Replay(scaled, ReplayOptions{CPUNodes: 1, GPUNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Total <= base.Total {
+		t.Fatalf("scaled trace total %d should exceed base %d", hot.Total, base.Total)
+	}
+	if hot.SLORate > base.SLORate+1e-9 {
+		t.Errorf("3x load improved SLO rate (%.3f -> %.3f)?", base.SLORate, hot.SLORate)
+	}
+}

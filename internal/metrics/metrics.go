@@ -6,7 +6,10 @@
 package metrics
 
 import (
+	"fmt"
+	"hash/fnv"
 	"sort"
+	"strings"
 
 	"slinfer/internal/hwsim"
 	"slinfer/internal/sim"
@@ -249,12 +252,25 @@ func (c *Collector) BuildReport(system string, duration sim.Duration) Report {
 	return r
 }
 
+// percentile returns the p-quantile (p in [0, 1]) of an ascending sample
+// set with linear interpolation between closest ranks. Floor-truncating the
+// rank instead would bias tail percentiles low: with 100 samples, p99 would
+// return the 98th-smallest value.
 func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	i := int(p * float64(len(sorted)-1))
-	return sorted[i]
+	rank := p * float64(n-1)
+	lo := int(rank)
+	if lo < 0 {
+		return sorted[0]
+	}
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }
 
 func mean(xs []float64) float64 {
@@ -266,6 +282,62 @@ func mean(xs []float64) float64 {
 		s += x
 	}
 	return s / float64(len(xs))
+}
+
+// Canonical renders every deterministic Report field in a stable order:
+// identical simulations produce byte-identical canonical reports, which is
+// what the golden tests and the trace-replay determinism checks diff.
+// Wall-clock overheads (ValidationMS, ScheduleUS) are excluded: they
+// measure host time, not virtual time. Large CDFs are folded to a hash so
+// any divergence still flips the output without bloating the text.
+func (r Report) Canonical() string {
+	var b strings.Builder
+	p := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+	p("system=%s duration=%v\n", r.System, r.Duration)
+	p("total=%d completed=%d met=%d dropped=%d slo=%.9f\n",
+		r.Total, r.Completed, r.Met, r.Dropped, r.SLORate)
+	p("ttft p50=%.9f p95=%.9f p99=%.9f\n", r.TTFTP50, r.TTFTP95, r.TTFTP99)
+	p("ttftcdf n=%d hash=%x\n", len(r.TTFTCDF), hashFloats(r.TTFTCDF))
+	for _, k := range sortedKinds(r.AvgNodesUsed) {
+		p("nodes[%v]=%.9f\n", k, r.AvgNodesUsed[k])
+	}
+	for _, k := range sortedKinds(r.DecodeSpeed) {
+		p("decode[%v]=%.9f\n", k, r.DecodeSpeed[k])
+	}
+	p("avgbatch=%.9f batchcdf n=%d hash=%x\n", r.AvgBatch, len(r.BatchCDF), hashInts(r.BatchCDF))
+	for _, k := range sortedKinds(r.MeanMemUtil) {
+		p("memutil[%v]=%.9f cdf n=%d hash=%x\n", k, r.MeanMemUtil[k],
+			len(r.MemUtilCDF[k]), hashFloats(r.MemUtilCDF[k]))
+	}
+	p("kvutil=%.9f scaling=%.9f migrate=%.9f\n", r.MeanKVUtil, r.ScalingOverhead, r.MigrationRate)
+	p("cold=%d reclaim=%d preempt=%d migr=%d evict=%d resize=%d\n",
+		r.ColdStarts, r.Reclaims, r.Preemptions, r.Migrations, r.Evictions, r.KVResizes)
+	return b.String()
+}
+
+func sortedKinds[V any](m map[hwsim.Kind]V) []hwsim.Kind {
+	ks := make([]hwsim.Kind, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+func hashFloats(vs []float64) uint64 {
+	h := fnv.New64a()
+	for _, v := range vs {
+		fmt.Fprintf(h, "%.9g,", v)
+	}
+	return h.Sum64()
+}
+
+func hashInts(vs []int) uint64 {
+	h := fnv.New64a()
+	for _, v := range vs {
+		fmt.Fprintf(h, "%d,", v)
+	}
+	return h.Sum64()
 }
 
 // CDFAt returns the fraction of samples <= x in an ascending sample set.

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"testing"
 
 	"slinfer/internal/hwsim"
@@ -99,6 +100,43 @@ func TestMemUtilAndOverheads(t *testing.T) {
 	}
 	if r.MigrationRate != 0.02 {
 		t.Fatalf("MigrationRate = %v, want 0.02", r.MigrationRate)
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	seq := func(n int) []float64 { // 1, 2, ..., n
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(i + 1)
+		}
+		return out
+	}
+	cases := []struct {
+		name   string
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{"empty", nil, 0.99, 0},
+		{"one-sample", []float64{3}, 0.5, 3},
+		{"one-sample-p99", []float64{3}, 0.99, 3},
+		{"two-sample-p50", []float64{1, 2}, 0.5, 1.5},
+		{"two-sample-p99", []float64{1, 2}, 0.99, 1.99},
+		{"hundred-p50", seq(100), 0.50, 50.5},
+		{"hundred-p95", seq(100), 0.95, 95.05},
+		// Floor truncation would return 99 (the 98th-smallest) here.
+		{"hundred-p99", seq(100), 0.99, 99.01},
+		{"hundred-p0", seq(100), 0, 1},
+		{"hundred-p100", seq(100), 1, 100},
+		// 101 samples: exact ranks, no interpolation residue.
+		{"oddhundred-p50", seq(101), 0.50, 51},
+		{"oddhundred-p95", seq(101), 0.95, 96},
+		{"oddhundred-p99", seq(101), 0.99, 100},
+	}
+	for _, c := range cases {
+		if got := percentile(c.sorted, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: percentile(p=%v) = %v, want %v", c.name, c.p, got, c.want)
+		}
 	}
 }
 

@@ -3,7 +3,10 @@
 // cells, gate concurrency on a semaphore, return results in input order.
 package par
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Sem is a counting semaphore bounding concurrent cells. A nil Sem means
 // serial execution.
@@ -21,10 +24,12 @@ func NewSem(n int) Sem {
 // Do evaluates cells 0..n-1 and returns their results in index order.
 // With a nil semaphore it degenerates to a plain loop; otherwise every
 // cell — including a lone one, so single-cell sweeps still respect a
-// shared bound — runs holding a semaphore slot for its duration. Cells
-// must not call Do on the same semaphore: a cell holding a slot while
-// waiting for inner ones can deadlock a saturated pool — flatten nested
-// fan-outs instead.
+// shared bound — runs holding a semaphore slot for its duration. At most
+// min(n, cap(sem)) worker goroutines are spawned, pulling cell indices
+// from a shared counter: a million-cell sweep over a k-slot semaphore
+// costs k goroutines, not a million parked ones. Cells must not call Do
+// on the same semaphore: a cell holding a slot while waiting for inner
+// ones can deadlock a saturated pool — flatten nested fan-outs instead.
 func Do[T any](sem Sem, n int, eval func(int) T) []T {
 	out := make([]T, n)
 	if sem == nil {
@@ -33,15 +38,29 @@ func Do[T any](sem Sem, n int, eval func(int) T) []T {
 		}
 		return out
 	}
+	workers := cap(sem)
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i := range out {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i] = eval(i)
-		}(i)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// The slot is acquired per cell, not per worker, so
+				// concurrent Do calls sharing one semaphore interleave
+				// their cells fairly instead of monopolizing the pool.
+				sem <- struct{}{}
+				out[i] = eval(i)
+				<-sem
+			}
+		}()
 	}
 	wg.Wait()
 	return out

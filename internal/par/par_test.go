@@ -1,8 +1,10 @@
 package par
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestDoSerialAndOrder(t *testing.T) {
@@ -29,6 +31,39 @@ func TestDoBoundsConcurrency(t *testing.T) {
 	})
 	if p := peak.Load(); p > 3 {
 		t.Fatalf("peak concurrency %d exceeds bound 3", p)
+	}
+}
+
+// Do must not spawn one goroutine per cell: a k-slot semaphore admits only
+// k concurrent cells, so only min(n, k) workers may exist — for million-cell
+// replay sweeps the rest would be parked goroutines burning stacks.
+func TestDoBoundsSpawnedGoroutines(t *testing.T) {
+	const bound = 4
+	base := runtime.NumGoroutine()
+	var peak atomic.Int32
+	Do(NewSem(bound), 256, func(i int) int {
+		g := int32(runtime.NumGoroutine())
+		for {
+			p := peak.Load()
+			if g <= p || peak.CompareAndSwap(p, g) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond) // let workers overlap
+		return i
+	})
+	// Allow slack for runtime-internal goroutines starting mid-test.
+	if extra := int(peak.Load()) - base; extra > bound+2 {
+		t.Fatalf("observed %d extra goroutines, want <= %d workers", extra, bound)
+	}
+}
+
+func TestDoParallelResultsInOrder(t *testing.T) {
+	got := Do(NewSem(8), 100, func(i int) int { return i * 3 })
+	for i, v := range got {
+		if v != i*3 {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*3)
+		}
 	}
 }
 

@@ -9,22 +9,31 @@ import (
 // workload generators need. Each component derives its own RNG from a name
 // so that adding a consumer never perturbs another component's stream.
 type RNG struct {
-	r *rand.Rand
+	r            *rand.Rand
+	seed1, seed2 uint64
 }
 
 // NewRNG returns a deterministic RNG for the given seed pair.
 func NewRNG(seed1, seed2 uint64) *RNG {
-	return &RNG{r: rand.New(rand.NewPCG(seed1, seed2))}
+	return &RNG{r: rand.New(rand.NewPCG(seed1, seed2)), seed1: seed1, seed2: seed2}
 }
 
-// Derive returns an independent RNG keyed by the parent stream and a name.
+// Derive returns an independent RNG keyed by the parent's seed pair and a
+// name. The child depends only on (seed1, seed2, name) — never on how much
+// of the parent stream has been consumed — so adding, removing, or
+// reordering derived consumers cannot perturb any sibling stream. Deriving
+// the same name twice yields identical streams; give distinct consumers
+// distinct names.
 func (g *RNG) Derive(name string) *RNG {
 	var h uint64 = 1469598103934665603 // FNV-1a offset basis
 	for i := 0; i < len(name); i++ {
 		h ^= uint64(name[i])
 		h *= 1099511628211
 	}
-	return NewRNG(g.r.Uint64()^h, h)
+	// Mix the name hash into each seed differently; distinct names yield
+	// distinct seed pairs unless their 64-bit FNV-1a hashes collide, which
+	// is astronomically unlikely but not impossible.
+	return NewRNG(g.seed1^h, g.seed2+h*0x9e3779b97f4a7c15)
 }
 
 // Float64 returns a uniform value in [0, 1).

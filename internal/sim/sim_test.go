@@ -175,6 +175,23 @@ func TestRNGDeriveIndependence(t *testing.T) {
 	}
 }
 
+// Derive must depend only on the parent's seed pair and the name: consuming
+// the parent stream, or adding/reordering sibling derivations, must not
+// perturb any derived stream (the package contract).
+func TestRNGDerivePure(t *testing.T) {
+	a := NewRNG(7, 7)
+	a.Uint64() // consume parent state
+	a.Derive("unrelated-sibling")
+	got := a.Derive("workload")
+
+	want := NewRNG(7, 7).Derive("workload")
+	for i := 0; i < 64; i++ {
+		if got.Uint64() != want.Uint64() {
+			t.Fatalf("Derive depends on parent stream position (diverged at draw %d)", i)
+		}
+	}
+}
+
 func TestParetoTail(t *testing.T) {
 	g := NewRNG(3, 9)
 	n := 20000

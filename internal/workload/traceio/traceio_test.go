@@ -1,0 +1,274 @@
+package traceio
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"slinfer/internal/sim"
+	"slinfer/internal/workload"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "m" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+	}
+	return out
+}
+
+func genTrace(models int, seed uint64) workload.Trace {
+	return workload.Generate(workload.TraceConfig{
+		ModelNames: names(models),
+		Duration:   5 * sim.Minute,
+		Seed:       seed,
+	})
+}
+
+// Property: Generate → Save → Load → Validate succeeds, the loaded trace is
+// semantically identical, and re-Save reproduces the file byte for byte.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(nModels uint8, seed uint16) bool {
+		tr := genTrace(int(nModels)%24+1, uint64(seed))
+		meta := Meta{Dataset: "AzureConv", Seed: uint64(seed), Generator: "azure", BaseModel: "llama-2-7b"}
+
+		var first bytes.Buffer
+		if err := Save(&first, tr, meta); err != nil {
+			t.Logf("save: %v", err)
+			return false
+		}
+		got, gotMeta, err := Load(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Logf("load: %v", err)
+			return false
+		}
+		if err := got.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		if gotMeta != meta {
+			t.Logf("meta round-trip: got %+v want %+v", gotMeta, meta)
+			return false
+		}
+		if got.Duration != tr.Duration || !reflect.DeepEqual(got.Requests, tr.Requests) || !reflect.DeepEqual(got.RPM, tr.RPM) {
+			t.Log("loaded trace differs from original")
+			return false
+		}
+		var second bytes.Buffer
+		if err := Save(&second, got, gotMeta); err != nil {
+			t.Logf("re-save: %v", err)
+			return false
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Log("re-save not byte-identical")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamingReaderMatchesLoad(t *testing.T) {
+	tr := genTrace(8, 11)
+	var buf bytes.Buffer
+	if err := Save(&buf, tr, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Len() != len(tr.Requests) || rd.Duration() != tr.Duration {
+		t.Fatalf("header: len %d dur %v, want %d %v", rd.Len(), rd.Duration(), len(tr.Requests), tr.Duration)
+	}
+	for i := 0; ; i++ {
+		req, ok, err := rd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			if i != len(tr.Requests) {
+				t.Fatalf("stream ended after %d of %d", i, len(tr.Requests))
+			}
+			break
+		}
+		if req != tr.Requests[i] {
+			t.Fatalf("request %d: got %+v want %+v", i, req, tr.Requests[i])
+		}
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"not-json":    "hello\n",
+		"bad-version": `{"slinfer_trace":99,"duration_s":60,"requests":0}` + "\n",
+		"zero-dur":    `{"slinfer_trace":1,"duration_s":0,"requests":0}` + "\n",
+		"truncated":   `{"slinfer_trace":1,"duration_s":60,"requests":2}` + "\n" + `{"id":0,"model":"m","at":1,"in":5,"out":5}` + "\n",
+		"trailing":    `{"slinfer_trace":1,"duration_s":60,"requests":0}` + "\n" + `{"id":0,"model":"m","at":1,"in":5,"out":5}` + "\n",
+		"bad-request": `{"slinfer_trace":1,"duration_s":60,"requests":1}` + "\nnope\n",
+	}
+	for name, in := range cases {
+		if _, _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Load accepted malformed input", name)
+		}
+	}
+}
+
+// A hostile or corrupt header count must produce an error, not a panic or
+// a multi-gigabyte preallocation.
+func TestLoadHostileHeaderCount(t *testing.T) {
+	for _, in := range []string{
+		`{"slinfer_trace":1,"duration_s":60,"requests":4000000000000000}` + "\n",
+		`{"slinfer_trace":1,"duration_s":60,"requests":-1}` + "\n",
+	} {
+		if _, _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("Load accepted header %s", in)
+		}
+	}
+}
+
+// The header line grows with the model population; it must not be subject
+// to the per-request line cap.
+func TestRoundTripHugeModelPopulation(t *testing.T) {
+	tr := workload.Trace{Duration: sim.Minute, RPM: map[string]float64{}}
+	for i := 0; i < 60000; i++ {
+		tr.RPM[fmt.Sprintf("model-%05d", i)] = 1
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, tr, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("load of %d-model header failed: %v", len(tr.RPM), err)
+	}
+	if len(got.RPM) != len(tr.RPM) {
+		t.Fatalf("RPM entries = %d, want %d", len(got.RPM), len(tr.RPM))
+	}
+}
+
+func TestScaleRateUpAndDown(t *testing.T) {
+	tr := genTrace(12, 5)
+	n := float64(len(tr.Requests))
+
+	up := ScaleRate(tr, 4, 9)
+	if err := up.Validate(); err != nil {
+		t.Fatalf("4x: %v", err)
+	}
+	if got := float64(len(up.Requests)); got < 3.4*n || got > 4.6*n {
+		t.Errorf("4x request count = %.0f, want ~%.0f", got, 4*n)
+	}
+	if up.Duration != tr.Duration {
+		t.Error("ScaleRate must preserve duration")
+	}
+
+	down := ScaleRate(tr, 0.5, 9)
+	if err := down.Validate(); err != nil {
+		t.Fatalf("0.5x: %v", err)
+	}
+	if got := float64(len(down.Requests)); got < 0.35*n || got > 0.65*n {
+		t.Errorf("0.5x request count = %.0f, want ~%.0f", got, 0.5*n)
+	}
+
+	// Deterministic in (trace, factor, seed); different seeds differ.
+	again := ScaleRate(tr, 4, 9)
+	if !reflect.DeepEqual(up.Requests, again.Requests) {
+		t.Error("ScaleRate not deterministic for fixed seed")
+	}
+	other := ScaleRate(tr, 0.5, 10)
+	if reflect.DeepEqual(down.Requests, other.Requests) {
+		t.Error("different seeds produced identical thinning")
+	}
+
+	if got := len(ScaleRate(tr, 0, 1).Requests); got != 0 {
+		t.Errorf("0x kept %d requests", got)
+	}
+}
+
+func TestCompressTime(t *testing.T) {
+	tr := genTrace(6, 8)
+	fast := CompressTime(tr, 2)
+	if err := fast.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fast.Requests) != len(tr.Requests) {
+		t.Fatal("CompressTime must preserve request count")
+	}
+	if fast.Duration != tr.Duration/2 {
+		t.Fatalf("duration = %v, want %v", fast.Duration, tr.Duration/2)
+	}
+	for i := range fast.Requests {
+		if fast.Requests[i].Arrival != tr.Requests[i].Arrival/2 {
+			t.Fatalf("request %d arrival not halved", i)
+		}
+	}
+}
+
+func TestSubsetModels(t *testing.T) {
+	tr := genTrace(6, 3)
+	keep := []string{"maa", "mba"}
+	sub := SubsetModels(tr, keep...)
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Requests) == 0 {
+		t.Fatal("subset empty")
+	}
+	for _, r := range sub.Requests {
+		if r.ModelName != "maa" && r.ModelName != "mba" {
+			t.Fatalf("unexpected model %s", r.ModelName)
+		}
+	}
+	if len(sub.RPM) != 2 {
+		t.Fatalf("RPM entries = %d, want 2", len(sub.RPM))
+	}
+	total := 0
+	for _, r := range tr.Requests {
+		if r.ModelName == "maa" || r.ModelName == "mba" {
+			total++
+		}
+	}
+	if len(sub.Requests) != total {
+		t.Fatalf("kept %d requests, want %d", len(sub.Requests), total)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := genTrace(4, 1)
+	b := genTrace(4, 2)
+	m := Merge(a, b)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Requests) != len(a.Requests)+len(b.Requests) {
+		t.Fatalf("merged %d, want %d", len(m.Requests), len(a.Requests)+len(b.Requests))
+	}
+	if m.Duration != a.Duration {
+		t.Fatalf("duration = %v", m.Duration)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	tr := genTrace(4, 6)
+	path := t.TempDir() + "/t.jsonl"
+	meta := Meta{Generator: "azure", Seed: 6}
+	if err := SaveFile(path, tr, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, gotMeta, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta = %+v", gotMeta)
+	}
+	if !reflect.DeepEqual(got.Requests, tr.Requests) {
+		t.Fatal("file round-trip differs")
+	}
+}

@@ -19,12 +19,14 @@ package slinfer
 
 import (
 	"slinfer/internal/core"
+	"slinfer/internal/experiments"
 	"slinfer/internal/hwsim"
 	"slinfer/internal/metrics"
 	"slinfer/internal/model"
 	"slinfer/internal/policy"
 	"slinfer/internal/sim"
 	"slinfer/internal/workload"
+	"slinfer/internal/workload/traceio"
 )
 
 // Re-exported types.
@@ -43,8 +45,13 @@ type (
 	Request = workload.Request
 	// Dataset is a token-length distribution.
 	Dataset = workload.Dataset
-	// Report is a run's derived metrics.
+	// Report is a run's derived metrics. Report.Canonical renders it as
+	// byte-stable text for diffing deterministic runs.
 	Report = metrics.Report
+	// TraceMeta is the provenance recorded in a saved trace's header.
+	TraceMeta = traceio.Meta
+	// ReplayOptions configures Replay/ReplayFile.
+	ReplayOptions = experiments.ReplayOptions
 )
 
 // Policy layer: a serving scheme is a composition of three policies over
@@ -154,8 +161,69 @@ func AzureTrace(models []Model, minutes float64, seed uint64) Trace {
 	})
 }
 
+// BurstGPTTrace generates a BurstGPT-style trace (§IX-I2): a centralized
+// bursty stream at ~rps aggregate requests/second, split across models by a
+// Pareto distribution.
+func BurstGPTTrace(models []Model, minutes, rps float64, seed uint64) Trace {
+	names := make([]string, len(models))
+	maxCtx := 0
+	for i, m := range models {
+		names[i] = m.Name
+		if m.MaxContext > maxCtx {
+			maxCtx = m.MaxContext
+		}
+	}
+	return workload.GenerateBurstGPT(workload.BurstGPTConfig{
+		ModelNames: names,
+		Duration:   sim.Duration(minutes) * sim.Minute,
+		RPS:        rps,
+		Seed:       seed,
+		MaxInput:   maxCtx,
+	})
+}
+
 // CustomTrace generates a trace with full control over the workload.
 func CustomTrace(cfg workload.TraceConfig) Trace { return workload.Generate(cfg) }
+
+// Trace I/O and replay: a recorded trace is a first-class simulator input.
+// SaveTrace persists the request sequence as versioned JSONL; LoadTrace
+// streams it back; the transformers derive scenario families from one
+// recording; Replay drives any preset from it. Replaying a saved trace is
+// byte-identical (Report.Canonical) to running the in-memory trace it was
+// saved from. See DESIGN.md "Trace I/O and replay".
+
+// SaveTrace writes a trace to path as versioned JSONL with provenance.
+func SaveTrace(path string, tr Trace, meta TraceMeta) error {
+	return traceio.SaveFile(path, tr, meta)
+}
+
+// LoadTrace reads a JSONL trace and its recorded provenance from path.
+func LoadTrace(path string) (Trace, TraceMeta, error) { return traceio.LoadFile(path) }
+
+// ScaleRate changes a trace's offered load by factor (thinning below 1,
+// superposing jittered replicas above), deterministically in seed.
+func ScaleRate(tr Trace, factor float64, seed uint64) Trace {
+	return traceio.ScaleRate(tr, factor, seed)
+}
+
+// CompressTime speeds a trace up by factor (arrivals and duration shrink).
+func CompressTime(tr Trace, factor float64) Trace { return traceio.CompressTime(tr, factor) }
+
+// SubsetModels keeps only the named models' requests.
+func SubsetModels(tr Trace, names ...string) Trace { return traceio.SubsetModels(tr, names...) }
+
+// MergeTraces superposes traces onto one timeline.
+func MergeTraces(traces ...Trace) Trace { return traceio.Merge(traces...) }
+
+// Replay drives a system preset end-to-end over an existing request
+// sequence — recorded, loaded, or transformed — and returns its report.
+func Replay(tr Trace, opt ReplayOptions) (Report, error) { return experiments.Replay(tr, opt) }
+
+// ReplayFile replays a saved JSONL trace, binding model identities from the
+// recorded header unless overridden in opt.
+func ReplayFile(path string, opt ReplayOptions) (Report, error) {
+	return experiments.ReplayFile(path, opt)
+}
 
 // Run executes one serving system over a cluster and trace, returning the
 // metrics report. Runs are deterministic for a given (config, trace) pair.

@@ -1,6 +1,7 @@
 package slinfer
 
 import (
+	"path/filepath"
 	"testing"
 )
 
@@ -37,6 +38,49 @@ func TestFacadeController(t *testing.T) {
 	s.RunUntil(30)
 	if got := c.Collector.Met; got != 1 {
 		t.Fatalf("met = %d, want 1", got)
+	}
+}
+
+func TestFacadeTraceIOAndReplay(t *testing.T) {
+	models := Replicas(Llama2_7B, 4)
+	trace := BurstGPTTrace(models, 2, 1, 5)
+	if len(trace.Requests) == 0 {
+		t.Fatal("empty BurstGPT trace")
+	}
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	meta := TraceMeta{Generator: "burstgpt", Seed: 5, BaseModel: Llama2_7B.Name}
+	if err := SaveTrace(path, trace, meta); err != nil {
+		t.Fatal(err)
+	}
+	loaded, gotMeta, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta = %+v, want %+v", gotMeta, meta)
+	}
+	opt := ReplayOptions{System: "sllm+c+s", CPUNodes: 1, GPUNodes: 1}
+	mem, err := Replay(trace, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := Replay(loaded, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.Canonical() != disk.Canonical() {
+		t.Fatal("replay of loaded trace diverged from in-memory run")
+	}
+	scaled := ScaleRate(trace, 2, 3)
+	if len(scaled.Requests) <= len(trace.Requests) {
+		t.Fatal("ScaleRate 2x did not raise request count")
+	}
+	if got := CompressTime(trace, 2).Duration; got != trace.Duration/2 {
+		t.Fatalf("CompressTime duration %v, want %v", got, trace.Duration/2)
+	}
+	merged := MergeTraces(trace, SubsetModels(trace, models[0].Name))
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }
 
