@@ -1,0 +1,145 @@
+// Per-subsystem micro/meso benchmarks: unlike the BenchmarkExp_* suite
+// (which regenerates whole paper artifacts), these isolate the hot paths a
+// scale/speed PR actually touches — the DES event loop, the memctl ledger,
+// trace decode, end-to-end replay, and a scenario cell with the invariant
+// suite attached (its delta over the plain cell is the checker overhead).
+// CI runs them on every push and emits BENCH_matrix.json (cmd/benchfmt),
+// so the performance trajectory is recorded alongside correctness.
+package slinfer
+
+import (
+	"bytes"
+	"testing"
+
+	"slinfer/internal/experiments"
+	"slinfer/internal/memctl"
+	"slinfer/internal/model"
+	"slinfer/internal/scenario"
+	"slinfer/internal/sim"
+	"slinfer/internal/workload"
+	"slinfer/internal/workload/traceio"
+)
+
+// BenchmarkSub_SimEventLoop measures raw event throughput: a self-renewing
+// chain of timers over a busy heap.
+func BenchmarkSub_SimEventLoop(b *testing.B) {
+	const chain = 64 // concurrent timer chains in the heap
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := sim.New()
+		fired := 0
+		var tick func()
+		tick = func() {
+			fired++
+			if fired < 100*chain {
+				s.After(sim.Millisecond, tick)
+			}
+		}
+		for c := 0; c < chain; c++ {
+			s.After(sim.Duration(c)*sim.Millisecond, tick)
+		}
+		s.Run()
+		if fired < 100*chain {
+			b.Fatal("event chain stalled")
+		}
+	}
+	b.ReportMetric(float64(100*chain*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkSub_MemctlLedger measures ledger op throughput: admit, execute,
+// complete, and reservation-station churn under contention.
+func BenchmarkSub_MemctlLedger(b *testing.B) {
+	b.ReportAllocs()
+	const ops = 256
+	for i := 0; i < b.N; i++ {
+		s := sim.New()
+		nm := memctl.New(s, "bench", 64<<30)
+		for j := 0; j < ops; j++ {
+			owner := "a/kv"
+			if j%2 == 1 {
+				owner = "b/kv"
+			}
+			grow := int64(40 << 30)
+			nm.Demand(&memctl.Op{Kind: memctl.ResizeKV, Owner: owner,
+				From: 0, To: grow, Duration: sim.Millisecond})
+			s.RunUntil(s.Now().Add(2 * sim.Millisecond))
+			nm.Demand(&memctl.Op{Kind: memctl.ResizeKV, Owner: owner,
+				From: grow, To: 0, Duration: sim.Millisecond})
+			s.RunUntil(s.Now().Add(2 * sim.Millisecond))
+		}
+		if err := nm.CheckInvariants(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(2*ops*b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// benchTrace is the shared small workload for the replay benchmarks.
+func benchTrace() ([]model.Model, workload.Trace) {
+	models := model.Replicas(model.Llama2_7B, 8)
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	return models, workload.Generate(workload.TraceConfig{
+		ModelNames: names, Duration: 4 * sim.Minute, Seed: 17,
+		Dataset: workload.AzureConv,
+	})
+}
+
+// BenchmarkSub_TraceDecode measures streaming decode throughput of the
+// canonical JSONL format.
+func BenchmarkSub_TraceDecode(b *testing.B) {
+	_, tr := benchTrace()
+	var buf bytes.Buffer
+	if err := traceio.Save(&buf, tr, traceio.Meta{}); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, _, err := traceio.Load(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got.Requests) != len(tr.Requests) {
+			b.Fatal("short decode")
+		}
+	}
+	b.ReportMetric(float64(len(tr.Requests)*b.N)/b.Elapsed().Seconds(), "reqs/s")
+}
+
+// BenchmarkSub_ReplayThroughput measures end-to-end simulated requests per
+// wall-clock second: the number every controller/engine optimization moves.
+func BenchmarkSub_ReplayThroughput(b *testing.B) {
+	_, tr := benchTrace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Replay(tr, experiments.ReplayOptions{
+			System: "SLINFER", CPUNodes: 2, GPUNodes: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Total == 0 {
+			b.Fatal("empty replay")
+		}
+	}
+	b.ReportMetric(float64(len(tr.Requests)*b.N)/b.Elapsed().Seconds(), "reqs/s")
+}
+
+// BenchmarkSub_ScenarioCell runs one smoke cell with the full invariant
+// suite attached; compare against BenchmarkSub_ReplayThroughput for the
+// always-on checker overhead.
+func BenchmarkSub_ScenarioCell(b *testing.B) {
+	cell := scenario.Smoke().Cells()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := scenario.RunCell(cell)
+		if !r.Ok() {
+			b.Fatalf("cell failed: %v %v", r.Err, r.Violations)
+		}
+	}
+}

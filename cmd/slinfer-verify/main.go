@@ -1,0 +1,96 @@
+// Command slinfer-verify runs a scenario matrix through the always-on
+// invariant checkers and the metamorphic cross-cell properties. It is the
+// verification gate: every cell is a full simulation with the
+// internal/invariants suite attached, and the exit status is nonzero the
+// moment any cell violates an invariant or any property fails to hold.
+//
+// Usage:
+//
+//	slinfer-verify -list                 # list named grids and properties
+//	slinfer-verify -grid smoke           # run the CI smoke matrix (48 cells)
+//	slinfer-verify -grid nightly -v      # deep matrix, per-cell lines
+//	slinfer-verify -grid smoke -props=false   # invariants only
+//	slinfer-verify -grid smoke -parallel 4    # bound concurrent cells
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"slinfer/internal/experiments"
+	"slinfer/internal/scenario"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list named grids and metamorphic properties, then exit")
+	grid := flag.String("grid", "smoke", "named scenario grid to run (see -list)")
+	props := flag.Bool("props", true, "also check the metamorphic cross-cell properties")
+	par := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (1 = serial)")
+	verbose := flag.Bool("v", false, "print one line per cell, not just failures")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Named grids:")
+		for _, name := range scenario.Names() {
+			g, _ := scenario.ByName(name)
+			fmt.Printf("  %-10s %d cells (%dW x %dT x %dN x %dS x %dL x %d seeds)\n",
+				name, g.Size(), len(g.Workloads), len(g.Transforms), len(g.Topologies),
+				len(g.Systems), len(g.SLOs), len(g.Seeds))
+		}
+		fmt.Println("Metamorphic properties:")
+		for _, p := range scenario.Properties() {
+			fmt.Printf("  %-22s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+
+	g, ok := scenario.ByName(*grid)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown grid %q; use -list\n", *grid)
+		os.Exit(2)
+	}
+	if *par < 1 {
+		*par = 1
+	}
+	experiments.SetParallelism(*par)
+
+	start := time.Now()
+	results := scenario.RunGrid(g)
+	violations := 0
+	for i, r := range results {
+		switch {
+		case r.Err != nil:
+			violations++
+			fmt.Printf("FAIL %3d/%d %-50s %v\n", i+1, len(results), r.Cell.Name(), r.Err)
+		case len(r.Violations) > 0:
+			violations += len(r.Violations)
+			fmt.Printf("FAIL %3d/%d %-50s %d violation(s)\n", i+1, len(results), r.Cell.Name(), len(r.Violations))
+			for _, v := range r.Violations {
+				fmt.Printf("     %s\n", v)
+			}
+		case *verbose:
+			fmt.Printf("ok   %3d/%d %-50s total=%d slo=%.3f cold=%d\n",
+				i+1, len(results), r.Cell.Name(), r.Report.Total, r.Report.SLORate, r.Report.ColdStarts)
+		}
+	}
+	fmt.Printf("grid %s: %d cells, %d violation(s) in %v (%d workers)\n",
+		g.Name, len(results), violations, time.Since(start).Round(time.Millisecond), *par)
+
+	propFailed := 0
+	if *props {
+		for _, pr := range scenario.CheckProperties(g) {
+			if pr.Err != nil {
+				propFailed++
+				fmt.Printf("FAIL property %-22s %v\n", pr.Property.Name, pr.Err)
+			} else {
+				fmt.Printf("ok   property %-22s %s\n", pr.Property.Name, pr.Property.Doc)
+			}
+		}
+	}
+	if violations > 0 || propFailed > 0 {
+		os.Exit(1)
+	}
+}

@@ -100,6 +100,13 @@ type Config struct {
 	NEOExtraKVBytes int64
 	// NEODecodePenalty slows decode on NEO-assisted instances.
 	NEODecodePenalty float64
+	// SLO derives a request's objective from its input length; nil uses the
+	// paper's slo.Default. The scenario matrix sweeps SLO classes through
+	// this hook.
+	SLO func(inputLen int) slo.Objective
+	// Probe observes lifecycle events for verification (see Probe); nil
+	// disables observation.
+	Probe Probe
 	// MemSamplePeriod is the metrics sampling interval.
 	MemSamplePeriod sim.Duration
 	// DrainGrace bounds how long the run continues past the last arrival.

@@ -14,6 +14,7 @@ import (
 	"slinfer/internal/model"
 	"slinfer/internal/perfmodel"
 	"slinfer/internal/sim"
+	"slinfer/internal/slo"
 	"slinfer/internal/workload"
 )
 
@@ -117,7 +118,11 @@ func (c *Controller) Run(tr workload.Trace) metrics.Report {
 	c.Sim.RunUntil(c.traceEnd.Add(c.Cfg.DrainGrace))
 	c.Collector.Finalize(c.Sim.Now())
 	c.Collector.ValidationCount = c.Validator.Validations
-	return c.Collector.BuildReport(c.Cfg.Name, tr.Duration+c.Cfg.DrainGrace)
+	rep := c.Collector.BuildReport(c.Cfg.Name, tr.Duration+c.Cfg.DrainGrace)
+	if p := c.Cfg.Probe; p != nil {
+		p.RunFinished(c, rep)
+	}
+	return rep
 }
 
 // Submit admits one request into the system.
@@ -129,8 +134,13 @@ func (c *Controller) Submit(w workload.Request) {
 	if w.InputLen > m.MaxContext {
 		w.InputLen = m.MaxContext
 	}
-	req := engine.NewRequest(w)
+	obj := slo.Default(w.InputLen)
+	if c.Cfg.SLO != nil {
+		obj = c.Cfg.SLO(w.InputLen)
+	}
+	req := engine.NewRequestWith(w, obj)
 	c.Collector.RecordArrival()
+	c.probeSubmitted(req)
 	if !c.tryPlace(req) {
 		c.enqueue(req)
 	}
@@ -392,6 +402,7 @@ func (c *Controller) drop(req *engine.Request) {
 	delete(c.dropEvents, req)
 	c.removePending(req)
 	c.Collector.RecordDrop()
+	c.probeDropped(req)
 }
 
 func (c *Controller) removePending(req *engine.Request) {

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"flag"
-	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -10,10 +8,9 @@ import (
 	"slinfer/internal/hwsim"
 	"slinfer/internal/model"
 	"slinfer/internal/sim"
+	"slinfer/internal/testutil"
 	"slinfer/internal/workload"
 )
-
-var updateGolden = flag.Bool("update", false, "rewrite golden report files")
 
 // goldenTrace is the fixed-seed 5-minute trace every preset replays.
 func goldenTrace() ([]model.Model, workload.Trace) {
@@ -45,23 +42,7 @@ func TestGoldenPresetReports(t *testing.T) {
 			got := c.Run(tr).Canonical()
 			name := strings.NewReplacer("+", "_", " ", "_").Replace(cfg.Name)
 			path := filepath.Join("testdata", "golden", name+".golden")
-			if *updateGolden {
-				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("missing golden (run with -update): %v", err)
-			}
-			if got != string(want) {
-				t.Errorf("%s: report diverged from golden\n--- got ---\n%s--- want ---\n%s",
-					cfg.Name, got, want)
-			}
+			testutil.GoldenString(t, path, got)
 		})
 	}
 }

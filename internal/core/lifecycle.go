@@ -83,6 +83,7 @@ func (c *Controller) completeRequest(req *engine.Request, inst *engine.Instance)
 	est.Observe(req.W.OutputLen)
 	ttft, haveTTFT := req.Tracker.TTFT()
 	c.Collector.RecordCompletion(req.Tracker.Met(), ttft, haveTTFT)
+	c.probeCompleted(req, inst)
 	c.recheckKV(inst)
 	if inst.Idle() && inst.State == engine.Active {
 		c.scheduleKeepAlive(inst)
@@ -412,6 +413,7 @@ func (c *Controller) createInstance(m model.Model, nodes []*cluster.Node, share 
 	}
 	c.instances[m.Name] = append(c.instances[m.Name], inst)
 	c.Collector.ColdStarts++
+	c.probeInstanceCreated(inst)
 	if dynamicKV && kvInit > 0 {
 		c.issueResize(inst, kvInit)
 	}
@@ -478,6 +480,7 @@ func (c *Controller) reclaim(inst *engine.Instance) {
 // countLifetime records instance lifetime stats (skipped for PD helpers).
 func (c *Controller) removeInstance(inst *engine.Instance, countLifetime bool) {
 	inst.State = engine.Unloading
+	c.probeInstanceRemoved(inst)
 	c.cancelKeepAlive(inst)
 	if countLifetime {
 		c.Collector.InstanceLifetime += c.Sim.Now().Sub(inst.CreatedAt)
@@ -496,8 +499,15 @@ func (c *Controller) removeInstance(inst *engine.Instance, countLifetime bool) {
 			break
 		}
 	}
-	// Release memory: the whole allocation (weights + activation + resident
-	// KV) unloads per node.
+	// Release memory per node. Static instances unload their whole
+	// allocation (weights + activation + resident KV) under the weights
+	// owner, mirroring the combined load at creation. Dynamic-memory
+	// instances allocated their KV under a separate ledger owner (creation
+	// resize), so the teardown releases it under that same owner — the
+	// per-allocation ledger stays conserved (bytes unloaded under an owner
+	// match the bytes loaded under it), which the invariant suite checks.
+	// Both releases ride the same unload window, so the node's byte
+	// timeline is unchanged.
 	div := int64(len(inst.NodeIdxs))
 	weights := inst.Model.WeightBytes()/div + hwsim.ActivationReserve
 	kv := inst.Cache.CapacityBytes()
@@ -507,12 +517,23 @@ func (c *Controller) removeInstance(inst *engine.Instance, countLifetime bool) {
 			kv = 0
 		}
 	}
+	dynamicKV := !c.isStaticInstance(inst)
+	unloadFrom := weights + kv
+	if dynamicKV {
+		unloadFrom = weights
+	}
 	for _, idx := range inst.NodeIdxs {
 		node := c.Cluster.Nodes[idx]
 		dur := node.Spec.UnloadTime(inst.Model)
+		if dynamicKV && kv > 0 {
+			node.Mem.Demand(&memctl.Op{
+				Kind: memctl.ResizeKV, Owner: inst.KVOwner(),
+				From: kv, To: 0, Duration: dur,
+			})
+		}
 		node.Mem.Demand(&memctl.Op{
 			Kind: memctl.UnloadWeights, Owner: inst.WeightsOwner(),
-			From: weights + kv, To: 0, Duration: dur,
+			From: unloadFrom, To: 0, Duration: dur,
 			OnComplete: func() {
 				if node.ReservedBy == inst.ID {
 					node.ReservedBy = 0

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"slinfer/internal/engine"
+	"slinfer/internal/metrics"
+)
+
+// Probe observes controller-level lifecycle events. It is the hook the
+// always-on invariant suite (internal/invariants) attaches through: every
+// method is called synchronously from the single-threaded simulation at a
+// point where the observed state is consistent, so checkers can walk
+// instances and caches without races. Implementations must not mutate
+// controller state — a probe is a witness, not a policy.
+//
+// A nil Config.Probe costs one branch per event; the controller never
+// allocates on behalf of an absent probe.
+type Probe interface {
+	// RequestSubmitted fires once per arrival, right after the collector
+	// counts it and before placement is attempted.
+	RequestSubmitted(req *engine.Request)
+	// RequestCompleted fires when a request finishes all output tokens,
+	// after the collector records it. inst is the instance that ran the
+	// final iteration.
+	RequestCompleted(req *engine.Request, inst *engine.Instance)
+	// RequestDropped fires when a queued request is abandoned because its
+	// queueing delay exceeded the TTFT SLO.
+	RequestDropped(req *engine.Request)
+	// InstanceCreated fires after a new instance is fully constructed and
+	// its cold-start load issued.
+	InstanceCreated(inst *engine.Instance)
+	// InstanceRemoved fires when an instance is detached and its unload
+	// operations issued.
+	InstanceRemoved(inst *engine.Instance)
+	// RunFinished fires at the end of Run with the built report, after the
+	// collector is finalized. End-of-run accounting identities (request
+	// conservation, SLO bookkeeping) are checked here.
+	RunFinished(c *Controller, rep metrics.Report)
+}
+
+func (c *Controller) probeSubmitted(req *engine.Request) {
+	if p := c.Cfg.Probe; p != nil {
+		p.RequestSubmitted(req)
+	}
+}
+
+func (c *Controller) probeCompleted(req *engine.Request, inst *engine.Instance) {
+	if p := c.Cfg.Probe; p != nil {
+		p.RequestCompleted(req, inst)
+	}
+}
+
+func (c *Controller) probeDropped(req *engine.Request) {
+	if p := c.Cfg.Probe; p != nil {
+		p.RequestDropped(req)
+	}
+}
+
+func (c *Controller) probeInstanceCreated(inst *engine.Instance) {
+	if p := c.Cfg.Probe; p != nil {
+		p.InstanceCreated(inst)
+	}
+}
+
+func (c *Controller) probeInstanceRemoved(inst *engine.Instance) {
+	if p := c.Cfg.Probe; p != nil {
+		p.InstanceRemoved(inst)
+	}
+}

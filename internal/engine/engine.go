@@ -70,9 +70,14 @@ type Request struct {
 	Migrations int
 }
 
-// NewRequest wraps a trace record with its SLO and tracker.
+// NewRequest wraps a trace record with the paper's default SLO and tracker.
 func NewRequest(w workload.Request) *Request {
-	obj := slo.Default(w.InputLen)
+	return NewRequestWith(w, slo.Default(w.InputLen))
+}
+
+// NewRequestWith wraps a trace record with an explicit SLO. The scenario
+// matrix uses it to sweep SLO classes; Config.SLO routes through here.
+func NewRequestWith(w workload.Request, obj slo.Objective) *Request {
 	return &Request{
 		W: w, Obj: obj,
 		Tracker: slo.NewTracker(obj, w.Arrival),

@@ -65,6 +65,14 @@ func sweep[T any](n int, eval func(int) T) []T {
 	return par.Do(sem, n, eval)
 }
 
+// RunCells evaluates n independent simulation cells through the shared
+// bounded worker pool, returning results in index order. It is the exported
+// face of the internal sweep primitive for harnesses (e.g. the scenario
+// matrix) that fan whole simulations out without registering an experiment.
+// The same no-nesting rule applies: cells must not call RunCells themselves,
+// or a saturated pool can deadlock.
+func RunCells[T any](n int, eval func(int) T) []T { return sweep(n, eval) }
+
 // RunAll regenerates every registered experiment at the given scale,
 // fanning simulation cells out over at most workers goroutines
 // (workers <= 0 keeps the current setting). Results are returned in

@@ -140,6 +140,20 @@ func (w Watermark) Validate() error {
 	return nil
 }
 
+// CacheObserver watches one cache's accounting transitions. The invariant
+// suite uses it to flag over-releases (more tokens released than live —
+// accounting corruption that the clamp below would otherwise silently
+// absorb) and capacity/usage inversions. Nil costs one branch per
+// transition.
+type CacheObserver interface {
+	// CacheChanged fires after any mutation (AddTokens, ReleaseTokens,
+	// SetCapacity) with the cache in its new state.
+	CacheChanged(c *Cache)
+	// CacheOverRelease fires when a release exceeds the live token count;
+	// the cache clamps at zero, but the excess marks an accounting bug.
+	CacheOverRelease(c *Cache, released int64)
+}
+
 // Cache tracks one instance's allocated KV capacity and live usage in
 // tokens. It is pure accounting: timing and safety live in memctl.
 type Cache struct {
@@ -148,6 +162,9 @@ type Cache struct {
 	perNodeDivisor int
 	capacityBytes  int64
 	usedTokens     int64
+
+	// Observer, if set, watches accounting transitions (see CacheObserver).
+	Observer CacheObserver
 }
 
 // NewCache returns an empty cache for the model.
@@ -187,6 +204,9 @@ func (c *Cache) SetCapacity(bytes int64) {
 		bytes = 0
 	}
 	c.capacityBytes = bytes
+	if c.Observer != nil {
+		c.Observer.CacheChanged(c)
+	}
 }
 
 // AddTokens accounts tokens entering the cache (prefill admits InputLen at
@@ -201,14 +221,23 @@ func (c *Cache) AddTokens(n int64) bool {
 		return false
 	}
 	c.usedTokens += n
+	if c.Observer != nil {
+		c.Observer.CacheChanged(c)
+	}
 	return true
 }
 
 // ReleaseTokens accounts tokens leaving the cache on request completion.
 func (c *Cache) ReleaseTokens(n int64) {
+	if n > c.usedTokens && c.Observer != nil {
+		c.Observer.CacheOverRelease(c, n)
+	}
 	c.usedTokens -= n
 	if c.usedTokens < 0 {
 		c.usedTokens = 0
+	}
+	if c.Observer != nil {
+		c.Observer.CacheChanged(c)
 	}
 }
 

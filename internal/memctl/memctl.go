@@ -83,11 +83,36 @@ func (o *Op) Cancel() bool {
 	return true
 }
 
+// Observer receives every ledger transition of one NodeMemory, in program
+// order, after the ledger's own accounting has been updated. The invariant
+// suite reconstructs the optimistic/pessimistic counters independently from
+// this stream and flags any divergence (conservation violations). Observers
+// must not call back into the NodeMemory. A nil Observer costs one branch
+// per transition.
+type Observer interface {
+	// OpAdmitted fires when Demand accepts an operation (it may still be
+	// parked in the reservation station).
+	OpAdmitted(nm *NodeMemory, op *Op)
+	// OpStarted fires when an operation begins executing.
+	OpStarted(nm *NodeMemory, op *Op)
+	// OpCompleted fires when an operation finishes, before its OnComplete
+	// callback cascades.
+	OpCompleted(nm *NodeMemory, op *Op)
+	// OpRejected fires when the optimistic budget refuses a scale-up.
+	OpRejected(nm *NodeMemory, op *Op)
+	// OpCanceled fires when a parked operation is abandoned and its
+	// optimistic admission rolled back.
+	OpCanceled(nm *NodeMemory, op *Op)
+}
+
 // NodeMemory orchestrates the memory of one node (one device).
 type NodeMemory struct {
 	sim      *sim.Simulator
 	name     string
 	capacity int64
+
+	// Observer, if set, watches every ledger transition (see Observer).
+	Observer Observer
 
 	optimistic  int64
 	pessimistic int64
@@ -111,6 +136,9 @@ func New(s *sim.Simulator, name string, capacity int64) *NodeMemory {
 
 // Capacity returns the node's memory capacity in bytes.
 func (nm *NodeMemory) Capacity() int64 { return nm.capacity }
+
+// Name returns the node label the ledger reports violations under.
+func (nm *NodeMemory) Name() string { return nm.name }
 
 // OptimisticUsed returns the admitted (target-size) usage.
 func (nm *NodeMemory) OptimisticUsed() int64 { return nm.optimistic }
@@ -160,9 +188,15 @@ func (nm *NodeMemory) Demand(op *Op) bool {
 	delta := op.To - op.From
 	if delta > 0 && nm.optimistic+delta > nm.capacity {
 		nm.rejected++
+		if nm.Observer != nil {
+			nm.Observer.OpRejected(nm, op)
+		}
 		return false
 	}
 	nm.optimistic += delta
+	if nm.Observer != nil {
+		nm.Observer.OpAdmitted(nm, op)
+	}
 	if delta <= 0 {
 		// Scale-down (or no-op): execute immediately. Pessimistic keeps
 		// charging the old size until completion.
@@ -189,10 +223,16 @@ func (nm *NodeMemory) execute(op *Op) {
 		// Assume the new bytes are touched as soon as the op starts.
 		nm.pessimistic += delta
 	}
+	if nm.Observer != nil {
+		nm.Observer.OpStarted(nm, op)
+	}
 	complete := func() {
 		nm.opsCompleted++
 		if delta < 0 {
 			nm.pessimistic += delta // frees only now
+		}
+		if nm.Observer != nil {
+			nm.Observer.OpCompleted(nm, op)
 		}
 		if op.OnComplete != nil {
 			op.OnComplete()
@@ -216,6 +256,9 @@ func (nm *NodeMemory) drainStation() {
 		if op.canceled {
 			// Roll back its optimistic admission.
 			nm.optimistic -= op.To - op.From
+			if nm.Observer != nil {
+				nm.Observer.OpCanceled(nm, op)
+			}
 			continue
 		}
 		delta := op.To - op.From

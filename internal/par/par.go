@@ -4,6 +4,8 @@
 package par
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -21,6 +23,23 @@ func NewSem(n int) Sem {
 	return make(Sem, n)
 }
 
+// CellPanic is what Do re-panics with when a cell's eval panicked: the cell
+// index, the original panic value, and the stack captured at the point of
+// panic. Without this wrapper a panicking cell would kill the process from
+// its worker goroutine before the caller could observe anything.
+type CellPanic struct {
+	// Cell is the index of the panicking cell.
+	Cell int
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack.
+	Stack []byte
+}
+
+func (p *CellPanic) String() string {
+	return fmt.Sprintf("par: cell %d panicked: %v\n%s", p.Cell, p.Value, p.Stack)
+}
+
 // Do evaluates cells 0..n-1 and returns their results in index order.
 // With a nil semaphore it degenerates to a plain loop; otherwise every
 // cell — including a lone one, so single-cell sweeps still respect a
@@ -30,6 +49,13 @@ func NewSem(n int) Sem {
 // costs k goroutines, not a million parked ones. Cells must not call Do
 // on the same semaphore: a cell holding a slot while waiting for inner
 // ones can deadlock a saturated pool — flatten nested fan-outs instead.
+//
+// A panic inside a cell does not crash the process from a worker
+// goroutine: the first panic is captured, the remaining workers finish
+// their in-flight cells and stop picking new ones (their semaphore slots
+// are released either way, so concurrent Do calls sharing the pool never
+// deadlock), and Do re-panics on the caller's goroutine with a *CellPanic
+// carrying the cell index, original value, and stack.
 func Do[T any](sem Sem, n int, eval func(int) T) []T {
 	out := make([]T, n)
 	if sem == nil {
@@ -43,25 +69,37 @@ func Do[T any](sem Sem, n int, eval func(int) T) []T {
 		workers = n
 	}
 	var next atomic.Int64
+	var panicked atomic.Pointer[CellPanic]
 	var wg sync.WaitGroup
+	runCell := func(i int) {
+		// The slot is acquired per cell, not per worker, so concurrent Do
+		// calls sharing one semaphore interleave their cells fairly instead
+		// of monopolizing the pool.
+		sem <- struct{}{}
+		defer func() {
+			<-sem
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, &CellPanic{Cell: i, Value: r, Stack: debug.Stack()})
+			}
+		}()
+		out[i] = eval(i)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for panicked.Load() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				// The slot is acquired per cell, not per worker, so
-				// concurrent Do calls sharing one semaphore interleave
-				// their cells fairly instead of monopolizing the pool.
-				sem <- struct{}{}
-				out[i] = eval(i)
-				<-sem
+				runCell(i)
 			}
 		}()
 	}
 	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p)
+	}
 	return out
 }

@@ -2,6 +2,7 @@ package par
 
 import (
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -65,6 +66,114 @@ func TestDoParallelResultsInOrder(t *testing.T) {
 			t.Fatalf("got[%d] = %d, want %d", i, v, i*3)
 		}
 	}
+}
+
+// TestDoWorkerCountNeverExceedsMinNCap drives n < cap(sem) cells that all
+// block until the expected worker population shows up: exactly min(n, cap)
+// cells can be in flight simultaneously, and never more. Run under -race in
+// CI, this also exercises the shared index counter from every worker.
+func TestDoWorkerCountNeverExceedsMinNCap(t *testing.T) {
+	const n, capacity = 3, 8 // min is n
+	var cur, peak atomic.Int32
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Do(NewSem(capacity), n, func(i int) int {
+			c := cur.Add(1)
+			defer cur.Add(-1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			<-release // hold the cell so all workers must coexist
+			return i
+		})
+	}()
+	// All n cells must eventually be in flight at once (there are at least
+	// n workers available) ...
+	for peak.Load() < n {
+		time.Sleep(50 * time.Microsecond)
+	}
+	close(release)
+	<-done
+	// ... and never more than min(n, cap) = n, even with a wider semaphore.
+	if p := peak.Load(); p != n {
+		t.Fatalf("peak concurrent cells %d, want exactly min(n=%d, cap=%d)", p, n, capacity)
+	}
+}
+
+// TestDoPanicPropagates pins the panic contract: a panicking cell must not
+// kill the process from a worker goroutine, must not deadlock the
+// remaining workers, and must surface on the caller's goroutine as a
+// *CellPanic naming the cell.
+func TestDoPanicPropagates(t *testing.T) {
+	var ran atomic.Int32
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		Do(NewSem(4), 64, func(i int) int {
+			if i == 5 {
+				panic("boom")
+			}
+			ran.Add(1)
+			return i
+		})
+		done <- nil
+	}()
+	var rec any
+	select {
+	case rec = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Do deadlocked after a cell panic")
+	}
+	cp, ok := rec.(*CellPanic)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *CellPanic", rec, rec)
+	}
+	if cp.Cell != 5 || cp.Value != "boom" {
+		t.Fatalf("CellPanic = {Cell:%d Value:%v}, want {5 boom}", cp.Cell, cp.Value)
+	}
+	if len(cp.Stack) == 0 || !strings.Contains(cp.String(), "boom") {
+		t.Fatal("CellPanic must carry the stack and render the value")
+	}
+	// In-flight cells finished; the panic only stops new pickups.
+	if ran.Load() == 0 {
+		t.Fatal("no other cell completed")
+	}
+}
+
+// TestDoPanicReleasesSemaphore proves a panicked cell's slot is returned to
+// a shared pool: a second Do on the same semaphore must still complete.
+func TestDoPanicReleasesSemaphore(t *testing.T) {
+	sem := NewSem(2)
+	func() {
+		defer func() { recover() }()
+		Do(sem, 8, func(i int) int { panic(i) })
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Do(sem, 8, func(i int) int { return i })
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("semaphore slot leaked by a panicking cell")
+	}
+}
+
+// TestDoSerialPanicPropagates: the nil-semaphore path panics naturally on
+// the caller's goroutine (no wrapping needed, nothing to deadlock).
+func TestDoSerialPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("serial panic swallowed")
+		}
+	}()
+	Do(nil, 3, func(i int) int { panic("serial") })
 }
 
 func TestNewSemSerial(t *testing.T) {

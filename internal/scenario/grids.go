@@ -1,0 +1,64 @@
+package scenario
+
+import "slinfer/internal/model"
+
+// Named grids. Smoke is the CI gate: wide enough to cross every axis,
+// short enough to run on every push. Nightly is the paper-shaped matrix for
+// deliberate deep verification runs.
+
+// Smoke returns the CI smoke matrix: 2 workloads × 2 transforms × 2
+// topologies × 3 systems × 2 SLO classes × 1 seed = 48 cells, each a
+// two-minute trace, so the whole grid clears in seconds on a parallel pool.
+func Smoke() Grid {
+	return Grid{
+		Name: "smoke",
+		Workloads: []Workload{
+			{Name: "azure8x7b", Base: model.Llama2_7B, Models: 8, Minutes: 2},
+			{Name: "burst6x3b", Base: model.Llama32_3B, Models: 6, Minutes: 2, Generator: "burstgpt", RPS: 1.5},
+		},
+		Transforms: []Transform{Identity(), TimeCompressed(2)},
+		Topologies: []Topology{
+			{Name: "2c2g", CPU: 2, GPU: 2},
+			{Name: "1c3g", CPU: 1, GPU: 3},
+		},
+		Systems: []string{"SLINFER", "sllm+c", "sllm+c+s"},
+		SLOs:    []SLOClass{DefaultSLO(), TightSLO(0.15)},
+		Seeds:   []uint64{1},
+	}
+}
+
+// Nightly returns the deep matrix: longer traces, the full system roster
+// (including the sllm and NEO+ baselines), load scaling in both directions,
+// and multiple seeds — 2 × 3 × 2 × 5 × 2 × 2 = 240 cells.
+func Nightly() Grid {
+	return Grid{
+		Name: "nightly",
+		Workloads: []Workload{
+			{Name: "azure16x7b", Base: model.Llama2_7B, Models: 16, Minutes: 5},
+			{Name: "burst12x3b", Base: model.Llama32_3B, Models: 12, Minutes: 5, Generator: "burstgpt", RPS: 2},
+		},
+		Transforms: []Transform{Identity(), RateScaled(0.5), RateScaled(2)},
+		Topologies: []Topology{
+			{Name: "2c2g", CPU: 2, GPU: 2},
+			{Name: "4c4g", CPU: 4, GPU: 4},
+		},
+		Systems: []string{"SLINFER", "sllm", "sllm+c", "sllm+c+s", "NEO+"},
+		SLOs:    []SLOClass{DefaultSLO(), TightSLO(0.15)},
+		Seeds:   []uint64{1, 7},
+	}
+}
+
+// ByName resolves a named grid.
+func ByName(name string) (Grid, bool) {
+	switch name {
+	case "smoke":
+		return Smoke(), true
+	case "nightly":
+		return Nightly(), true
+	default:
+		return Grid{}, false
+	}
+}
+
+// Names lists the registered grid names.
+func Names() []string { return []string{"smoke", "nightly"} }

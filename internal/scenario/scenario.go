@@ -1,0 +1,255 @@
+// Package scenario is the declarative scenario-matrix verification
+// subsystem: it composes orthogonal axes — workload shape × trace transform
+// × cluster topology × serving system (policy composition) × SLO class ×
+// seed — into a named grid of simulation cells, fans the cells across the
+// experiments worker pool, and runs every cell with the full
+// internal/invariants suite attached. A cell passes when its simulation
+// completes with zero invariant violations; the grid is the safety net
+// every new policy, workload, or transform runs against before the paper's
+// golden reports ever see it.
+//
+// Beyond per-cell invariants, the package checks metamorphic *cross-cell*
+// properties (properties.go): relations that must hold between runs —
+// determinism, transform identities, replay/live equivalence, keep-alive
+// monotonicity — which no single-run oracle can express.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"slinfer/internal/baseline"
+	"slinfer/internal/core"
+	"slinfer/internal/experiments"
+	"slinfer/internal/hwsim"
+	"slinfer/internal/invariants"
+	"slinfer/internal/metrics"
+	"slinfer/internal/model"
+	"slinfer/internal/sim"
+	"slinfer/internal/slo"
+	"slinfer/internal/workload"
+	"slinfer/internal/workload/traceio"
+)
+
+// Workload is one point on the workload-shape axis: a named, seeded trace
+// generator over a replica population of a base model.
+type Workload struct {
+	// Name labels the axis value in cell names.
+	Name string
+	// Base is the catalog model every replica derives from.
+	Base model.Model
+	// Models is the hosted replica count.
+	Models int
+	// Minutes is the trace length.
+	Minutes float64
+	// Generator selects the trace process: "azure" (default) or "burstgpt".
+	Generator string
+	// RPS is the aggregate request rate (burstgpt only).
+	RPS float64
+	// Dataset is the token-length distribution; zero selects AzureConv.
+	Dataset workload.Dataset
+}
+
+// Trace generates the workload's models and trace for a seed. An unknown
+// Generator is an error, not a panic: a bad axis value must fail its cell,
+// never the whole grid run.
+func (w Workload) Trace(seed uint64) ([]model.Model, workload.Trace, error) {
+	models := model.Replicas(w.Base, w.Models)
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	dur := sim.Duration(w.Minutes) * sim.Minute
+	switch w.Generator {
+	case "", "azure":
+		return models, workload.Generate(workload.TraceConfig{
+			ModelNames: names, Duration: dur, Dataset: w.Dataset,
+			Seed: seed, MaxInput: w.Base.MaxContext,
+		}), nil
+	case "burstgpt":
+		return models, workload.GenerateBurstGPT(workload.BurstGPTConfig{
+			ModelNames: names, Duration: dur, RPS: w.RPS, Dataset: w.Dataset,
+			Seed: seed, MaxInput: w.Base.MaxContext,
+		}), nil
+	default:
+		return nil, workload.Trace{}, fmt.Errorf("scenario: workload %s: unknown generator %q (want azure or burstgpt)", w.Name, w.Generator)
+	}
+}
+
+// Transform is one point on the trace-transform axis: a pure function of
+// (trace, seed) applied between generation and replay.
+type Transform struct {
+	Name  string
+	Apply func(tr workload.Trace, seed uint64) workload.Trace
+}
+
+// Identity passes the trace through unchanged.
+func Identity() Transform {
+	return Transform{Name: "identity", Apply: func(tr workload.Trace, _ uint64) workload.Trace { return tr }}
+}
+
+// RateScaled scales offered load by factor via traceio.ScaleRate.
+func RateScaled(factor float64) Transform {
+	return Transform{
+		Name: fmt.Sprintf("rate%.2gx", factor),
+		Apply: func(tr workload.Trace, seed uint64) workload.Trace {
+			return traceio.ScaleRate(tr, factor, seed)
+		},
+	}
+}
+
+// TimeCompressed speeds the trace up by factor via traceio.CompressTime.
+func TimeCompressed(factor float64) Transform {
+	return Transform{
+		Name: fmt.Sprintf("compress%.2gx", factor),
+		Apply: func(tr workload.Trace, _ uint64) workload.Trace {
+			return traceio.CompressTime(tr, factor)
+		},
+	}
+}
+
+// Topology is one point on the cluster-topology axis.
+type Topology struct {
+	Name     string
+	CPU, GPU int
+}
+
+// Specs returns the node specs for this topology.
+func (t Topology) Specs() []hwsim.NodeSpec { return hwsim.Testbed(t.CPU, t.GPU) }
+
+// SLOClass is one point on the SLO axis: how a request's objective derives
+// from its input length. A nil Objective selects the paper's default.
+type SLOClass struct {
+	Name      string
+	Objective func(inputLen int) slo.Objective
+}
+
+// DefaultSLO is the paper's TTFT/TPOT formula.
+func DefaultSLO() SLOClass { return SLOClass{Name: "default"} }
+
+// TightSLO keeps the TTFT formula but tightens TPOT (§IV-A2).
+func TightSLO(tpot sim.Duration) SLOClass {
+	return SLOClass{
+		Name:      fmt.Sprintf("tight%.0fms", tpot.Milliseconds()),
+		Objective: func(inputLen int) slo.Objective { return slo.Tight(inputLen, tpot) },
+	}
+}
+
+// Grid is a declarative scenario matrix: the cross product of its axes.
+// Every axis must have at least one value.
+type Grid struct {
+	Name       string
+	Workloads  []Workload
+	Transforms []Transform
+	Topologies []Topology
+	// Systems are preset names resolved by baseline.ByName.
+	Systems []string
+	SLOs    []SLOClass
+	Seeds   []uint64
+}
+
+// Size returns the cell count of the full cross product.
+func (g Grid) Size() int {
+	return len(g.Workloads) * len(g.Transforms) * len(g.Topologies) *
+		len(g.Systems) * len(g.SLOs) * len(g.Seeds)
+}
+
+// Cells expands the grid into its cells in a fixed axis-major order
+// (workload, transform, topology, system, SLO, seed), so cell indices are
+// stable across runs.
+func (g Grid) Cells() []Cell {
+	cells := make([]Cell, 0, g.Size())
+	for _, w := range g.Workloads {
+		for _, tf := range g.Transforms {
+			for _, topo := range g.Topologies {
+				for _, sys := range g.Systems {
+					for _, sc := range g.SLOs {
+						for _, seed := range g.Seeds {
+							cells = append(cells, Cell{
+								Workload: w, Transform: tf, Topology: topo,
+								System: sys, SLO: sc, Seed: seed,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Cell is one point of the matrix: a fully specified simulation.
+type Cell struct {
+	Workload  Workload
+	Transform Transform
+	Topology  Topology
+	System    string
+	SLO       SLOClass
+	Seed      uint64
+}
+
+// Name renders the cell's coordinates: one value per axis, slash-separated.
+func (c Cell) Name() string {
+	return strings.Join([]string{
+		c.Workload.Name, c.Transform.Name, c.Topology.Name,
+		c.System, c.SLO.Name, fmt.Sprintf("s%d", c.Seed),
+	}, "/")
+}
+
+// CellResult is one cell's outcome.
+type CellResult struct {
+	Cell   Cell
+	Report metrics.Report
+	// Violations are the invariant breaches detected during the run.
+	Violations []invariants.Violation
+	// Err is a setup failure (unknown system, invalid transformed trace);
+	// the cell did not run.
+	Err error
+}
+
+// Ok reports whether the cell ran cleanly.
+func (r CellResult) Ok() bool { return r.Err == nil && len(r.Violations) == 0 }
+
+// config resolves the cell's serving system and SLO class.
+func (c Cell) config() (core.Config, error) {
+	cfg, ok := baseline.ByName(c.System)
+	if !ok {
+		return core.Config{}, fmt.Errorf("scenario: unknown system %q", c.System)
+	}
+	cfg.SLO = c.SLO.Objective
+	return cfg, nil
+}
+
+// RunCell executes one cell with the invariant suite attached.
+func RunCell(c Cell) CellResult {
+	cfg, err := c.config()
+	if err != nil {
+		return CellResult{Cell: c, Err: err}
+	}
+	models, tr, err := c.Workload.Trace(c.Seed)
+	if err != nil {
+		return CellResult{Cell: c, Err: err}
+	}
+	tr = c.Transform.Apply(tr, c.Seed)
+	if err := tr.Validate(); err != nil {
+		return CellResult{Cell: c, Err: fmt.Errorf("scenario: %s: transformed trace invalid: %w", c.Name(), err)}
+	}
+	rep, suite := runTrace(cfg, c.Topology, models, tr)
+	return CellResult{Cell: c, Report: rep, Violations: suite.Violations()}
+}
+
+// runTrace is the shared single-run core: build, attach, run.
+func runTrace(cfg core.Config, topo Topology, models []model.Model, tr workload.Trace) (metrics.Report, *invariants.Suite) {
+	s := sim.New()
+	ctl := core.New(s, topo.Specs(), models, cfg)
+	suite := invariants.Attach(ctl)
+	return ctl.Run(tr), suite
+}
+
+// RunGrid expands the grid and evaluates every cell through the experiments
+// worker pool (bounded, results in cell order). Each cell owns its
+// simulator and suite, so the fan-out is embarrassingly parallel.
+func RunGrid(g Grid) []CellResult {
+	cells := g.Cells()
+	return experiments.RunCells(len(cells), func(i int) CellResult { return RunCell(cells[i]) })
+}

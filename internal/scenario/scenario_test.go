@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"slinfer/internal/sim"
+)
+
+func TestGridExpansion(t *testing.T) {
+	g := Smoke()
+	cells := g.Cells()
+	if len(cells) != g.Size() {
+		t.Fatalf("Cells() returned %d, Size() says %d", len(cells), g.Size())
+	}
+	if len(cells) < 48 {
+		t.Fatalf("smoke grid has %d cells, the acceptance floor is 48", len(cells))
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		name := c.Name()
+		if seen[name] {
+			t.Fatalf("duplicate cell name %q", name)
+		}
+		seen[name] = true
+		if strings.Count(name, "/") != 5 {
+			t.Fatalf("cell name %q does not encode all six axes", name)
+		}
+	}
+}
+
+func TestNamedGrids(t *testing.T) {
+	for _, name := range Names() {
+		g, ok := ByName(name)
+		if !ok || g.Name != name {
+			t.Fatalf("grid %q not resolvable", name)
+		}
+		if g.Size() == 0 {
+			t.Fatalf("grid %q is empty", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown grid resolved")
+	}
+}
+
+// TestSmokeSlice runs a deterministic slice of the smoke matrix — one cell
+// per (workload, system) pair — through all invariant checkers. The full
+// grid runs in CI via cmd/slinfer-verify; this keeps `go test` fast while
+// still crossing every axis type.
+func TestSmokeSlice(t *testing.T) {
+	g := Smoke()
+	g.Transforms = []Transform{Identity()}
+	g.Topologies = g.Topologies[:1]
+	g.SLOs = []SLOClass{DefaultSLO()}
+	results := RunGrid(g)
+	if len(results) != g.Size() {
+		t.Fatalf("got %d results for %d cells", len(results), g.Size())
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("cell %s: %v", r.Cell.Name(), r.Err)
+			continue
+		}
+		for _, v := range r.Violations {
+			t.Errorf("cell %s: %s", r.Cell.Name(), v)
+		}
+		if r.Report.Total == 0 {
+			t.Errorf("cell %s: empty run (no arrivals)", r.Cell.Name())
+		}
+	}
+}
+
+// TestCellErrors pins setup-failure reporting.
+func TestCellErrors(t *testing.T) {
+	r := RunCell(Cell{
+		Workload: Smoke().Workloads[0], Transform: Identity(),
+		Topology: Topology{Name: "2c2g", CPU: 2, GPU: 2},
+		System:   "no-such-system", SLO: DefaultSLO(), Seed: 1,
+	})
+	if r.Err == nil {
+		t.Fatal("unknown system did not error")
+	}
+	if r.Ok() {
+		t.Fatal("failed cell reports Ok")
+	}
+
+	// A bad generator fails its cell, never the whole grid run.
+	r = RunCell(Cell{
+		Workload:  Workload{Name: "w", Base: Smoke().Workloads[0].Base, Models: 2, Minutes: 1, Generator: "bursty"},
+		Transform: Identity(), Topology: Topology{Name: "1c1g", CPU: 1, GPU: 1},
+		System: "SLINFER", SLO: DefaultSLO(), Seed: 1,
+	})
+	if r.Err == nil || !strings.Contains(r.Err.Error(), "unknown generator") {
+		t.Fatalf("unknown generator did not error per-cell: %v", r.Err)
+	}
+}
+
+// TestTightSLOIsHarder sanity-checks the SLO axis: a 150 ms TPOT class can
+// only lower (or keep) the attainment of the default 250 ms class on an
+// otherwise identical cell.
+func TestTightSLOIsHarder(t *testing.T) {
+	g := Smoke()
+	base := Cell{
+		Workload: g.Workloads[0], Transform: Identity(),
+		Topology: g.Topologies[0], System: "SLINFER",
+		SLO: DefaultSLO(), Seed: 1,
+	}
+	tight := base
+	tight.SLO = TightSLO(0.15 * sim.Second)
+
+	rb, rt := RunCell(base), RunCell(tight)
+	if rb.Err != nil || rt.Err != nil {
+		t.Fatalf("cells failed: %v / %v", rb.Err, rt.Err)
+	}
+	if rt.Report.Met > rb.Report.Met {
+		t.Fatalf("tight SLO met %d requests, default only %d — the SLO axis is not wired through admission",
+			rt.Report.Met, rb.Report.Met)
+	}
+}
+
+// TestProperties checks every metamorphic property over a reduced grid (the
+// full smoke grid's property pass runs in CI).
+func TestProperties(t *testing.T) {
+	g := Smoke()
+	g.Transforms = []Transform{Identity()}
+	g.Topologies = g.Topologies[:1]
+	g.SLOs = []SLOClass{DefaultSLO()}
+	for _, pr := range CheckProperties(g) {
+		if pr.Err != nil {
+			t.Errorf("property %s (%s): %v", pr.Property.Name, pr.Property.Doc, pr.Err)
+		}
+	}
+}

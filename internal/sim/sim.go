@@ -108,6 +108,12 @@ type Simulator struct {
 	queue   eventHeap
 	fired   uint64
 	stopped bool
+
+	// OnEvent, if set, observes every fired event just before its callback
+	// runs (after the clock has advanced to the event's timestamp). The
+	// invariant suite hooks the event clock here; observers must not mutate
+	// the simulator. Nil costs a single branch per event.
+	OnEvent func(at Time)
 }
 
 // New returns a simulator with the clock at time zero.
@@ -162,6 +168,9 @@ func (s *Simulator) Step() bool {
 	e := heap.Pop(&s.queue).(*Event)
 	s.now = e.at
 	s.fired++
+	if s.OnEvent != nil {
+		s.OnEvent(e.at)
+	}
 	e.fn()
 	return true
 }

@@ -1,0 +1,51 @@
+// Package testutil holds shared test helpers. Its centerpiece is the
+// golden-file comparator: every golden test in the repository funnels
+// through Golden, so there is exactly one -update flag and one
+// compare/rewrite convention instead of per-package copies.
+package testutil
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden is registered once per test binary; run any golden test with
+// `-update` to rewrite its files instead of comparing.
+var updateGolden = flag.Bool("update", false, "rewrite golden files instead of comparing")
+
+// Updating reports whether the -update flag is set (for tests that need to
+// regenerate auxiliary artifacts alongside their goldens).
+func Updating() bool { return *updateGolden }
+
+// Golden compares got against the golden file at path. With -update it
+// (re)writes the file — creating parent directories as needed — and
+// passes; without it, a missing file or any byte difference fails the
+// test with both renderings.
+func Golden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("golden: mkdir for %s: %v", path, err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("golden: write %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden: missing %s (regenerate with -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("golden: %s diverged\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// GoldenString is Golden for text artifacts.
+func GoldenString(t *testing.T, path, got string) {
+	t.Helper()
+	Golden(t, path, []byte(got))
+}

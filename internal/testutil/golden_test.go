@@ -1,0 +1,25 @@
+package testutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGoldenWriteThenCompare(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "x.golden")
+
+	*updateGolden = true
+	Golden(t, path, []byte("payload\n"))
+	*updateGolden = false
+
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "payload\n" {
+		t.Fatalf("update did not write the file: %v %q", err, b)
+	}
+	GoldenString(t, path, "payload\n") // identical content must pass
+
+	if Updating() {
+		t.Fatal("Updating() must reflect the flag")
+	}
+}

@@ -1,0 +1,80 @@
+package traceio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// validTraceBytes is a well-formed two-request trace used as the fuzz
+// corpus anchor: mutations of valid input explore the decoder far better
+// than pure noise.
+const validTraceBytes = `{"slinfer_trace":1,"duration_s":120,"requests":2,"dataset":"AzureConv","seed":3,"generator":"azure","base_model":"llama-2-7b","rpm":{"m-000":1}}
+{"id":0,"model":"m-000","at":1.5,"in":128,"out":16}
+{"id":1,"model":"m-000","at":7.25,"in":640,"out":80}
+`
+
+// FuzzReader feeds arbitrary bytes through the streaming decoder: any
+// input may error — malformed JSON, wrong version, truncated bodies,
+// trailing garbage — but none may panic, and every accepted trace must
+// satisfy the header's request count. Seed corpus: f.Add below plus
+// testdata/fuzz/FuzzReader (checked in so CI replays known-nasty inputs
+// without fuzzing).
+func FuzzReader(f *testing.F) {
+	f.Add([]byte(validTraceBytes))
+	f.Add([]byte(``))                                                        // empty input
+	f.Add([]byte(`{"slinfer_trace":2,"duration_s":1,"requests":0}` + "\n"))  // future version
+	f.Add([]byte(`{"slinfer_trace":1,"duration_s":-5,"requests":0}` + "\n")) // bad duration
+	f.Add([]byte(`{"slinfer_trace":1,"duration_s":1,"requests":3}` + "\n"))  // truncated body
+	f.Add([]byte("not json at all\n{}\n"))
+	f.Add([]byte(strings.Split(validTraceBytes, "\n")[0] + "\n" + `{"id":0,` + "\n"))         // cut mid-record
+	f.Add([]byte(`{"slinfer_trace":1,"duration_s":1,"requests":9223372036854775807}` + "\n")) // hostile count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // rejected at the header: fine, as long as it didn't panic
+		}
+		n := 0
+		for {
+			_, ok, err := rd.Next()
+			if err != nil {
+				return // malformed mid-stream: fine
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+		// A cleanly decoded stream must deliver exactly the declared count.
+		if n != rd.Len() {
+			t.Fatalf("clean decode of %d requests, header declares %d", n, rd.Len())
+		}
+	})
+}
+
+// TestReaderNeverPanics pins the malformed-input taxonomy as plain tests
+// (the fuzz seeds, asserted to error) so failures name the case even when
+// fuzzing is not enabled.
+func TestReaderNeverPanics(t *testing.T) {
+	cases := map[string]string{
+		"empty":             ``,
+		"garbage-header":    "not json at all\n",
+		"array-header":      "[1,2,3]\n",
+		"future-version":    `{"slinfer_trace":2,"duration_s":1,"requests":0}` + "\n",
+		"zero-version":      `{"duration_s":1,"requests":0}` + "\n",
+		"negative-duration": `{"slinfer_trace":1,"duration_s":-5,"requests":0}` + "\n",
+		"negative-count":    `{"slinfer_trace":1,"duration_s":1,"requests":-1}` + "\n",
+		"truncated-body":    `{"slinfer_trace":1,"duration_s":1,"requests":3}` + "\n" + `{"id":0,"model":"m","at":0.1,"in":1,"out":1}` + "\n",
+		"cut-mid-record":    `{"slinfer_trace":1,"duration_s":1,"requests":1}` + "\n" + `{"id":0,"mod`,
+		"trailing-records":  `{"slinfer_trace":1,"duration_s":1,"requests":0}` + "\n" + `{"id":0,"model":"m","at":0.1,"in":1,"out":1}` + "\n",
+		"oversized-line":    `{"slinfer_trace":1,"duration_s":1,"requests":1}` + "\n" + `{"model":"` + strings.Repeat("x", maxLine+1) + `"}` + "\n",
+		"non-object-record": `{"slinfer_trace":1,"duration_s":1,"requests":1}` + "\n" + `17` + "\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, _, err := Load(strings.NewReader(in)); err == nil {
+				t.Fatalf("malformed input %q decoded without error", name)
+			}
+		})
+	}
+}

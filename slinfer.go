@@ -21,9 +21,11 @@ import (
 	"slinfer/internal/core"
 	"slinfer/internal/experiments"
 	"slinfer/internal/hwsim"
+	"slinfer/internal/invariants"
 	"slinfer/internal/metrics"
 	"slinfer/internal/model"
 	"slinfer/internal/policy"
+	"slinfer/internal/scenario"
 	"slinfer/internal/sim"
 	"slinfer/internal/workload"
 	"slinfer/internal/workload/traceio"
@@ -224,6 +226,56 @@ func Replay(tr Trace, opt ReplayOptions) (Report, error) { return experiments.Re
 func ReplayFile(path string, opt ReplayOptions) (Report, error) {
 	return experiments.ReplayFile(path, opt)
 }
+
+// Scenario matrix & invariants: the verification subsystem. A ScenarioGrid
+// composes axes (workload × transform × topology × system × SLO × seed)
+// into cells; RunScenarios fans them across the experiment worker pool with
+// the always-on invariant suite attached to every cell. AttachInvariants
+// wires the same suite into a hand-built controller. See DESIGN.md
+// "Scenario matrix & invariants" and `cmd/slinfer-verify`.
+type (
+	// ScenarioGrid is a declarative scenario matrix (cross product of axes).
+	ScenarioGrid = scenario.Grid
+	// ScenarioCell is one fully specified simulation of a grid.
+	ScenarioCell = scenario.Cell
+	// ScenarioResult is one cell's report plus detected violations.
+	ScenarioResult = scenario.CellResult
+	// ScenarioWorkload is the workload-shape axis value.
+	ScenarioWorkload = scenario.Workload
+	// ScenarioTransform is the trace-transform axis value.
+	ScenarioTransform = scenario.Transform
+	// ScenarioTopology is the cluster-topology axis value.
+	ScenarioTopology = scenario.Topology
+	// ScenarioSLO is the SLO-class axis value; a zero Objective selects the
+	// paper's default TTFT/TPOT formula.
+	ScenarioSLO = scenario.SLOClass
+	// InvariantSuite is one run's attached checker set.
+	InvariantSuite = invariants.Suite
+	// InvariantViolation is one detected invariant breach.
+	InvariantViolation = invariants.Violation
+	// ControllerProbe observes controller lifecycle events (advanced use:
+	// custom witnesses beyond the stock invariant suite).
+	ControllerProbe = core.Probe
+)
+
+// SmokeGrid returns the CI smoke matrix (48 two-minute cells).
+func SmokeGrid() ScenarioGrid { return scenario.Smoke() }
+
+// NightlyGrid returns the deep verification matrix (240 cells).
+func NightlyGrid() ScenarioGrid { return scenario.Nightly() }
+
+// RunScenarios evaluates every cell of a grid with invariants attached,
+// fanning cells across the experiment worker pool.
+func RunScenarios(g ScenarioGrid) []ScenarioResult { return scenario.RunGrid(g) }
+
+// RunScenario evaluates one cell with invariants attached.
+func RunScenario(c ScenarioCell) ScenarioResult { return scenario.RunCell(c) }
+
+// AttachInvariants wires the always-on checker suite — event-clock
+// monotonicity, memory-ledger conservation, KV accounting, request
+// lifecycle, SLO bookkeeping — into a controller built with NewController.
+// Call before Run; query the returned suite afterwards.
+func AttachInvariants(c *Controller) *InvariantSuite { return invariants.Attach(c) }
 
 // Run executes one serving system over a cluster and trace, returning the
 // metrics report. Runs are deterministic for a given (config, trace) pair.
