@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// lowerIsBetter reports whether a metric improves by decreasing. Rates
+// ("events/s", "ops/s", "reqs/s", "MB/s") improve by increasing; costs
+// ("ns/op", "B/op", "allocs/op") by decreasing.
+func lowerIsBetter(metric string) bool {
+	return !strings.HasSuffix(metric, "/s")
+}
+
+// delta is one benchmark metric's old→new movement.
+type delta struct {
+	Bench, Metric string
+	Old, New      float64
+	// Change is the relative movement, positive = improvement.
+	Change     float64
+	Regression bool
+}
+
+// compareMatrices computes per-benchmark deltas between two matrices.
+// threshold is the relative worsening (e.g. 0.25 = 25%) past which a metric
+// counts as a regression. Benchmarks or metrics present on only one side
+// cannot be compared (and cannot regress); they are returned in unmatched so
+// the caller surfaces the coverage gap instead of staying silent when a
+// benchmark is renamed, deleted, or fails to run.
+func compareMatrices(old, new Matrix, threshold float64) (deltas []delta, unmatched []string) {
+	oldBy := map[string]Entry{}
+	for _, e := range old.Results {
+		oldBy[e.Name] = e
+	}
+	newBy := map[string]Entry{}
+	for _, e := range new.Results {
+		newBy[e.Name] = e
+	}
+	for _, oe := range old.Results {
+		if _, ok := newBy[oe.Name]; !ok {
+			unmatched = append(unmatched, oe.Name+" (baseline only)")
+		}
+	}
+	out := deltas
+	for _, ne := range new.Results {
+		oe, ok := oldBy[ne.Name]
+		if !ok {
+			unmatched = append(unmatched, ne.Name+" (new only)")
+			continue
+		}
+		metrics := make([]string, 0, len(ne.Metrics))
+		for m := range ne.Metrics {
+			if _, ok := oe.Metrics[m]; ok {
+				metrics = append(metrics, m)
+			} else {
+				unmatched = append(unmatched, ne.Name+" "+m+" (new only)")
+			}
+		}
+		for m := range oe.Metrics {
+			if _, ok := ne.Metrics[m]; !ok {
+				unmatched = append(unmatched, ne.Name+" "+m+" (baseline only)")
+			}
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			ov, nv := oe.Metrics[m], ne.Metrics[m]
+			d := delta{Bench: ne.Name, Metric: m, Old: ov, New: nv}
+			switch {
+			case ov == 0 && nv == 0:
+				// Unchanged at zero (e.g. a benchmark that never allocated).
+			case ov == 0:
+				// A zero baseline cannot be divided, but appearing from zero
+				// is the textbook regression for cost metrics (0 allocs/op
+				// -> N) and an unquantifiable improvement for rates; report
+				// it as a full-scale move rather than skipping it silently.
+				if lowerIsBetter(m) {
+					d.Change, d.Regression = -1, true
+				} else {
+					d.Change = 1
+				}
+			case lowerIsBetter(m):
+				d.Change = (ov - nv) / ov
+				d.Regression = nv > ov*(1+threshold)
+			default:
+				// Higher is better: use the symmetric factor test — worsening
+				// by the same factor that would flag a cost metric flags a
+				// rate metric. The naive nv < ov*(1-threshold) form can never
+				// fire at threshold >= 1, no matter how far throughput falls.
+				d.Change = (nv - ov) / ov
+				d.Regression = nv < ov/(1+threshold)
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Strings(unmatched)
+	return out, unmatched
+}
+
+// runCompare implements `benchfmt -compare old.json new.json`: prints a
+// per-benchmark delta table and returns the number of metrics regressed past
+// the threshold.
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (int, error) {
+	load := func(path string) (Matrix, error) {
+		var m Matrix
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return m, err
+		}
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return m, fmt.Errorf("%s: %w", path, err)
+		}
+		return m, nil
+	}
+	oldM, err := load(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newM, err := load(newPath)
+	if err != nil {
+		return 0, err
+	}
+	deltas, unmatched := compareMatrices(oldM, newM, threshold)
+	if len(deltas) == 0 && len(unmatched) == 0 {
+		fmt.Fprintln(w, "benchfmt: no common benchmarks to compare")
+		return 0, nil
+	}
+	regressions := 0
+	if len(deltas) > 0 {
+		fmt.Fprintf(w, "%-28s %-12s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+		for _, d := range deltas {
+			mark := ""
+			if d.Regression {
+				mark = "  REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(w, "%-28s %-12s %14.6g %14.6g %+8.1f%%%s\n",
+				d.Bench, d.Metric, d.Old, d.New, 100*d.Change, mark)
+		}
+	}
+	for _, u := range unmatched {
+		fmt.Fprintf(w, "not compared: %s\n", u)
+	}
+	fmt.Fprintf(w, "%d metric(s) compared, %d not comparable, %d regression(s) past %.0f%% threshold\n",
+		len(deltas), len(unmatched), regressions, 100*threshold)
+	return regressions, nil
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func matrix(entries map[string]map[string]float64) Matrix {
+	var m Matrix
+	for name, metrics := range entries {
+		m.Results = append(m.Results, Entry{Name: name, Metrics: metrics})
+	}
+	return m
+}
+
+func TestCompareDirections(t *testing.T) {
+	old := matrix(map[string]map[string]float64{
+		"Sub_SimEventLoop": {"ns/op": 1000, "allocs/op": 100, "events/s": 1e6},
+	})
+	// ns/op halved (improvement), allocs doubled (regression past 25%),
+	// events/s down 10% (within threshold).
+	new := matrix(map[string]map[string]float64{
+		"Sub_SimEventLoop": {"ns/op": 500, "allocs/op": 200, "events/s": 9e5},
+	})
+	deltas, _ := compareMatrices(old, new, 0.25)
+	byMetric := map[string]delta{}
+	for _, d := range deltas {
+		byMetric[d.Metric] = d
+	}
+	if d := byMetric["ns/op"]; d.Regression || d.Change < 0.49 || d.Change > 0.51 {
+		t.Fatalf("ns/op delta = %+v, want +50%% improvement, no regression", d)
+	}
+	if d := byMetric["allocs/op"]; !d.Regression {
+		t.Fatalf("allocs/op delta = %+v, want regression", d)
+	}
+	if d := byMetric["events/s"]; d.Regression {
+		t.Fatalf("events/s delta = %+v: -10%% must be within a 25%% threshold", d)
+	}
+}
+
+func TestCompareRateRegression(t *testing.T) {
+	old := matrix(map[string]map[string]float64{"Sub_Replay": {"reqs/s": 1000}})
+	new := matrix(map[string]map[string]float64{"Sub_Replay": {"reqs/s": 600}})
+	deltas, _ := compareMatrices(old, new, 0.25)
+	if len(deltas) != 1 || !deltas[0].Regression {
+		t.Fatalf("deltas = %+v, want one rate regression", deltas)
+	}
+	if deltas[0].Change > -0.39 || deltas[0].Change < -0.41 {
+		t.Fatalf("Change = %v, want -0.40", deltas[0].Change)
+	}
+}
+
+func TestCompareRateRegressionAtLargeThreshold(t *testing.T) {
+	// The CI soft gate runs with -threshold 1.0; a throughput collapse must
+	// still be flagged there (the naive 1-threshold form never fires).
+	old := matrix(map[string]map[string]float64{"Sub_X": {"events/s": 1e6}})
+	new := matrix(map[string]map[string]float64{"Sub_X": {"events/s": 10}})
+	deltas, _ := compareMatrices(old, new, 1.0)
+	if len(deltas) != 1 || !deltas[0].Regression {
+		t.Fatalf("deltas = %+v: a 100000x events/s collapse must regress at threshold 1.0", deltas)
+	}
+	// Halving is within a 1.0 threshold (symmetric with a cost metric doubling).
+	new = matrix(map[string]map[string]float64{"Sub_X": {"events/s": 6e5}})
+	if d, _ := compareMatrices(old, new, 1.0); d[0].Regression {
+		t.Fatalf("delta = %+v: -40%% must be within threshold 1.0", d[0])
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	old := matrix(map[string]map[string]float64{
+		"Sub_X": {"allocs/op": 0, "B/op": 0, "events/s": 0},
+	})
+	new := matrix(map[string]map[string]float64{
+		"Sub_X": {"allocs/op": 5000, "B/op": 0, "events/s": 100},
+	})
+	deltas, _ := compareMatrices(old, new, 0.25)
+	byMetric := map[string]delta{}
+	for _, d := range deltas {
+		byMetric[d.Metric] = d
+	}
+	if d := byMetric["allocs/op"]; !d.Regression {
+		t.Fatalf("allocs/op 0 -> 5000 must be a regression, got %+v", d)
+	}
+	if d := byMetric["B/op"]; d.Regression || d.Change != 0 {
+		t.Fatalf("B/op 0 -> 0 must be an unchanged non-regression, got %+v", d)
+	}
+	if d := byMetric["events/s"]; d.Regression {
+		t.Fatalf("events/s 0 -> 100 is an improvement, got %+v", d)
+	}
+}
+
+func TestCompareSurfacesUnmatched(t *testing.T) {
+	old := matrix(map[string]map[string]float64{
+		"A": {"ns/op": 100},
+		"D": {"ns/op": 7}, // D was renamed/deleted in the new run
+	})
+	new := matrix(map[string]map[string]float64{
+		"A": {"ns/op": 100, "B/op": 5}, // B/op has no old counterpart
+		"C": {"ns/op": 1},              // C is new
+	})
+	deltas, unmatched := compareMatrices(old, new, 0.25)
+	if len(deltas) != 1 || deltas[0].Bench != "A" || deltas[0].Metric != "ns/op" {
+		t.Fatalf("deltas = %+v, want only A/ns-op", deltas)
+	}
+	want := []string{"A B/op (new only)", "C (new only)", "D (baseline only)"}
+	if len(unmatched) != len(want) {
+		t.Fatalf("unmatched = %v, want %v", unmatched, want)
+	}
+	for i := range want {
+		if unmatched[i] != want[i] {
+			t.Fatalf("unmatched = %v, want %v", unmatched, want)
+		}
+	}
+}
+
+func TestRunCompareOutput(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		path := dir + "/" + name
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldP := write("old.json", `{"results":[{"name":"Sub_X","iterations":1,"metrics":{"ns/op":100,"events/s":1000}}]}`)
+	newP := write("new.json", `{"results":[{"name":"Sub_X","iterations":1,"metrics":{"ns/op":300,"events/s":2000}}]}`)
+	var b strings.Builder
+	regressions, err := runCompare(&b, oldP, newP, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (ns/op tripled)", regressions)
+	}
+	out := b.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "Sub_X") {
+		t.Fatalf("output missing regression marker:\n%s", out)
+	}
+	if !strings.Contains(out, "2 metric(s) compared, 0 not comparable, 1 regression(s)") {
+		t.Fatalf("output missing summary:\n%s", out)
+	}
+}

@@ -12,11 +12,22 @@
 // becomes an entry {"name": "Sub_SimEventLoop", "procs": 8, "iterations":
 // 120, "metrics": {"ns/op": 9876543, ...}}; the surrounding goos/goarch/pkg
 // header lines populate the envelope.
+//
+// Compare mode diffs two matrices and flags regressions:
+//
+//	benchfmt -compare -threshold 0.25 BENCH_baseline.json BENCH_matrix.json
+//
+// It prints a per-benchmark delta table (positive deltas are improvements;
+// "/s" metrics improve upward, ns/op, B/op and allocs/op improve downward)
+// and exits nonzero when any metric worsened past the threshold. CI runs it
+// warn-only against the committed baseline: cross-machine absolute numbers
+// are not comparable, but order-of-magnitude regressions still surface.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -41,6 +52,25 @@ type Matrix struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two benchmark matrices: benchfmt -compare old.json new.json")
+	threshold := flag.Float64("threshold", 0.25, "relative worsening past which a metric is a regression (compare mode)")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchfmt -compare [-threshold 0.25] old.json new.json")
+			os.Exit(2)
+		}
+		regressions, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
+			os.Exit(2)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	var m Matrix
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 64*1024), 1<<20)

@@ -29,12 +29,14 @@ type Executor struct {
 	// Instances currently assigned.
 	Instances []*engine.Instance
 
-	// Pick chooses the next iteration; nil return parks the executor until
-	// the next Kick. Set by the controller (compute policy).
-	Pick func(e *Executor) *engine.Work
+	// Pick chooses the next iteration; ok=false parks the executor until
+	// the next Kick. Set by the controller (compute policy). Work travels
+	// by value through the iteration pipeline — Pick runs once per simulated
+	// iteration and must not allocate.
+	Pick func(e *Executor) (w engine.Work, ok bool)
 	// OnDone is invoked after each completed iteration, before the next
 	// Pick. Set by the controller.
-	OnDone func(e *Executor, w *engine.Work, dur sim.Duration)
+	OnDone func(e *Executor, w engine.Work, dur sim.Duration)
 	// Noise returns the runtime-fluctuation multiplier for one iteration
 	// (the reason SLINFER overestimates by 10%, §VI-C). Nil means none.
 	Noise func() float64
@@ -43,6 +45,13 @@ type Executor struct {
 	busyUntil sim.Time
 	busyTotal sim.Duration
 	iters     int64
+
+	// inflight holds the running iteration between Kick and its completion
+	// event; the executor serializes iterations, so one slot suffices. Kept
+	// on the struct (with the package-level execDone trampoline) so starting
+	// an iteration schedules zero closures.
+	inflight    engine.Work
+	inflightDur sim.Duration
 
 	sim *sim.Simulator
 }
@@ -82,11 +91,11 @@ func (e *Executor) Kick() {
 	if e.busy || e.Pick == nil {
 		return
 	}
-	w := e.Pick(e)
-	if w == nil {
+	w, ok := e.Pick(e)
+	if !ok {
 		return
 	}
-	dur := w.Inst.GroundTruthDuration(w)
+	dur := w.Inst.GroundTruthDuration(&w)
 	if e.Noise != nil {
 		dur *= sim.Duration(e.Noise())
 	}
@@ -95,16 +104,25 @@ func (e *Executor) Kick() {
 	}
 	e.busy = true
 	e.busyUntil = e.sim.Now().Add(dur)
+	e.inflight, e.inflightDur = w, dur
 	w.Inst.Iterations++
-	e.sim.After(dur, func() {
-		e.busy = false
-		e.busyTotal += dur
-		e.iters++
-		if e.OnDone != nil {
-			e.OnDone(e, w, dur)
-		}
-		e.Kick()
-	})
+	e.sim.AfterFunc(dur, execDone, e)
+}
+
+// execDone is the iteration-completion trampoline: a plain function value,
+// so scheduling it allocates nothing.
+func execDone(a any) { a.(*Executor).finishIteration() }
+
+func (e *Executor) finishIteration() {
+	w, dur := e.inflight, e.inflightDur
+	e.inflight, e.inflightDur = engine.Work{}, 0
+	e.busy = false
+	e.busyTotal += dur
+	e.iters++
+	if e.OnDone != nil {
+		e.OnDone(e, w, dur)
+	}
+	e.Kick()
 }
 
 // Node is one physical node: a device spec, its memory ledger, and the

@@ -36,11 +36,11 @@ func TestExecutorRunsIterationsSerially(t *testing.T) {
 	inst.Admit(r)
 
 	var iterations []engine.WorkKind
-	ex.Pick = func(e *Executor) *engine.Work {
-		w, _ := inst.NextWork(s.Now())
-		return w
+	ex.Pick = func(e *Executor) (engine.Work, bool) {
+		w, _, ok := inst.NextWork(s.Now())
+		return w, ok
 	}
-	ex.OnDone = func(e *Executor, w *engine.Work, dur sim.Duration) {
+	ex.OnDone = func(e *Executor, w engine.Work, dur sim.Duration) {
 		iterations = append(iterations, w.Kind)
 		switch w.Kind {
 		case engine.PrefillWork:
@@ -74,7 +74,7 @@ func TestExecutorNoWorkParks(t *testing.T) {
 	s := sim.New()
 	c := New(s, hwsim.Testbed(1, 0))
 	ex := c.Nodes[0].NewExecutor(1)
-	ex.Pick = func(e *Executor) *engine.Work { return nil }
+	ex.Pick = func(e *Executor) (engine.Work, bool) { return engine.Work{}, false }
 	ex.Kick()
 	if s.Pending() != 0 {
 		t.Fatal("parked executor must not schedule events")
@@ -101,15 +101,15 @@ func TestNoiseAppliedToDuration(t *testing.T) {
 	r := engine.NewRequest(workload.Request{ID: 1, InputLen: 1024, OutputLen: 1})
 	inst.Admit(r)
 	picked := false
-	ex.Pick = func(e *Executor) *engine.Work {
+	ex.Pick = func(e *Executor) (engine.Work, bool) {
 		if picked {
-			return nil
+			return engine.Work{}, false
 		}
 		picked = true
-		return &engine.Work{Inst: inst, Kind: engine.PrefillWork, Req: r}
+		return engine.Work{Inst: inst, Kind: engine.PrefillWork, Req: r}, true
 	}
 	var got sim.Duration
-	ex.OnDone = func(e *Executor, w *engine.Work, dur sim.Duration) { got = dur }
+	ex.OnDone = func(e *Executor, w engine.Work, dur sim.Duration) { got = dur }
 	ex.Noise = func() float64 { return 2.0 }
 	ex.Kick()
 	s.Run()

@@ -14,35 +14,34 @@ import (
 
 // PickMinHeadroom implements the token-level scheduling cycle: across the
 // executor's instances, run the iteration whose driving request has the
-// least headroom (Figure 14). Returns nil when nothing is runnable.
-func PickMinHeadroom(insts []*engine.Instance, now sim.Time) *engine.Work {
-	var best *engine.Work
+// least headroom (Figure 14). ok is false when nothing is runnable.
+func PickMinHeadroom(insts []*engine.Instance, now sim.Time) (best engine.Work, ok bool) {
 	var bestH sim.Duration
 	for _, inst := range insts {
-		w, h := inst.NextWork(now)
-		if w == nil {
+		w, h, has := inst.NextWork(now)
+		if !has {
 			continue
 		}
-		if best == nil || h < bestH {
-			best, bestH = w, h
+		if !ok || h < bestH {
+			best, bestH, ok = w, h, true
 		}
 	}
-	return best
+	return best, ok
 }
 
 // PickFIFO is the ablation alternative: serve instances round-robin-by-order
 // with prefill priority, ignoring headroom.
-func PickFIFO(insts []*engine.Instance, now sim.Time) *engine.Work {
+func PickFIFO(insts []*engine.Instance, now sim.Time) (engine.Work, bool) {
 	for _, inst := range insts {
 		if !inst.HasWork() {
 			continue
 		}
 		if len(inst.WaitingPrefill) > 0 {
-			return &engine.Work{Inst: inst, Kind: engine.PrefillWork, Req: inst.WaitingPrefill[0]}
+			return engine.Work{Inst: inst, Kind: engine.PrefillWork, Req: inst.WaitingPrefill[0]}, true
 		}
-		return &engine.Work{Inst: inst, Kind: engine.DecodeWork}
+		return engine.Work{Inst: inst, Kind: engine.DecodeWork}, true
 	}
-	return nil
+	return engine.Work{}, false
 }
 
 // Reason explains a shadow-validation rejection; the three cases of

@@ -38,19 +38,19 @@ func TestPickMinHeadroomAcrossInstances(t *testing.T) {
 	rb := mkReq(2, 512, 10, 0.5)
 	a.Admit(ra)
 	b.Admit(rb)
-	w := PickMinHeadroom([]*engine.Instance{b, a}, 0.6)
-	if w == nil || w.Inst != a {
+	w, ok := PickMinHeadroom([]*engine.Instance{b, a}, 0.6)
+	if !ok || w.Inst != a {
 		t.Fatalf("want instance a (earliest deadline), got %+v", w)
 	}
 	// The paper's Figure 14 behaviour: after serving, the other becomes
 	// most urgent.
 	a.RemoveWaiting(ra)
-	w = PickMinHeadroom([]*engine.Instance{b, a}, 0.6)
-	if w == nil || w.Inst != b {
+	w, ok = PickMinHeadroom([]*engine.Instance{b, a}, 0.6)
+	if !ok || w.Inst != b {
 		t.Fatal("want instance b after a drained")
 	}
-	if PickMinHeadroom(nil, 0) != nil {
-		t.Fatal("empty set must yield nil")
+	if _, ok := PickMinHeadroom(nil, 0); ok {
+		t.Fatal("empty set must yield no work")
 	}
 }
 
@@ -61,7 +61,7 @@ func TestPickFIFOPrefersPrefillInOrder(t *testing.T) {
 	a.Admit(ra)
 	a.CompletePrefill(ra, 0.1)
 	a.Admit(rb)
-	w := PickFIFO([]*engine.Instance{a}, 0.2)
+	w, _ := PickFIFO([]*engine.Instance{a}, 0.2)
 	if w.Kind != engine.PrefillWork || w.Req != rb {
 		t.Fatalf("FIFO should prefill first, got %v", w.Kind)
 	}

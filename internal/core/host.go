@@ -103,10 +103,7 @@ func (h hostView) Reclaim(inst *engine.Instance) { h.c.reclaim(inst) }
 func (h hostView) ArmReclaim(inst *engine.Instance, idle sim.Duration) {
 	c := h.c
 	c.cancelKeepAlive(inst)
-	c.keepAlive[inst.ID] = c.Sim.After(idle, func() {
-		delete(c.keepAlive, inst.ID)
-		c.reclaim(inst)
-	})
+	c.keepAlive[inst.ID] = c.Sim.AfterFunc(idle, c.fnKeepAlive, inst)
 }
 
 func (h hostView) RecordPreemption() { h.c.Collector.Preemptions++ }

@@ -18,12 +18,12 @@ import (
 
 // wireExecutor installs the compute policy and iteration handlers.
 func (c *Controller) wireExecutor(ex *cluster.Executor) {
-	ex.Pick = func(e *cluster.Executor) *engine.Work {
+	ex.Pick = func(e *cluster.Executor) (engine.Work, bool) {
 		start := time.Now()
-		w := c.pick(e.Instances, c.Sim.Now())
+		w, ok := c.pick(e.Instances, c.Sim.Now())
 		c.Collector.ScheduleNs += time.Since(start).Nanoseconds()
 		c.Collector.ScheduleCount++
-		return w
+		return w, ok
 	}
 	ex.OnDone = c.onIterationDone
 	amp := c.Cfg.Fluctuation
@@ -42,7 +42,7 @@ func (c *Controller) wireExecutor(ex *cluster.Executor) {
 
 // onIterationDone applies an iteration's effects: token emission, request
 // completion, KV growth, and follow-up scheduling.
-func (c *Controller) onIterationDone(ex *cluster.Executor, w *engine.Work, dur sim.Duration) {
+func (c *Controller) onIterationDone(ex *cluster.Executor, w engine.Work, dur sim.Duration) {
 	now := c.Sim.Now()
 	inst := w.Inst
 	kind := inst.Class.Kind()
@@ -456,7 +456,7 @@ func (c *Controller) scheduleKeepAlive(inst *engine.Instance) {
 }
 
 func (c *Controller) cancelKeepAlive(inst *engine.Instance) {
-	if ev := c.keepAlive[inst.ID]; ev != nil {
+	if ev, ok := c.keepAlive[inst.ID]; ok {
 		ev.Cancel()
 		delete(c.keepAlive, inst.ID)
 	}
@@ -469,7 +469,7 @@ func (c *Controller) reclaim(inst *engine.Instance) {
 	}
 	if inst.ResizeInFlight {
 		// Let the in-flight resize land first; re-try shortly after.
-		c.Sim.After(0.2, func() { c.reclaim(inst) })
+		c.Sim.AfterFunc(0.2, c.fnReclaim, inst)
 		return
 	}
 	c.removeInstance(inst, true)
@@ -557,7 +557,7 @@ func (c *Controller) startPDTransfer(req *engine.Request, from *engine.Instance)
 	if from.Idle() && from.State == engine.Active {
 		c.scheduleKeepAlive(from)
 	}
-	c.Sim.After(dur, func() { c.finishPDTransfer(req) })
+	c.Sim.AfterFunc(dur, c.fnPD, req)
 }
 
 func (c *Controller) finishPDTransfer(req *engine.Request) {
@@ -572,7 +572,7 @@ func (c *Controller) finishPDTransfer(req *engine.Request) {
 		if inst.State == engine.Loading {
 			if eta, ok := c.loadETA[inst.ID]; ok && eta > c.Sim.Now() {
 				req.Tracker.ExtendGrace(eta.Sub(c.Sim.Now()))
-				c.Sim.After(eta.Sub(c.Sim.Now())+0.02, func() { c.finishPDTransfer(req) })
+				c.Sim.AfterFunc(eta.Sub(c.Sim.Now())+0.02, c.fnPD, req)
 				return
 			}
 			continue
@@ -594,7 +594,7 @@ func (c *Controller) finishPDTransfer(req *engine.Request) {
 			return
 		}
 		// A scale-up is in flight; join once it lands.
-		c.Sim.After(0.25, func() { c.finishPDTransfer(req) })
+		c.Sim.AfterFunc(0.25, c.fnPD, req)
 		return
 	}
 	if inst := c.createDecodeInstance(m, req); inst != nil {
@@ -602,7 +602,7 @@ func (c *Controller) finishPDTransfer(req *engine.Request) {
 	}
 	// Nowhere to decode: the request stalls until capacity appears; its
 	// tracker keeps ticking and will record the violation at completion.
-	c.Sim.After(0.5, func() { c.finishPDTransfer(req) })
+	c.Sim.AfterFunc(0.5, c.fnPD, req)
 }
 
 func (c *Controller) decodeCandidates(m model.Model) []*engine.Instance {
@@ -651,7 +651,7 @@ func (c *Controller) createDecodeInstance(m model.Model, req *engine.Request) *e
 		// Re-enter the transfer path once the instance is up, in case a
 		// request is already waiting on its KV handoff.
 		if req.State == engine.Transferring {
-			c.Sim.After(n.Spec.LoadTime(m)+0.05, func() { c.finishPDTransfer(req) })
+			c.Sim.AfterFunc(n.Spec.LoadTime(m)+0.05, c.fnPD, req)
 		}
 		return inst
 	}
@@ -661,28 +661,63 @@ func (c *Controller) createDecodeInstance(m model.Model, req *engine.Request) *e
 // ---- Metrics sampling ---------------------------------------------------------
 
 func (c *Controller) scheduleSampler(period sim.Duration) {
-	var tick func()
-	tick = func() {
-		if c.Sim.Now() > c.traceEnd {
-			return
-		}
-		for _, list := range c.instances {
-			for _, inst := range list {
-				if inst.State != engine.Active {
-					continue
-				}
-				weights := inst.WeightBytesOnNode()
-				used := float64(weights + inst.Cache.UsedBytes())
-				alloc := float64(weights + inst.Cache.CapacityBytes())
-				if alloc > 0 {
-					c.Collector.SampleMemUtil(inst.Class.Kind(), used/alloc)
-				}
-				if inst.Cache.CapacityBytes() > 0 && !inst.Idle() {
-					c.Collector.SampleKVUtil(inst.Cache.Utilization())
-				}
+	c.samplerPeriod = period
+	c.samplerEv = c.Sim.AfterFunc(period, c.fnSampler, nil)
+}
+
+// samplerTick records one round of memory/KV utilization samples and
+// re-arms itself. The chain stops re-arming past the trace end, and — so
+// drained runs do not keep firing trailing empty ticks — as soon as the
+// workload is provably finished (no arrivals left, every request terminal,
+// no instances): from that point no tick could record a sample, so cutting
+// the chain is observationally identical.
+func (c *Controller) samplerTick() {
+	if c.Sim.Now() > c.traceEnd || c.workloadDrained() {
+		c.samplerEv = sim.Event{}
+		return
+	}
+	for _, list := range c.instances {
+		for _, inst := range list {
+			if inst.State != engine.Active {
+				continue
+			}
+			weights := inst.WeightBytesOnNode()
+			used := float64(weights + inst.Cache.UsedBytes())
+			alloc := float64(weights + inst.Cache.CapacityBytes())
+			if alloc > 0 {
+				c.Collector.SampleMemUtil(inst.Class.Kind(), used/alloc)
+			}
+			if inst.Cache.CapacityBytes() > 0 && !inst.Idle() {
+				c.Collector.SampleKVUtil(inst.Cache.Utilization())
 			}
 		}
-		c.Sim.After(period, tick)
 	}
-	c.Sim.After(period, tick)
+	c.samplerEv = c.Sim.AfterFunc(c.samplerPeriod, c.fnSampler, nil)
+}
+
+// stopSampler cancels the pending sampler tick. Run calls it after the
+// drain deadline so the simulator's queue is not left holding a stray tick
+// that would fire if the caller keeps stepping the simulation.
+func (c *Controller) stopSampler() {
+	c.samplerEv.Cancel()
+	c.samplerEv = sim.Event{}
+}
+
+// workloadDrained reports whether the run can provably produce no further
+// samples: the arrival cursor is exhausted, every submitted request reached
+// a terminal state, and no instances exist (so nothing can be sampled and
+// nothing can create new instances).
+func (c *Controller) workloadDrained() bool {
+	if !c.arrivalsExhausted() || len(c.pending) > 0 {
+		return false
+	}
+	if c.Collector.Completed+c.Collector.Dropped < c.Collector.Total {
+		return false
+	}
+	for _, list := range c.instances {
+		if len(list) > 0 {
+			return false
+		}
+	}
+	return true
 }

@@ -247,24 +247,24 @@ type Work struct {
 // NextWork returns the most urgent iteration for this instance and the
 // headroom of the request driving it (§VI-A): the earliest-deadline request
 // decides both whether to run, and whether the iteration is its prefill or
-// the batch's decode. Returns nil when the instance has no runnable work.
-func (i *Instance) NextWork(now sim.Time) (*Work, sim.Duration) {
+// the batch's decode. ok is false when the instance has no runnable work.
+// Work travels by value — the scheduler runs every simulated iteration
+// through here, and a per-probe heap allocation dominated its profile.
+func (i *Instance) NextWork(now sim.Time) (w Work, headroom sim.Duration, ok bool) {
 	if !i.HasWork() {
-		return nil, 0
+		return Work{}, 0, false
 	}
-	var best *Work
-	bestH := sim.Duration(0)
 	for _, r := range i.WaitingPrefill {
-		if h := r.Headroom(now); best == nil || h < bestH {
-			best, bestH = &Work{Inst: i, Kind: PrefillWork, Req: r}, h
+		if h := r.Headroom(now); !ok || h < headroom {
+			w, headroom, ok = Work{Inst: i, Kind: PrefillWork, Req: r}, h, true
 		}
 	}
 	for _, r := range i.Running {
-		if h := r.Headroom(now); best == nil || h < bestH {
-			best, bestH = &Work{Inst: i, Kind: DecodeWork}, h
+		if h := r.Headroom(now); !ok || h < headroom {
+			w, headroom, ok = Work{Inst: i, Kind: DecodeWork}, h, true
 		}
 	}
-	return best, bestH
+	return w, headroom, ok
 }
 
 // GroundTruthDuration computes the true duration of a work item from the
@@ -384,7 +384,13 @@ func (i *Instance) CompleteDecode(now sim.Time) (finished []*Request, underestim
 			keep = append(keep, r)
 		}
 	}
-	i.Running = append([]*Request(nil), keep...)
+	// Compact in place (this runs once per decode iteration — a fresh copy
+	// here was a top allocation site); nil the tail so the dropped requests
+	// are not pinned by the backing array.
+	for k := len(keep); k < len(i.Running); k++ {
+		i.Running[k] = nil
+	}
+	i.Running = keep
 	return finished, false
 }
 

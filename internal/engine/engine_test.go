@@ -36,8 +36,8 @@ func TestPrefillToDecodeLifecycle(t *testing.T) {
 	if r.State != WaitingPrefill || len(inst.WaitingPrefill) != 1 {
 		t.Fatal("admit failed")
 	}
-	w, _ := inst.NextWork(0)
-	if w == nil || w.Kind != PrefillWork || w.Req != r {
+	w, _, ok := inst.NextWork(0)
+	if !ok || w.Kind != PrefillWork || w.Req != r {
 		t.Fatalf("NextWork = %+v, want prefill of r", w)
 	}
 	if !inst.CompletePrefill(r, 0.2) {
@@ -91,7 +91,7 @@ func TestNextWorkPicksMostUrgent(t *testing.T) {
 	inst.Admit(fresh)
 	// At t=1.05: old's next deadline = 1 + 0.25 = 1.25 (headroom 0.2);
 	// fresh's deadline = 1 + 1 = 2 (headroom 0.95). Decode should win.
-	w, h := inst.NextWork(1.05)
+	w, h, _ := inst.NextWork(1.05)
 	if w.Kind != DecodeWork {
 		t.Fatalf("want decode, got %v (headroom %v)", w.Kind, h)
 	}
@@ -100,7 +100,7 @@ func TestNextWorkPicksMostUrgent(t *testing.T) {
 	for k := 0; k < 19; k++ {
 		old.Tracker.RecordToken(1.0) // deadline now 1 + 20*0.25 = 6
 	}
-	w, _ = inst.NextWork(1.6)
+	w, _, _ = inst.NextWork(1.6)
 	if w.Kind != PrefillWork || w.Req != fresh {
 		t.Fatalf("want prefill of fresh, got %v", w)
 	}
@@ -183,9 +183,8 @@ func TestResizeBlocksWork(t *testing.T) {
 	if inst.HasWork() {
 		t.Fatal("resize must block iterations")
 	}
-	w, _ := inst.NextWork(0)
-	if w != nil {
-		t.Fatal("NextWork during resize must be nil")
+	if _, _, ok := inst.NextWork(0); ok {
+		t.Fatal("NextWork during resize must report no work")
 	}
 }
 

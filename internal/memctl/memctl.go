@@ -69,6 +69,7 @@ type Op struct {
 
 	canceled bool
 	started  bool
+	nm       *NodeMemory // set at admission; completion trampoline target
 }
 
 // Cancel abandons a reservation-station entry. Ops that already started
@@ -194,6 +195,7 @@ func (nm *NodeMemory) Demand(op *Op) bool {
 		return false
 	}
 	nm.optimistic += delta
+	op.nm = nm
 	if nm.Observer != nil {
 		nm.Observer.OpAdmitted(nm, op)
 	}
@@ -226,26 +228,39 @@ func (nm *NodeMemory) execute(op *Op) {
 	if nm.Observer != nil {
 		nm.Observer.OpStarted(nm, op)
 	}
-	complete := func() {
-		nm.opsCompleted++
-		if delta < 0 {
-			nm.pessimistic += delta // frees only now
-		}
-		if nm.Observer != nil {
-			nm.Observer.OpCompleted(nm, op)
-		}
-		if op.OnComplete != nil {
-			op.OnComplete()
-		}
-		if delta < 0 {
-			nm.drainStation()
-		}
-	}
 	if op.Duration <= 0 {
-		complete()
+		nm.complete(op)
 		return
 	}
-	nm.sim.After(op.Duration, complete)
+	// Pre-bound trampoline instead of a fresh closure per op: memory
+	// operations are scheduled on the simulator's hot path.
+	nm.sim.AfterFunc(op.Duration, opComplete, op)
+}
+
+// opComplete is the op-completion trampoline (a plain function value —
+// scheduling it allocates nothing).
+func opComplete(a any) {
+	op := a.(*Op)
+	op.nm.complete(op)
+}
+
+// complete finishes an operation: pessimistic frees at completion for
+// scale-downs, then OnComplete cascades and the station drains.
+func (nm *NodeMemory) complete(op *Op) {
+	delta := op.To - op.From
+	nm.opsCompleted++
+	if delta < 0 {
+		nm.pessimistic += delta // frees only now
+	}
+	if nm.Observer != nil {
+		nm.Observer.OpCompleted(nm, op)
+	}
+	if op.OnComplete != nil {
+		op.OnComplete()
+	}
+	if delta < 0 {
+		nm.drainStation()
+	}
 }
 
 // drainStation re-evaluates parked scale-ups, launching — out of order —

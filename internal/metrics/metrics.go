@@ -74,6 +74,17 @@ func NewCollector() *Collector {
 	}
 }
 
+// Reserve size-hints the collector's sample slices from the workload (one
+// potential TTFT sample per request), so steady-state recording never grows
+// a backing array.
+func (c *Collector) Reserve(requests int) {
+	if cap(c.TTFTs) < requests {
+		ttfts := make([]float64, len(c.TTFTs), requests)
+		copy(ttfts, c.TTFTs)
+		c.TTFTs = ttfts
+	}
+}
+
 // RecordArrival counts an incoming request.
 func (c *Collector) RecordArrival() { c.Total++ }
 
@@ -181,6 +192,12 @@ type Report struct {
 }
 
 // BuildReport derives the summary for a run of the given duration.
+//
+// BuildReport finalizes the collector: the report's CDF slices alias the
+// collector's sample buffers (sorted in place — zero copies) instead of
+// duplicating them, and all percentiles come from that single in-place
+// sort. Call it once, after recording is done; the collector's TTFTs and
+// MemUtil slices are in sorted order afterwards.
 func (c *Collector) BuildReport(system string, duration sim.Duration) Report {
 	r := Report{
 		System: system, Duration: duration,
@@ -196,8 +213,8 @@ func (c *Collector) BuildReport(system string, duration sim.Duration) Report {
 	if c.Total > 0 {
 		r.SLORate = float64(c.Met) / float64(c.Total)
 	}
-	r.TTFTCDF = append([]float64(nil), c.TTFTs...)
-	sort.Float64s(r.TTFTCDF)
+	sort.Float64s(c.TTFTs)
+	r.TTFTCDF = c.TTFTs
 	r.TTFTP50 = percentile(r.TTFTCDF, 0.50)
 	r.TTFTP95 = percentile(r.TTFTCDF, 0.95)
 	r.TTFTP99 = percentile(r.TTFTCDF, 0.99)
@@ -220,8 +237,16 @@ func (c *Collector) BuildReport(system string, duration sim.Duration) Report {
 	for b, n := range c.BatchHist {
 		batchSum += int64(b) * n
 		batchN += n
-		for k := int64(0); k < n && len(r.BatchCDF) < 200000; k++ {
-			r.BatchCDF = append(r.BatchCDF, b)
+	}
+	if cdfLen := batchN; cdfLen > 0 {
+		if cdfLen > 200000 {
+			cdfLen = 200000
+		}
+		r.BatchCDF = make([]int, 0, cdfLen)
+		for b, n := range c.BatchHist {
+			for k := int64(0); k < n && len(r.BatchCDF) < 200000; k++ {
+				r.BatchCDF = append(r.BatchCDF, b)
+			}
 		}
 	}
 	sort.Ints(r.BatchCDF)
@@ -230,10 +255,9 @@ func (c *Collector) BuildReport(system string, duration sim.Duration) Report {
 	}
 
 	for kind, samples := range c.MemUtil {
-		s := append([]float64(nil), samples...)
-		sort.Float64s(s)
-		r.MemUtilCDF[kind] = s
-		r.MeanMemUtil[kind] = mean(s)
+		sort.Float64s(samples)
+		r.MemUtilCDF[kind] = samples
+		r.MeanMemUtil[kind] = mean(samples)
 	}
 	r.MeanKVUtil = mean(c.KVUtil)
 

@@ -4,10 +4,25 @@
 // memory operations schedule events on a shared Simulator, and the engine
 // executes them in nondecreasing time order. Ties are broken by scheduling
 // order, which makes every run fully deterministic for a given seed.
+//
+// The engine is the hottest path in the repository: every iteration, timer,
+// and memory operation passes through it. Two design choices keep it cheap:
+//
+//   - Fired and cancelled events are recycled through a per-Simulator
+//     free-list instead of being garbage-collected; a steady-state run
+//     schedules millions of events with a handful of allocations. Callers
+//     hold generation-checked Event handles, so a stale handle to a recycled
+//     slot degrades to a no-op instead of corrupting its successor.
+//   - The pending queue is a hand-specialized 4-ary index heap over the
+//     concrete event type (see heap.go) — no interface boxing per push/pop,
+//     and half the depth of a binary heap on large queues.
+//
+// Hot callers that would otherwise allocate a fresh closure per scheduled
+// event should use AtFunc/AfterFunc with a callback bound once, per the
+// closure-allocation rules in DESIGN.md.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -40,72 +55,95 @@ func (d Duration) Milliseconds() float64 { return float64(d) * 1e3 }
 func (t Time) String() string     { return fmt.Sprintf("%.6fs", float64(t)) }
 func (d Duration) String() string { return fmt.Sprintf("%.6fs", float64(d)) }
 
-// Event is a scheduled callback. It can be cancelled before it fires.
-type Event struct {
-	at       Time
-	seq      uint64
+// event is the arena-resident representation of a scheduled callback. Events
+// live by value in the Simulator's slots arena and are addressed by slot
+// index; once an event fires or is cancelled its slot returns to the
+// free-list, and gen is bumped when the slot is next reused so stale handles
+// cannot touch the successor event.
+type event struct {
+	at  Time
+	seq uint64
+	// Exactly one of fn / fn1 is set. fn1 carries a pre-bound callback plus
+	// its argument so hot callers avoid a closure allocation per event.
 	fn       func()
-	index    int // heap index, -1 once popped or cancelled
+	fn1      func(any)
+	arg      any
+	index    int32 // heap index, -1 when not queued
+	gen      uint64
 	canceled bool
-	owner    *Simulator
 }
 
-// At returns the virtual time the event is scheduled for.
-func (e *Event) At() Time { return e.at }
+// Event is a handle to a scheduled callback. The zero value is inert: Cancel
+// and Canceled return false.
+//
+// A handle is valid from scheduling until its event fires or is cancelled.
+// Afterwards the underlying slot may be recycled for a later event; the
+// handle detects this through a generation check and degrades gracefully —
+// Cancel returns false and cannot affect the slot's new occupant. Canceled
+// keeps reporting true for a cancelled event only until its slot is reused.
+type Event struct {
+	s    *Simulator
+	gen  uint64
+	slot int32
+}
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op. Returns true if the event was pending.
+// ev resolves the handle to its live arena slot, or nil if the handle is
+// zero or stale (the slot was recycled for a later event).
+func (h Event) ev() *event {
+	if h.s == nil {
+		return nil
+	}
+	e := &h.s.slots[h.slot]
+	if e.gen != h.gen {
+		return nil
+	}
+	return e
+}
+
+// At returns the virtual time the event was scheduled for, or 0 if the
+// handle is stale (its slot has been recycled).
+func (h Event) At() Time {
+	if e := h.ev(); e != nil {
+		return e.at
+	}
+	return 0
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired,
+// already-cancelled, or stale handle is a no-op. Returns true if the event
+// was pending.
 //
 // The event is removed from the queue eagerly: long runs that cancel many
 // drop/keep-alive timers do not accumulate dead entries in the heap, and
 // Pending stays an O(1) read.
-func (e *Event) Cancel() bool {
+func (h Event) Cancel() bool {
+	e := h.ev()
 	if e == nil || e.canceled || e.index < 0 {
 		return false
 	}
 	e.canceled = true
-	heap.Remove(&e.owner.queue, e.index)
+	h.s.remove(int(e.index))
+	e.fn, e.fn1, e.arg = nil, nil, nil
+	h.s.pool = append(h.s.pool, h.slot)
 	return true
 }
 
-// Canceled reports whether Cancel was called before the event fired.
-func (e *Event) Canceled() bool { return e != nil && e.canceled }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// Canceled reports whether Cancel was called before the event fired. Once
+// the slot is recycled for a later event the handle is stale and Canceled
+// returns false.
+func (h Event) Canceled() bool {
+	e := h.ev()
+	return e != nil && e.canceled
 }
 
-// Simulator owns the virtual clock and the pending-event queue.
-// The zero value is not usable; construct with New.
+// Simulator owns the virtual clock, the pending-event queue, and the event
+// arena. The zero value is not usable; construct with New.
 type Simulator struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	queue   []heapEntry // 4-ary index min-heap with inline keys (heap.go)
+	slots   []event     // arena: all events, addressed by slot index
+	pool    []int32     // free-list of recycled arena slots
 	fired   uint64
 	stopped bool
 
@@ -131,28 +169,67 @@ func (s *Simulator) Fired() uint64 { return s.fired }
 // leave the queue immediately, so this is a plain length read.
 func (s *Simulator) Pending() int { return len(s.queue) }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it would silently reorder causality and every caller bug we have seen
-// manifests this way.
-func (s *Simulator) At(t Time, fn func()) *Event {
+// alloc takes an arena slot from the free-list (bumping its generation so
+// stale handles die) or extends the arena.
+func (s *Simulator) alloc() int32 {
+	if n := len(s.pool); n > 0 {
+		sl := s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		e := &s.slots[sl]
+		e.gen++
+		e.canceled = false
+		return sl
+	}
+	s.slots = append(s.slots, event{})
+	return int32(len(s.slots) - 1)
+}
+
+func (s *Simulator) schedule(t Time, fn func(), fn1 func(any), arg any) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	if math.IsNaN(float64(t)) || math.IsInf(float64(t), 0) {
 		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", float64(t)))
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn, owner: s}
+	sl := s.alloc()
+	e := &s.slots[sl]
+	e.at, e.seq, e.fn, e.fn1, e.arg = t, s.seq, fn, fn1, arg
 	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	s.push(sl)
+	return Event{s: s, gen: e.gen, slot: sl}
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it would silently reorder causality and every caller bug we have seen
+// manifests this way.
+func (s *Simulator) At(t Time, fn func()) Event {
+	return s.schedule(t, fn, nil, nil)
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
-func (s *Simulator) After(d Duration, fn func()) *Event {
+func (s *Simulator) After(d Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	return s.At(s.now.Add(d), fn)
+	return s.schedule(s.now.Add(d), fn, nil, nil)
+}
+
+// AtFunc schedules fn(arg) to run at absolute time t. Unlike At, the
+// callback is passed its argument explicitly, so hot callers can bind fn
+// once (at construction) and schedule without allocating a closure per
+// event: the argument rides inside the pooled event. Passing a pointer (or
+// any pointer-shaped value) as arg does not allocate.
+func (s *Simulator) AtFunc(t Time, fn func(arg any), arg any) Event {
+	return s.schedule(t, nil, fn, arg)
+}
+
+// AfterFunc schedules fn(arg) to run d after the current time; see AtFunc.
+// Negative d panics.
+func (s *Simulator) AfterFunc(d Duration, fn func(arg any), arg any) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.schedule(s.now.Add(d), nil, fn, arg)
 }
 
 // Stop makes Run return after the currently-executing event completes.
@@ -165,13 +242,24 @@ func (s *Simulator) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*Event)
-	s.now = e.at
+	sl := s.pop()
+	e := &s.slots[sl]
+	at, fn, fn1, arg := e.at, e.fn, e.fn1, e.arg
+	// Recycle before running the callback (and drop the arena pointer — the
+	// callback may grow the arena): a self-renewing timer chain reuses its
+	// own slot, so steady-state scheduling never allocates.
+	e.fn, e.fn1, e.arg = nil, nil, nil
+	s.pool = append(s.pool, sl)
+	s.now = at
 	s.fired++
 	if s.OnEvent != nil {
-		s.OnEvent(e.at)
+		s.OnEvent(at)
 	}
-	e.fn()
+	if fn != nil {
+		fn()
+	} else {
+		fn1(arg)
+	}
 	return true
 }
 
@@ -187,8 +275,7 @@ func (s *Simulator) Run() {
 func (s *Simulator) RunUntil(deadline Time) {
 	s.stopped = false
 	for !s.stopped {
-		e := s.peek()
-		if e == nil || e.at > deadline {
+		if len(s.queue) == 0 || s.slots[s.queue[0].slot].at > deadline {
 			break
 		}
 		s.Step()
@@ -196,11 +283,4 @@ func (s *Simulator) RunUntil(deadline Time) {
 	if s.now < deadline {
 		s.now = deadline
 	}
-}
-
-func (s *Simulator) peek() *Event {
-	if len(s.queue) == 0 {
-		return nil
-	}
-	return s.queue[0]
 }

@@ -227,7 +227,7 @@ func TestExpMean(t *testing.T) {
 
 func TestCancelRemovesFromHeapEagerly(t *testing.T) {
 	s := New()
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 1000; i++ {
 		evs = append(evs, s.After(Duration(i+1), func() {}))
 	}
@@ -264,7 +264,7 @@ func TestCancelHeadPreservesOrder(t *testing.T) {
 
 func TestCancelDuringRun(t *testing.T) {
 	s := New()
-	var b *Event
+	var b Event
 	ran := false
 	s.After(1, func() { b.Cancel() })
 	b = s.After(2, func() { ran = true })
