@@ -9,9 +9,12 @@ package slinfer
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
+	"slinfer/internal/core"
 	"slinfer/internal/experiments"
+	"slinfer/internal/fleet"
 	"slinfer/internal/memctl"
 	"slinfer/internal/model"
 	"slinfer/internal/scenario"
@@ -141,5 +144,50 @@ func BenchmarkSub_ScenarioCell(b *testing.B) {
 		if !r.Ok() {
 			b.Fatalf("cell failed: %v %v", r.Err, r.Violations)
 		}
+	}
+}
+
+// BenchmarkSub_FleetEpoch measures epoch-synchronized co-simulation
+// throughput: total DES events executed across all shards per wall-clock
+// second. The 1shard case is the sequential reference — same trace, same
+// front door, one shard taking everything; 4shard splits the identical
+// workload across four shards advancing in parallel between epoch
+// barriers, so the events/s ratio is the fleet layer's aggregate speedup.
+func BenchmarkSub_FleetEpoch(b *testing.B) {
+	models := model.Replicas(model.Llama2_7B, 24)
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	// A fleet-scale workload: 24 models at ~4 rps aggregate. One 1c1g
+	// shard is far past saturation here — its pending queue and instance
+	// lists are what the controller scans per event — while each of the
+	// four shards stays in its operating range, which is exactly the
+	// scale-out case the fleet layer exists for.
+	tr := workload.GenerateBurstGPT(workload.BurstGPTConfig{
+		ModelNames: names, Duration: 4 * sim.Minute, RPS: 4, Seed: 17,
+		Dataset: workload.AzureConv,
+	})
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("%dshard", shards), func(b *testing.B) {
+			var events uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := fleet.Run(fleet.Config{
+					System: core.SLINFER(),
+					Shards: fleet.UniformShards(shards, 1, 1),
+					Models: models,
+					Seed:   17,
+				}, tr)
+				if res.Accepted != int64(len(tr.Requests)) {
+					b.Fatalf("fleet shed %d requests", int64(len(tr.Requests))-res.Accepted)
+				}
+				if len(res.Violations) > 0 {
+					b.Fatalf("fleet violations: %v", res.Violations)
+				}
+				events += res.EventsFired
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
 	}
 }

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	slinfer-verify -list                 # list named grids and properties
-//	slinfer-verify -grid smoke           # run the CI smoke matrix (48 cells)
+//	slinfer-verify -grid smoke           # run the CI smoke matrix (96 cells)
 //	slinfer-verify -grid nightly -v      # deep matrix, per-cell lines
 //	slinfer-verify -grid smoke -props=false   # invariants only
 //	slinfer-verify -grid smoke -parallel 4    # bound concurrent cells
@@ -36,9 +36,13 @@ func main() {
 		fmt.Println("Named grids:")
 		for _, name := range scenario.Names() {
 			g, _ := scenario.ByName(name)
-			fmt.Printf("  %-10s %d cells (%dW x %dT x %dN x %dS x %dL x %d seeds)\n",
+			fleets := len(g.Fleets)
+			if fleets == 0 {
+				fleets = 1
+			}
+			fmt.Printf("  %-10s %d cells (%dW x %dT x %dN x %dS x %dL x %d seeds x %dF)\n",
 				name, g.Size(), len(g.Workloads), len(g.Transforms), len(g.Topologies),
-				len(g.Systems), len(g.SLOs), len(g.Seeds))
+				len(g.Systems), len(g.SLOs), len(g.Seeds), fleets)
 		}
 		fmt.Println("Metamorphic properties:")
 		for _, p := range scenario.Properties() {

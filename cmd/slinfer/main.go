@@ -9,6 +9,7 @@
 //	slinfer -exp all -quick            # run everything at reduced scale
 //	slinfer -exp all -parallel 8       # fan simulation cells over 8 workers
 //	slinfer -trace t.jsonl -system SLINFER   # replay a saved JSONL trace
+//	slinfer -trace t.jsonl -shards 4 -routing least   # replay through a fleet
 //
 // Every (experiment, config, seed) cell is an independent deterministic
 // simulation, so -parallel is a pure wall-clock optimization: the printed
@@ -20,6 +21,14 @@
 // preset end-to-end from the on-disk request sequence and prints the
 // canonical report: replaying the same file twice — or replaying versus
 // running the in-memory trace it was saved from — is byte-identical.
+//
+// Fleet replay (-shards N > 1) runs the trace through N controller shards
+// — each a -cpu/-gpu testbed of its own — behind the front door
+// (internal/fleet): -routing picks the routing policy (rr, least,
+// affinity), -admit-limit > 0 sheds past that many outstanding requests
+// per active shard, and -epoch sets the co-simulation window. The output
+// is the merged canonical report plus one summary line per shard; it is
+// byte-identical across runs and across -parallel settings.
 package main
 
 import (
@@ -30,8 +39,12 @@ import (
 	"strings"
 	"time"
 
+	"slinfer/internal/baseline"
 	"slinfer/internal/experiments"
+	"slinfer/internal/fleet"
 	"slinfer/internal/model"
+	"slinfer/internal/sim"
+	"slinfer/internal/workload/traceio"
 )
 
 func main() {
@@ -45,7 +58,20 @@ func main() {
 	baseName := flag.String("base", "", "catalog model bound to trace model names (default: trace header, else llama-2-7b)")
 	cpus := flag.Int("cpu", 4, "replay testbed CPU nodes")
 	gpus := flag.Int("gpu", 4, "replay testbed GPU nodes")
+	shards := flag.Int("shards", 1, "fleet replay: number of controller shards (each a -cpu/-gpu testbed)")
+	routing := flag.String("routing", "rr", "fleet routing policy: rr|least|affinity")
+	admitLimit := flag.Int("admit-limit", 0, "fleet admission: shed past this many outstanding requests per active shard (0 = accept all)")
+	epoch := flag.Float64("epoch", 0, "fleet co-simulation epoch in seconds (0 = default 5s)")
 	flag.Parse()
+
+	if *shards > 1 {
+		if *trace == "" {
+			fmt.Fprintln(os.Stderr, "-shards needs -trace (record one with slinfer-trace -o)")
+			os.Exit(2)
+		}
+		runFleet(*trace, *system, *baseName, *cpus, *gpus, *shards, *routing, *admitLimit, *epoch, *par)
+		return
+	}
 
 	if *trace != "" {
 		opt := experiments.ReplayOptions{System: *system, CPUNodes: *cpus, GPUNodes: *gpus}
@@ -106,4 +132,65 @@ func main() {
 	}
 	fmt.Printf("(%d experiment(s) in %v, %d workers)\n",
 		len(results), time.Since(start).Round(time.Millisecond), *par)
+}
+
+// runFleet replays a saved trace through an N-shard fleet and prints the
+// merged canonical report plus a per-shard breakdown.
+func runFleet(path, system, baseName string, cpus, gpus, shards int, routing string, admitLimit int, epochSec float64, workers int) {
+	tr, meta, err := traceio.LoadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	if len(tr.Requests) == 0 {
+		fmt.Fprintf(os.Stderr, "trace %s has no requests; nothing to route\n", path)
+		os.Exit(1)
+	}
+	base, err := experiments.ReplayBase(meta, baseName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	cfg, ok := baseline.ByName(system)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", system)
+		os.Exit(2)
+	}
+	route, err := fleet.RoutingByName(routing)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	fcfg := fleet.Config{
+		System:           cfg,
+		Shards:           fleet.UniformShards(shards, cpus, gpus),
+		Models:           experiments.TraceModels(tr, base),
+		Routing:          route,
+		Epoch:            sim.Duration(epochSec) * sim.Second,
+		Workers:          workers,
+		Seed:             meta.Seed,
+		AttachInvariants: true,
+	}
+	if admitLimit > 0 {
+		fcfg.Admission = fleet.MaxOutstanding{PerShard: admitLimit}
+	}
+	res := fleet.Run(fcfg, tr)
+	fmt.Print(res.Report.Canonical())
+	for i, rep := range res.Shards {
+		fmt.Printf("shard %02d %-24s total=%d completed=%d dropped=%d slo=%.9f cold=%d\n",
+			i, rep.System, rep.Total, rep.Completed, rep.Dropped, rep.SLORate, rep.ColdStarts)
+	}
+	fmt.Printf("offered=%d accepted=%d rejected=%d epochs=%d\n",
+		res.Offered, res.Accepted, len(res.Rejections), len(res.ActiveByEpoch))
+	if !res.Ok() {
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "fleet violation: %s\n", v)
+		}
+		for i, vs := range res.ShardViolations {
+			for _, v := range vs {
+				fmt.Fprintf(os.Stderr, "shard %d violation: %s\n", i, v)
+			}
+		}
+		os.Exit(1)
+	}
 }

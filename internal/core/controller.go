@@ -52,6 +52,10 @@ type Controller struct {
 	// stays O(active events) rather than O(total requests).
 	arrivals []workload.Request
 	arrIdx   int
+	// externalArrivals marks a stream-driven run (BeginStream): arrivals
+	// come through Submit calls scheduled by an outside driver, so an empty
+	// cursor never proves the workload drained.
+	externalArrivals bool
 
 	// samplerEv is the pending sampler tick; samplerPeriod re-arms it.
 	samplerEv     sim.Event

@@ -708,6 +708,12 @@ func (c *Controller) stopSampler() {
 // a terminal state, and no instances exist (so nothing can be sampled and
 // nothing can create new instances).
 func (c *Controller) workloadDrained() bool {
+	if c.externalArrivals {
+		// Stream-driven runs (the fleet front door) may still schedule
+		// arrivals from outside; only the trace-end check can stop the
+		// sampler chain early.
+		return false
+	}
 	if !c.arrivalsExhausted() || len(c.pending) > 0 {
 		return false
 	}

@@ -57,7 +57,7 @@ func Replay(tr workload.Trace, opt ReplayOptions) (metrics.Report, error) {
 	if err := tr.Validate(); err != nil {
 		return metrics.Report{}, fmt.Errorf("experiments: invalid trace: %w", err)
 	}
-	models := traceModels(tr, opt.Base)
+	models := TraceModels(tr, opt.Base)
 	rep := runSystem(cfg, hwsim.Testbed(opt.CPUNodes, opt.GPUNodes), models, tr)
 	return rep, nil
 }
@@ -70,19 +70,39 @@ func ReplayFile(path string, opt ReplayOptions) (metrics.Report, error) {
 	if err != nil {
 		return metrics.Report{}, err
 	}
-	if opt.Base.Name == "" && meta.BaseModel != "" {
-		base, ok := model.ByName(meta.BaseModel)
-		if !ok {
-			return metrics.Report{}, fmt.Errorf("experiments: trace %s names unknown base model %q", path, meta.BaseModel)
+	if opt.Base.Name == "" {
+		base, err := ReplayBase(meta, "")
+		if err != nil {
+			return metrics.Report{}, fmt.Errorf("experiments: trace %s: %w", path, err)
 		}
 		opt.Base = base
 	}
 	return Replay(tr, opt)
 }
 
-// traceModels binds every distinct model name in the trace to the base
-// model's resource behaviour, in sorted-name order for determinism.
-func traceModels(tr workload.Trace, base model.Model) []model.Model {
+// ReplayBase resolves the catalog model that binds a replayed trace's
+// model names — the one place the precedence lives for every replay
+// surface (single-controller and fleet): an explicit name wins, else the
+// trace header's recorded base model, else Llama2_7B.
+func ReplayBase(meta traceio.Meta, name string) (model.Model, error) {
+	if name == "" {
+		name = meta.BaseModel
+	}
+	if name == "" {
+		return model.Llama2_7B, nil
+	}
+	base, ok := model.ByName(name)
+	if !ok {
+		return model.Model{}, fmt.Errorf("unknown base model %q", name)
+	}
+	return base, nil
+}
+
+// TraceModels binds every distinct model name in the trace to the base
+// model's resource behaviour, in sorted-name order for determinism. Replay
+// uses it internally; fleet replay surfaces (cmd/slinfer -shards) use it to
+// host the same identity set on every shard.
+func TraceModels(tr workload.Trace, base model.Model) []model.Model {
 	seen := map[string]bool{}
 	var names []string
 	for _, r := range tr.Requests {

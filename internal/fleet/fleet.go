@@ -1,0 +1,360 @@
+// Package fleet runs N independent controller shards — each its own
+// deterministic discrete-event simulation over its own (possibly
+// heterogeneous) topology — behind a front-door layer that routes, admits,
+// and autoscales in epoch-synchronized co-simulation:
+//
+//	for each epoch [kE, (k+1)E):
+//	    autoscale the active shard set        } decisions see only shard
+//	    admit + route the epoch's arrivals    } snapshots from the end of
+//	    in global arrival order               } epoch k-1
+//	    advance every shard to (k+1)E — in parallel (internal/par)
+//	    snapshot every shard, in shard order
+//
+// Routing is serial and snapshot-driven, shard interiors never share
+// state, and snapshots are collected in shard order at a barrier — so a
+// fleet run is a pure function of (config, trace) exactly like a single
+// controller run, independent of the worker count (pinned by
+// TestFleetDeterministicAcrossWorkers). Shards between barriers are
+// embarrassingly parallel, which is where the fleet's aggregate events/s
+// over a single shard comes from (BenchmarkSub_FleetEpoch).
+//
+// Aggregation merges the per-shard reports through metrics.MergeReports;
+// the rejection ledger, per-shard replayable trace slices
+// (traceio.Partition), and always-on fleet invariants (request
+// conservation, routing-range, epoch clock monotonicity) ride on the
+// Result. See DESIGN.md "Fleet layer".
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+
+	"slinfer/internal/core"
+	"slinfer/internal/hwsim"
+	"slinfer/internal/invariants"
+	"slinfer/internal/metrics"
+	"slinfer/internal/model"
+	"slinfer/internal/par"
+	"slinfer/internal/sim"
+	"slinfer/internal/workload"
+	"slinfer/internal/workload/traceio"
+)
+
+// ShardSpec describes one shard of the fleet.
+type ShardSpec struct {
+	// Name labels the shard's report; empty derives "shard00", "shard01", ...
+	Name string
+	// Specs is the shard's cluster topology.
+	Specs []hwsim.NodeSpec
+	// System overrides Config.System for this shard (heterogeneous fleets:
+	// a GPU-rich shard can run a different composition than a CPU-heavy
+	// one); nil inherits.
+	System *core.Config
+}
+
+// UniformShards returns n identical shards over the paper's testbed shape.
+func UniformShards(n, cpu, gpu int) []ShardSpec {
+	out := make([]ShardSpec, n)
+	for i := range out {
+		out[i].Specs = hwsim.Testbed(cpu, gpu)
+	}
+	return out
+}
+
+// Config parameterizes a fleet run.
+type Config struct {
+	// Name labels the merged report; empty derives
+	// "fleet[<n>x<system>/<routing>]".
+	Name string
+	// System is the per-shard serving configuration (a core preset or any
+	// policy composition). Stock policy compositions are stateless and safe
+	// to share across shards; a custom stateful policy set here would be —
+	// set per-shard Systems instead.
+	System core.Config
+	// Shards is the fleet topology; at least one.
+	Shards []ShardSpec
+	// Models are hosted on every shard (any shard must be able to serve
+	// any routed request).
+	Models []model.Model
+	// Routing picks shards for accepted arrivals; nil is round-robin.
+	Routing RoutingPolicy
+	// Admission sheds arrivals at the front door; nil accepts all.
+	Admission AdmissionPolicy
+	// Autoscale resizes the active shard set; nil keeps all shards active.
+	Autoscale AutoscalePolicy
+	// Epoch is the co-simulation window; decisions in one epoch see shard
+	// state from the end of the previous. Zero selects 5 s.
+	Epoch sim.Duration
+	// Workers bounds how many shards advance concurrently between epoch
+	// barriers: 0 selects GOMAXPROCS, 1 forces serial. Results are
+	// identical either way. The fleet deliberately does not use the
+	// experiments worker pool — a fleet inside a scenario/sweep cell would
+	// nest fan-outs and risk deadlocking a saturated pool — so callers
+	// inside such cells should set Workers to 1.
+	Workers int
+	// Seed decorrelates the shards: shard i's controller seed is
+	// ShardSeed(Seed^System.Seed, i).
+	Seed uint64
+	// AttachInvariants wires the internal/invariants suite into every
+	// shard controller; violations land in Result.ShardViolations.
+	AttachInvariants bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Routing == nil {
+		c.Routing = &RoundRobin{}
+	}
+	if c.Admission == nil {
+		c.Admission = AcceptAll{}
+	}
+	if c.Autoscale == nil {
+		c.Autoscale = FixedFleet{}
+	}
+	if c.Epoch <= 0 {
+		c.Epoch = 5 * sim.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Name == "" {
+		sys := c.System.Name
+		if sys == "" {
+			sys = "unnamed"
+		}
+		c.Name = fmt.Sprintf("fleet[%dx%s/%s]", len(c.Shards), sys, c.Routing.Name())
+	}
+	return c
+}
+
+// ShardSeed derives shard i's controller seed from the fleet seed:
+// a splitmix-style odd-constant spread so shards draw decorrelated noise
+// streams while staying a pure function of (seed, index).
+func ShardSeed(seed uint64, i int) uint64 {
+	return seed ^ (0x9E3779B97F4A7C15 * uint64(i+1))
+}
+
+// Rejection is one ledger entry for a request shed at the front door.
+type Rejection struct {
+	// ID and Model identify the trace request.
+	ID    int64
+	Model string
+	// At is the request's arrival time.
+	At sim.Time
+	// Reason is the admission policy's label (e.g. "fleet-overload").
+	Reason string
+}
+
+// Result is one fleet run's outcome.
+type Result struct {
+	// Report is the fleet-merged report (metrics.MergeReports).
+	Report metrics.Report
+	// Shards holds the per-shard reports, in shard order.
+	Shards []metrics.Report
+	// ShardTraces are the routed per-shard request slices, each a valid
+	// standalone trace (dense IDs, empirical RPM, full duration) — persist
+	// them with traceio and replay any shard in isolation.
+	ShardTraces []workload.Trace
+	// Rejections is the shed-request ledger, in arrival order.
+	Rejections []Rejection
+	// ActiveByEpoch records the autoscaler's active shard count per epoch.
+	ActiveByEpoch []int
+	// Offered counts trace arrivals; Accepted those that reached a shard.
+	Offered, Accepted int64
+	// EventsFired totals DES events executed across all shards.
+	EventsFired uint64
+	// Violations are fleet-level invariant breaches (front-door
+	// accounting, routing range, epoch clock monotonicity).
+	Violations []invariants.Violation
+	// ShardViolations hold each shard's invariant-suite findings when
+	// Config.AttachInvariants is set (nil suites leave empty slices).
+	ShardViolations [][]invariants.Violation
+}
+
+// Ok reports whether the run finished with no violation anywhere.
+func (r Result) Ok() bool {
+	if len(r.Violations) > 0 {
+		return false
+	}
+	for _, vs := range r.ShardViolations {
+		if len(vs) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// shard is one running shard: its simulator, controller, and submit glue.
+type shard struct {
+	sim      *sim.Simulator
+	ctl      *core.Controller
+	suite    *invariants.Suite
+	fnSubmit func(any)
+	routed   int // total arrivals routed to this shard
+}
+
+func newShard(cfg Config, i int) *shard {
+	spec := cfg.Shards[i]
+	sys := cfg.System
+	if spec.System != nil {
+		sys = *spec.System
+	}
+	name := spec.Name
+	if name == "" {
+		name = fmt.Sprintf("shard%02d", i)
+	}
+	sys.Name = fmt.Sprintf("%s/%s", sys.Name, name)
+	sys.Seed = ShardSeed(cfg.Seed^sys.Seed, i)
+	s := sim.New()
+	sd := &shard{sim: s, ctl: core.New(s, spec.Specs, cfg.Models, sys)}
+	if cfg.AttachInvariants {
+		sd.suite = invariants.Attach(sd.ctl)
+	}
+	sd.fnSubmit = func(a any) { sd.ctl.Submit(*(a.(*workload.Request))) }
+	return sd
+}
+
+// enqueue schedules one routed arrival on the shard's simulator.
+func (sd *shard) enqueue(r workload.Request) {
+	sd.routed++
+	arg := new(workload.Request)
+	*arg = r
+	sd.sim.AtFunc(r.Arrival, sd.fnSubmit, arg)
+}
+
+func (sd *shard) snapshot(i int, active bool, routedLast int) Snapshot {
+	col := sd.ctl.Collector
+	return Snapshot{
+		Shard: i, Name: sd.ctl.Cfg.Name, Active: active,
+		Now:         sd.sim.Now(),
+		Outstanding: col.Total - col.Completed - col.Dropped,
+		Queued:      sd.ctl.PendingCount(),
+		Instances:   sd.ctl.InstanceCount(),
+		Total:       col.Total, Completed: col.Completed, Dropped: col.Dropped,
+		RoutedLastEpoch: routedLast,
+	}
+}
+
+// Run executes the fleet over a trace. It panics on an invalid
+// configuration (no shards, no models) and records an invalid trace or a
+// misbehaving policy as fleet violations rather than crashing mid-run.
+func Run(cfg Config, tr workload.Trace) Result {
+	if len(cfg.Shards) == 0 {
+		panic("fleet: config has no shards")
+	}
+	if len(cfg.Models) == 0 {
+		panic("fleet: config hosts no models")
+	}
+	cfg = cfg.withDefaults()
+	n := len(cfg.Shards)
+	ck := newChecker()
+	if err := tr.Validate(); err != nil {
+		ck.report("fleet-trace", 0, "invalid trace: %v", err)
+	}
+
+	shards := make([]*shard, n)
+	for i := range shards {
+		shards[i] = newShard(cfg, i)
+	}
+	traceEnd := sim.Time(0).Add(tr.Duration)
+	for _, sd := range shards {
+		sd.ctl.BeginStream(traceEnd, len(tr.Requests)/n+1)
+	}
+
+	res := Result{ShardViolations: make([][]invariants.Violation, n)}
+	sem := par.NewSem(cfg.Workers)
+	snaps := make([]Snapshot, n)
+	for i, sd := range shards {
+		snaps[i] = sd.snapshot(i, true, 0)
+	}
+	assigned := make([]int, len(tr.Requests)) // arrival index -> shard (-1 shed)
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	active := n
+	idx := 0
+	for epoch, start := 0, sim.Time(0); start < traceEnd; epoch++ {
+		end := sim.Time(0).Add(sim.Duration(epoch+1) * cfg.Epoch)
+		if end > traceEnd {
+			end = traceEnd
+		}
+		active = clamp(cfg.Autoscale.Scale(active, snaps), 1, n)
+		res.ActiveByEpoch = append(res.ActiveByEpoch, active)
+		st := &EpochState{Epoch: epoch, Active: active, Snaps: snaps, Routed: make([]int, n)}
+		for idx < len(tr.Requests) && tr.Requests[idx].Arrival < end {
+			r := tr.Requests[idx]
+			res.Offered++
+			if ok, reason := cfg.Admission.Admit(r, st); !ok {
+				assigned[idx] = -1
+				res.Rejections = append(res.Rejections, Rejection{
+					ID: r.ID, Model: r.ModelName, At: r.Arrival, Reason: reason,
+				})
+				idx++
+				continue
+			}
+			s := cfg.Routing.Route(r, st)
+			if s < 0 || s >= active {
+				ck.report("fleet-routing", r.Arrival,
+					"policy %s routed request %d to shard %d, active set is [0, %d)",
+					cfg.Routing.Name(), r.ID, s, active)
+				s = clamp(s, 0, active-1)
+			}
+			assigned[idx] = s
+			st.Routed[s]++
+			st.Accepted++
+			res.Accepted++
+			shards[s].enqueue(r)
+			idx++
+		}
+		// Barrier: shard interiors advance concurrently and independently.
+		par.Do(sem, n, func(i int) struct{} {
+			shards[i].sim.RunUntil(end)
+			return struct{}{}
+		})
+		for i, sd := range shards {
+			snaps[i] = sd.snapshot(i, i < active, st.Routed[i])
+		}
+		ck.epochBarrier(epoch, end, snaps)
+		start = end
+	}
+
+	// Drain: no more arrivals; every shard runs out its grace window.
+	par.Do(sem, n, func(i int) struct{} {
+		shards[i].sim.RunUntil(traceEnd.Add(shards[i].ctl.Cfg.DrainGrace))
+		return struct{}{}
+	})
+
+	var maxGrace sim.Duration
+	res.Shards = make([]metrics.Report, n)
+	for i, sd := range shards {
+		res.Shards[i] = sd.ctl.EndStream(tr.Duration + sd.ctl.Cfg.DrainGrace)
+		if sd.ctl.Cfg.DrainGrace > maxGrace {
+			maxGrace = sd.ctl.Cfg.DrainGrace
+		}
+		res.EventsFired += sd.sim.Fired()
+		if sd.suite != nil {
+			res.ShardViolations[i] = sd.suite.Violations()
+		}
+	}
+	res.Report = metrics.MergeReports(cfg.Name, tr.Duration+maxGrace, res.Shards...)
+	// Partition visits tr.Requests in index order, so a position cursor
+	// replays the front door's routing decisions exactly (shed = -1).
+	pos := 0
+	res.ShardTraces = traceio.Partition(tr, n, func(workload.Request) int {
+		s := assigned[pos]
+		pos++
+		return s
+	})
+	ck.runDone(&res, shards)
+	res.Violations = ck.violations
+	return res
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,268 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"slinfer/internal/core"
+	"slinfer/internal/hwsim"
+	"slinfer/internal/model"
+	"slinfer/internal/sim"
+	"slinfer/internal/workload"
+)
+
+func testModels(n int) []model.Model { return model.Replicas(model.Llama2_7B, n) }
+
+func testTrace(t testing.TB, models []model.Model, minutes float64, seed uint64) workload.Trace {
+	t.Helper()
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	tr := workload.Generate(workload.TraceConfig{
+		ModelNames: names,
+		Duration:   sim.Duration(minutes) * sim.Minute,
+		Dataset:    workload.AzureConv,
+		Seed:       seed,
+	})
+	if len(tr.Requests) == 0 {
+		t.Fatal("empty generated trace")
+	}
+	return tr
+}
+
+func testConfig(shards, workers int) Config {
+	return Config{
+		System:           core.SLINFER(),
+		Shards:           UniformShards(shards, 1, 1),
+		Models:           testModels(8),
+		Workers:          workers,
+		Seed:             7,
+		AttachInvariants: true,
+	}
+}
+
+// canonical folds a result into one byte-stable string: the merged report,
+// every per-shard report, and the front-door ledger counters.
+func canonical(res Result) string {
+	var b strings.Builder
+	b.WriteString(res.Report.Canonical())
+	for _, r := range res.Shards {
+		b.WriteString(r.Canonical())
+	}
+	for _, rj := range res.Rejections {
+		b.WriteString(rj.Model)
+		b.WriteString(rj.Reason)
+	}
+	return b.String()
+}
+
+// TestFleetDeterministicAcrossWorkers pins the acceptance criterion: a
+// 4-shard fleet run is a pure function of (config, trace) — byte-identical
+// canonical output across repeated runs and across every worker-pool
+// setting, because routing is serial on epoch snapshots and shard
+// interiors share nothing.
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	tr := testTrace(t, testModels(8), 3, 41)
+	var want string
+	for _, workers := range []int{1, 8, 1, 8} {
+		res := Run(testConfig(4, workers), tr)
+		if !res.Ok() {
+			t.Fatalf("workers=%d: violations: %v %v", workers, res.Violations, res.ShardViolations)
+		}
+		got := canonical(res)
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d: fleet run diverged from first run", workers)
+		}
+	}
+}
+
+// TestFleetConservation drives an overloaded fleet through a shedding
+// admission policy and checks the front-door ledger: every offered request
+// is either on exactly one shard or in the rejection ledger.
+func TestFleetConservation(t *testing.T) {
+	cfg := testConfig(2, 2)
+	cfg.Admission = MaxOutstanding{PerShard: 2}
+	tr := testTrace(t, testModels(8), 3, 5)
+	res := Run(cfg, tr)
+	if !res.Ok() {
+		t.Fatalf("violations: %v %v", res.Violations, res.ShardViolations)
+	}
+	if len(res.Rejections) == 0 {
+		t.Fatal("MaxOutstanding{2/shard} shed nothing on an overloaded fleet")
+	}
+	if res.Offered != int64(len(tr.Requests)) {
+		t.Fatalf("offered %d, trace has %d", res.Offered, len(tr.Requests))
+	}
+	if res.Accepted+int64(len(res.Rejections)) != res.Offered {
+		t.Fatalf("accepted %d + rejected %d != offered %d",
+			res.Accepted, len(res.Rejections), res.Offered)
+	}
+	var sliced int64
+	for _, st := range res.ShardTraces {
+		sliced += int64(len(st.Requests))
+	}
+	if sliced != res.Accepted {
+		t.Fatalf("shard trace slices hold %d requests, accepted %d", sliced, res.Accepted)
+	}
+	for _, rj := range res.Rejections {
+		if rj.Reason != "fleet-overload" {
+			t.Fatalf("rejection carries reason %q", rj.Reason)
+		}
+	}
+}
+
+// TestFleetCheckerCatchesBadRouting is the negative test for the fleet
+// invariants: a policy routing outside the active set must be flagged (and
+// clamped), never silently trusted.
+func TestFleetCheckerCatchesBadRouting(t *testing.T) {
+	cfg := testConfig(2, 1)
+	cfg.AttachInvariants = false
+	cfg.Routing = badRouting{}
+	res := Run(cfg, testTrace(t, testModels(8), 1, 3))
+	found := false
+	for _, v := range res.Violations {
+		if v.Check == "fleet-routing" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("out-of-range routing not reported; violations: %v", res.Violations)
+	}
+}
+
+type badRouting struct{}
+
+func (badRouting) Name() string                            { return "bad" }
+func (badRouting) Route(workload.Request, *EpochState) int { return 99 }
+
+// TestModelAffinityPinsModels: under affinity routing with a fixed active
+// set, each model's requests land on exactly one shard.
+func TestModelAffinityPinsModels(t *testing.T) {
+	cfg := testConfig(4, 4)
+	cfg.Routing = ModelAffinity{}
+	res := Run(cfg, testTrace(t, testModels(8), 2, 9))
+	if !res.Ok() {
+		t.Fatalf("violations: %v %v", res.Violations, res.ShardViolations)
+	}
+	home := map[string]int{}
+	for i, st := range res.ShardTraces {
+		for _, r := range st.Requests {
+			if prev, ok := home[r.ModelName]; ok && prev != i {
+				t.Fatalf("model %s split across shards %d and %d", r.ModelName, prev, i)
+			}
+			home[r.ModelName] = i
+		}
+	}
+	if len(home) == 0 {
+		t.Fatal("no model routed anywhere")
+	}
+}
+
+// TestLeastOutstandingSpreads: least-outstanding routing uses every shard
+// of a uniform fleet under a multi-model workload.
+func TestLeastOutstandingSpreads(t *testing.T) {
+	cfg := testConfig(3, 3)
+	cfg.Routing = LeastOutstanding{}
+	res := Run(cfg, testTrace(t, testModels(8), 2, 13))
+	if !res.Ok() {
+		t.Fatalf("violations: %v %v", res.Violations, res.ShardViolations)
+	}
+	for i, rep := range res.Shards {
+		if rep.Total == 0 {
+			t.Fatalf("shard %d received nothing under least-outstanding", i)
+		}
+	}
+}
+
+// TestAutoscaleShrinksIdleFleet: at trivial load, the threshold policy
+// shrinks the active set toward Min, and deactivated shards stop receiving
+// arrivals from the shrink epoch on.
+func TestAutoscaleShrinksIdleFleet(t *testing.T) {
+	cfg := testConfig(4, 2)
+	cfg.Autoscale = LoadThreshold{High: 64, Low: 2, Min: 1}
+	cfg.Epoch = 2 * sim.Second
+	res := Run(cfg, testTrace(t, testModels(4), 2, 21))
+	if !res.Ok() {
+		t.Fatalf("violations: %v %v", res.Violations, res.ShardViolations)
+	}
+	min := res.ActiveByEpoch[0]
+	for _, a := range res.ActiveByEpoch {
+		if a < min {
+			min = a
+		}
+	}
+	if min >= 4 {
+		t.Fatalf("active set never shrank below 4 at trivial load: %v", res.ActiveByEpoch)
+	}
+}
+
+// TestHeterogeneousShards: per-shard topology and system overrides run
+// clean — a GPU-rich SLINFER shard next to a CPU-only sllm+c shard.
+func TestHeterogeneousShards(t *testing.T) {
+	sllmc := core.SllmC()
+	cfg := Config{
+		System: core.SLINFER(),
+		Shards: []ShardSpec{
+			{Name: "gpu", Specs: hwsim.Testbed(0, 2)},
+			{Name: "cpu", Specs: hwsim.Testbed(2, 1), System: &sllmc},
+		},
+		Models:           testModels(6),
+		Workers:          2,
+		Seed:             3,
+		AttachInvariants: true,
+	}
+	res := Run(cfg, testTrace(t, testModels(6), 2, 17))
+	if !res.Ok() {
+		t.Fatalf("violations: %v %v", res.Violations, res.ShardViolations)
+	}
+	if !strings.Contains(res.Shards[0].System, "gpu") || !strings.Contains(res.Shards[1].System, "cpu") {
+		t.Fatalf("shard names not threaded into reports: %q %q",
+			res.Shards[0].System, res.Shards[1].System)
+	}
+	if res.Shards[1].System[:len("sllm+c/")] != "sllm+c/" {
+		t.Fatalf("per-shard system override lost: %q", res.Shards[1].System)
+	}
+}
+
+// TestShardSliceReplaysStandalone pins shard isolation end-to-end: running
+// a shard's routed trace slice through a standalone controller with the
+// shard's derived seed reproduces the in-fleet shard report byte-for-byte.
+// The epoch barriers are pure clock advances, so they must be
+// observationally invisible to the shard interior.
+func TestShardSliceReplaysStandalone(t *testing.T) {
+	cfg := testConfig(3, 3)
+	tr := testTrace(t, testModels(8), 2, 29)
+	res := Run(cfg, tr)
+	if !res.Ok() {
+		t.Fatalf("violations: %v %v", res.Violations, res.ShardViolations)
+	}
+	for i := range res.Shards {
+		sys := core.SLINFER()
+		sys.Name = res.Shards[i].System
+		sys.Seed = ShardSeed(cfg.Seed^core.SLINFER().Seed, i)
+		s := sim.New()
+		ctl := core.New(s, cfg.Shards[i].Specs, cfg.Models, sys)
+		rep := ctl.Run(res.ShardTraces[i])
+		if got, want := rep.Canonical(), res.Shards[i].Canonical(); got != want {
+			t.Fatalf("shard %d: standalone replay diverged from in-fleet run:\n--- standalone ---\n%s--- fleet ---\n%s",
+				i, got, want)
+		}
+	}
+}
+
+// TestRejectionLedgerOrder: rejections arrive in global arrival order.
+func TestRejectionLedgerOrder(t *testing.T) {
+	cfg := testConfig(2, 1)
+	cfg.Admission = MaxOutstanding{PerShard: 1}
+	res := Run(cfg, testTrace(t, testModels(8), 2, 31))
+	for i := 1; i < len(res.Rejections); i++ {
+		if res.Rejections[i].At < res.Rejections[i-1].At {
+			t.Fatalf("rejection ledger out of order at %d", i)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Fleet decision points. The front door makes three kinds of decisions per
+// epoch — shed or accept each arrival (AdmissionPolicy), pick the shard an
+// accepted arrival lands on (RoutingPolicy), and grow or shrink the active
+// shard set (AutoscalePolicy) — and every decision sees only the
+// end-of-previous-epoch Snapshots plus the front door's own this-epoch
+// counters (EpochState). That staleness is the determinism contract: shard
+// interiors advance in parallel between epoch barriers, so no decision may
+// read live shard state.
+//
+// Policies may be stateful (RoundRobin keeps a cursor); a policy instance
+// belongs to one Run and must not be shared across concurrent fleets.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+
+	"slinfer/internal/sim"
+	"slinfer/internal/workload"
+)
+
+// Snapshot is one shard's state as observed at an epoch barrier. It is the
+// only shard state policies ever see.
+type Snapshot struct {
+	// Shard is the shard index; Name its report label.
+	Shard int
+	Name  string
+	// Active reports whether the shard was in the routable set last epoch.
+	Active bool
+	// Now is the shard's virtual clock (== the epoch boundary).
+	Now sim.Time
+	// Outstanding is submitted minus terminal requests on the shard.
+	Outstanding int64
+	// Queued is the shard controller's pending-queue length.
+	Queued int
+	// Instances is the shard's live instance count.
+	Instances int
+	// Total/Completed/Dropped mirror the shard collector's counters.
+	Total, Completed, Dropped int64
+	// RoutedLastEpoch counts arrivals the front door sent last epoch.
+	RoutedLastEpoch int
+}
+
+// EpochState is the front door's view while routing one epoch's arrivals:
+// previous-epoch snapshots of every shard plus the counters of decisions
+// already made this epoch. Policies may read all of it.
+type EpochState struct {
+	// Epoch is the zero-based epoch index.
+	Epoch int
+	// Active is this epoch's routable shard count; shards [0, Active) take
+	// new arrivals, the rest only drain.
+	Active int
+	// Snaps holds every shard's end-of-previous-epoch snapshot.
+	Snaps []Snapshot
+	// Routed counts arrivals already routed to each shard this epoch.
+	Routed []int
+	// Accepted counts arrivals accepted this epoch so far.
+	Accepted int
+}
+
+// RoutingPolicy picks the shard an accepted request lands on. Route must
+// return an index in [0, st.Active); the front door treats anything else as
+// a policy bug and fails the run's fleet invariants.
+type RoutingPolicy interface {
+	Name() string
+	Route(req workload.Request, st *EpochState) int
+}
+
+// AdmissionPolicy decides whether a request enters the fleet at all. A
+// rejected request goes to the run's rejection ledger under reason and
+// never reaches a shard.
+type AdmissionPolicy interface {
+	Name() string
+	Admit(req workload.Request, st *EpochState) (ok bool, reason string)
+}
+
+// AutoscalePolicy resizes the active shard set at each epoch boundary,
+// from the previous epoch's snapshots. The returned count is clamped to
+// [1, len(snaps)]; deactivated shards stop receiving arrivals but keep
+// simulating until they drain.
+type AutoscalePolicy interface {
+	Name() string
+	Scale(active int, snaps []Snapshot) int
+}
+
+// ---- Routing stock ---------------------------------------------------------
+
+// RoundRobin cycles arrivals across the active shards.
+type RoundRobin struct{ next int }
+
+func (r *RoundRobin) Name() string { return "rr" }
+
+func (r *RoundRobin) Route(_ workload.Request, st *EpochState) int {
+	i := r.next % st.Active
+	r.next++
+	return i
+}
+
+// LeastOutstanding routes to the active shard with the fewest outstanding
+// requests, counting both the previous-epoch snapshot and what the front
+// door already routed there this epoch; ties break to the lowest index.
+type LeastOutstanding struct{}
+
+func (LeastOutstanding) Name() string { return "least" }
+
+func (LeastOutstanding) Route(_ workload.Request, st *EpochState) int {
+	best, bestLoad := 0, int64(-1)
+	for i := 0; i < st.Active; i++ {
+		load := st.Snaps[i].Outstanding + int64(st.Routed[i])
+		if bestLoad < 0 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+// ModelAffinity pins each model to a shard by rendezvous (highest-random-
+// weight) hashing over the active set: a model's requests land together —
+// maximizing warm-instance reuse — and resizing the fleet by one shard only
+// remaps the models that hashed to the removed (or gained) shard, not the
+// whole keyspace.
+type ModelAffinity struct{}
+
+func (ModelAffinity) Name() string { return "affinity" }
+
+func (ModelAffinity) Route(req workload.Request, st *EpochState) int {
+	best, bestW := 0, uint64(0)
+	for i := 0; i < st.Active; i++ {
+		h := fnv.New64a()
+		h.Write([]byte(req.ModelName))
+		h.Write([]byte("#"))
+		h.Write([]byte(strconv.Itoa(i)))
+		if w := h.Sum64(); i == 0 || w > bestW {
+			best, bestW = i, w
+		}
+	}
+	return best
+}
+
+// RoutingByName resolves a routing policy by CLI/scenario-axis name. Empty
+// selects round-robin.
+func RoutingByName(name string) (RoutingPolicy, error) {
+	switch name {
+	case "", "rr", "round-robin":
+		return &RoundRobin{}, nil
+	case "least", "least-outstanding":
+		return LeastOutstanding{}, nil
+	case "affinity", "model-affinity":
+		return ModelAffinity{}, nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown routing policy %q (want rr, least, or affinity)", name)
+	}
+}
+
+// ---- Admission stock -------------------------------------------------------
+
+// AcceptAll admits everything.
+type AcceptAll struct{}
+
+func (AcceptAll) Name() string { return "accept-all" }
+
+func (AcceptAll) Admit(workload.Request, *EpochState) (bool, string) { return true, "" }
+
+// MaxOutstanding sheds arrivals once the active fleet's outstanding load —
+// previous-epoch outstanding plus this epoch's acceptances — reaches
+// PerShard x active shards. The shed request is ledgered, not queued: the
+// front door models an overload-protection tier, not a second queue.
+type MaxOutstanding struct {
+	// PerShard is the outstanding-request budget per active shard.
+	PerShard int
+}
+
+func (m MaxOutstanding) Name() string { return fmt.Sprintf("shed@%d", m.PerShard) }
+
+func (m MaxOutstanding) Admit(_ workload.Request, st *EpochState) (bool, string) {
+	out := int64(st.Accepted)
+	for i := 0; i < st.Active; i++ {
+		out += st.Snaps[i].Outstanding
+	}
+	if out >= int64(m.PerShard*st.Active) {
+		return false, "fleet-overload"
+	}
+	return true, ""
+}
+
+// ---- Autoscale stock -------------------------------------------------------
+
+// FixedFleet keeps every shard active.
+type FixedFleet struct{}
+
+func (FixedFleet) Name() string { return "fixed" }
+
+func (FixedFleet) Scale(_ int, snaps []Snapshot) int { return len(snaps) }
+
+// LoadThreshold grows the active set by one shard per epoch while the mean
+// outstanding load per active shard exceeds High, and shrinks by one while
+// it is below Low (hysteresis: Low < High or the set oscillates). Min
+// bounds the shrink; zero means one shard.
+type LoadThreshold struct {
+	// High and Low are per-active-shard outstanding-request watermarks.
+	High, Low int
+	// Min is the smallest active set the policy will shrink to.
+	Min int
+}
+
+func (p LoadThreshold) Name() string { return fmt.Sprintf("load[%d,%d]", p.Low, p.High) }
+
+func (p LoadThreshold) Scale(active int, snaps []Snapshot) int {
+	if active < 1 {
+		active = 1
+	}
+	var out int64
+	for i := 0; i < active && i < len(snaps); i++ {
+		out += snaps[i].Outstanding
+	}
+	perShard := float64(out) / float64(active)
+	min := p.Min
+	if min < 1 {
+		min = 1
+	}
+	switch {
+	case perShard > float64(p.High) && active < len(snaps):
+		return active + 1
+	case perShard < float64(p.Low) && active > min:
+		return active - 1
+	}
+	return active
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"sort"
+
+	"slinfer/internal/hwsim"
+	"slinfer/internal/sim"
+)
+
+// MergeReports folds per-shard reports of one fleet run into a single
+// aggregate report. The inputs are never mutated.
+//
+// Counters sum. Everything derived from a sample set the report actually
+// carries is exact: the TTFT percentiles, TTFT/batch/memory CDFs, and the
+// per-kind memory means are recomputed from the concatenation of the
+// shards' sorted sample buffers, so the merged percentiles equal the
+// percentiles of the pooled samples (pinned by TestMergeReportsPercentiles).
+// Node usage sums (each shard owns disjoint nodes) and decode speed is the
+// activity-weighted mean — exact, because active node-seconds reconstruct
+// from AvgNodesUsed x duration. Two fields are weighted approximations, as
+// their exact weights (iteration and lifetime totals) are not part of a
+// report: AvgBatch weights by batch-CDF length (exact below the CDF cap)
+// and MeanKVUtil/ScalingOverhead weight by completed requests. Wall-clock
+// overheads (ValidationMS, ScheduleUS) measure host time and are not
+// merged, matching their exclusion from Canonical.
+func MergeReports(system string, duration sim.Duration, reports ...Report) Report {
+	r := Report{
+		System: system, Duration: duration,
+		AvgNodesUsed: map[hwsim.Kind]float64{},
+		DecodeSpeed:  map[hwsim.Kind]float64{},
+		MemUtilCDF:   map[hwsim.Kind][]float64{},
+		MeanMemUtil:  map[hwsim.Kind]float64{},
+	}
+	decodeAct := map[hwsim.Kind]float64{} // active node-seconds per kind
+	var batchSum, batchN float64
+	var kvSum, kvW, scaleSum, scaleW float64
+	for _, in := range reports {
+		r.Total += in.Total
+		r.Completed += in.Completed
+		r.Met += in.Met
+		r.Dropped += in.Dropped
+		r.ColdStarts += in.ColdStarts
+		r.Reclaims += in.Reclaims
+		r.Preemptions += in.Preemptions
+		r.Migrations += in.Migrations
+		r.Evictions += in.Evictions
+		r.KVResizes += in.KVResizes
+
+		r.TTFTCDF = append(r.TTFTCDF, in.TTFTCDF...)
+		r.BatchCDF = append(r.BatchCDF, in.BatchCDF...)
+		for kind, nodes := range in.AvgNodesUsed {
+			r.AvgNodesUsed[kind] += nodes
+			act := nodes * in.Duration.Seconds()
+			decodeAct[kind] += act
+			r.DecodeSpeed[kind] += in.DecodeSpeed[kind] * act
+		}
+		for kind, cdf := range in.MemUtilCDF {
+			r.MemUtilCDF[kind] = append(r.MemUtilCDF[kind], cdf...)
+		}
+		if w := float64(len(in.BatchCDF)); w > 0 {
+			batchSum += in.AvgBatch * w
+			batchN += w
+		}
+		if w := float64(in.Completed); w > 0 {
+			kvSum += in.MeanKVUtil * w
+			kvW += w
+			scaleSum += in.ScalingOverhead * w
+			scaleW += w
+		}
+	}
+	if r.Total > 0 {
+		r.SLORate = float64(r.Met) / float64(r.Total)
+	}
+	sort.Float64s(r.TTFTCDF)
+	r.TTFTP50 = percentile(r.TTFTCDF, 0.50)
+	r.TTFTP95 = percentile(r.TTFTCDF, 0.95)
+	r.TTFTP99 = percentile(r.TTFTCDF, 0.99)
+	sort.Ints(r.BatchCDF)
+	if batchN > 0 {
+		r.AvgBatch = batchSum / batchN
+	}
+	for kind, act := range decodeAct {
+		if act > 0 {
+			r.DecodeSpeed[kind] /= act
+		} else {
+			delete(r.DecodeSpeed, kind)
+		}
+	}
+	for kind, cdf := range r.MemUtilCDF {
+		sort.Float64s(cdf)
+		r.MeanMemUtil[kind] = mean(cdf)
+	}
+	if kvW > 0 {
+		r.MeanKVUtil = kvSum / kvW
+	}
+	if scaleW > 0 {
+		r.ScalingOverhead = scaleSum / scaleW
+	}
+	if r.Completed > 0 {
+		r.MigrationRate = float64(r.Migrations) / float64(r.Completed)
+	}
+	return r
+}

@@ -7,8 +7,11 @@ import "slinfer/internal/model"
 // deliberate deep verification runs.
 
 // Smoke returns the CI smoke matrix: 2 workloads × 2 transforms × 2
-// topologies × 3 systems × 2 SLO classes × 1 seed = 48 cells, each a
-// two-minute trace, so the whole grid clears in seconds on a parallel pool.
+// topologies × 3 systems × 2 SLO classes × 1 seed × 2 fleet shapes = 96
+// cells, each a two-minute trace, so the whole grid clears in seconds on a
+// parallel pool. The fleet axis crosses every cell with a 2-shard
+// round-robin fleet, so the front-door layer faces the same workload ×
+// system × SLO surface the single-controller path does.
 func Smoke() Grid {
 	return Grid{
 		Name: "smoke",
@@ -24,12 +27,17 @@ func Smoke() Grid {
 		Systems: []string{"SLINFER", "sllm+c", "sllm+c+s"},
 		SLOs:    []SLOClass{DefaultSLO(), TightSLO(0.15)},
 		Seeds:   []uint64{1},
+		Fleets: []FleetAxis{
+			{},
+			{Name: "f2rr", Shards: 2, Routing: "rr"},
+		},
 	}
 }
 
 // Nightly returns the deep matrix: longer traces, the full system roster
 // (including the sllm and NEO+ baselines), load scaling in both directions,
-// and multiple seeds — 2 × 3 × 2 × 5 × 2 × 2 = 240 cells.
+// multiple seeds, and deeper fleets (4-shard least-outstanding and
+// model-affinity routing) — 2 × 3 × 2 × 5 × 2 × 2 × 3 = 720 cells.
 func Nightly() Grid {
 	return Grid{
 		Name: "nightly",
@@ -45,6 +53,11 @@ func Nightly() Grid {
 		Systems: []string{"SLINFER", "sllm", "sllm+c", "sllm+c+s", "NEO+"},
 		SLOs:    []SLOClass{DefaultSLO(), TightSLO(0.15)},
 		Seeds:   []uint64{1, 7},
+		Fleets: []FleetAxis{
+			{},
+			{Name: "f4least", Shards: 4, Routing: "least"},
+			{Name: "f4aff", Shards: 4, Routing: "affinity"},
+		},
 	}
 }
 

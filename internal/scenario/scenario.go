@@ -1,9 +1,10 @@
 // Package scenario is the declarative scenario-matrix verification
 // subsystem: it composes orthogonal axes — workload shape × trace transform
 // × cluster topology × serving system (policy composition) × SLO class ×
-// seed — into a named grid of simulation cells, fans the cells across the
-// experiments worker pool, and runs every cell with the full
-// internal/invariants suite attached. A cell passes when its simulation
+// seed × fleet shape (shard count + routing policy) — into a named grid of
+// simulation cells, fans the cells across the experiments worker pool, and
+// runs every cell with the full internal/invariants suite attached (plus
+// the fleet-level checkers on multi-shard cells). A cell passes when its simulation
 // completes with zero invariant violations; the grid is the safety net
 // every new policy, workload, or transform runs against before the paper's
 // golden reports ever see it.
@@ -21,6 +22,7 @@ import (
 	"slinfer/internal/baseline"
 	"slinfer/internal/core"
 	"slinfer/internal/experiments"
+	"slinfer/internal/fleet"
 	"slinfer/internal/hwsim"
 	"slinfer/internal/invariants"
 	"slinfer/internal/metrics"
@@ -135,8 +137,38 @@ func TightSLO(tpot sim.Duration) SLOClass {
 	}
 }
 
+// FleetAxis is one point on the fleet axis: how many controller shards the
+// cell's topology is replicated into and which front-door routing policy
+// distributes arrivals across them. The zero value (and Shards <= 1) runs
+// the classic single-controller path.
+type FleetAxis struct {
+	// Name labels the axis value in cell names; empty renders "1shard".
+	Name string
+	// Shards is the fleet size; every shard gets the cell topology.
+	Shards int
+	// Routing names a fleet.RoutingByName policy; empty is round-robin.
+	Routing string
+}
+
+func (f FleetAxis) name() string {
+	if f.Name != "" {
+		return f.Name
+	}
+	if f.Shards <= 1 {
+		return "1shard"
+	}
+	// Unnamed multi-shard axis values derive a label from their
+	// coordinates so distinct values never collide in cell names.
+	r := f.Routing
+	if r == "" {
+		r = "rr"
+	}
+	return fmt.Sprintf("f%d%s", f.Shards, r)
+}
+
 // Grid is a declarative scenario matrix: the cross product of its axes.
-// Every axis must have at least one value.
+// Every axis must have at least one value; an empty Fleets axis means the
+// single-controller default.
 type Grid struct {
 	Name       string
 	Workloads  []Workload
@@ -146,17 +178,28 @@ type Grid struct {
 	Systems []string
 	SLOs    []SLOClass
 	Seeds   []uint64
+	// Fleets is the fleet-size x routing axis; empty defaults to one
+	// single-shard value.
+	Fleets []FleetAxis
+}
+
+// fleetAxes returns the fleet axis with the single-shard default applied.
+func (g Grid) fleetAxes() []FleetAxis {
+	if len(g.Fleets) == 0 {
+		return []FleetAxis{{}}
+	}
+	return g.Fleets
 }
 
 // Size returns the cell count of the full cross product.
 func (g Grid) Size() int {
 	return len(g.Workloads) * len(g.Transforms) * len(g.Topologies) *
-		len(g.Systems) * len(g.SLOs) * len(g.Seeds)
+		len(g.Systems) * len(g.SLOs) * len(g.Seeds) * len(g.fleetAxes())
 }
 
 // Cells expands the grid into its cells in a fixed axis-major order
-// (workload, transform, topology, system, SLO, seed), so cell indices are
-// stable across runs.
+// (workload, transform, topology, system, SLO, seed, fleet), so cell
+// indices are stable across runs.
 func (g Grid) Cells() []Cell {
 	cells := make([]Cell, 0, g.Size())
 	for _, w := range g.Workloads {
@@ -165,10 +208,12 @@ func (g Grid) Cells() []Cell {
 				for _, sys := range g.Systems {
 					for _, sc := range g.SLOs {
 						for _, seed := range g.Seeds {
-							cells = append(cells, Cell{
-								Workload: w, Transform: tf, Topology: topo,
-								System: sys, SLO: sc, Seed: seed,
-							})
+							for _, fl := range g.fleetAxes() {
+								cells = append(cells, Cell{
+									Workload: w, Transform: tf, Topology: topo,
+									System: sys, SLO: sc, Seed: seed, Fleet: fl,
+								})
+							}
 						}
 					}
 				}
@@ -186,13 +231,14 @@ type Cell struct {
 	System    string
 	SLO       SLOClass
 	Seed      uint64
+	Fleet     FleetAxis
 }
 
 // Name renders the cell's coordinates: one value per axis, slash-separated.
 func (c Cell) Name() string {
 	return strings.Join([]string{
 		c.Workload.Name, c.Transform.Name, c.Topology.Name,
-		c.System, c.SLO.Name, fmt.Sprintf("s%d", c.Seed),
+		c.System, c.SLO.Name, fmt.Sprintf("s%d", c.Seed), c.Fleet.name(),
 	}, "/")
 }
 
@@ -220,7 +266,11 @@ func (c Cell) config() (core.Config, error) {
 	return cfg, nil
 }
 
-// RunCell executes one cell with the invariant suite attached.
+// RunCell executes one cell with the invariant suite attached. A cell with
+// a multi-shard fleet axis runs the fleet path: the topology is replicated
+// per shard behind the named routing policy, every shard carries its own
+// suite, and the fleet-level checkers (request conservation, epoch clock)
+// report into the same violation list.
 func RunCell(c Cell) CellResult {
 	cfg, err := c.config()
 	if err != nil {
@@ -234,8 +284,36 @@ func RunCell(c Cell) CellResult {
 	if err := tr.Validate(); err != nil {
 		return CellResult{Cell: c, Err: fmt.Errorf("scenario: %s: transformed trace invalid: %w", c.Name(), err)}
 	}
+	if c.Fleet.Shards > 1 {
+		return runFleetCell(c, cfg, models, tr)
+	}
 	rep, suite := runTrace(cfg, c.Topology, models, tr)
 	return CellResult{Cell: c, Report: rep, Violations: suite.Violations()}
+}
+
+// runFleetCell runs the cell's trace through an N-shard fleet. Workers is
+// pinned to 1: the cell itself already runs inside the experiments worker
+// pool, and a nested fan-out could deadlock a saturated pool (the same
+// rule sweeps follow); fleet results are worker-count-independent anyway.
+func runFleetCell(c Cell, cfg core.Config, models []model.Model, tr workload.Trace) CellResult {
+	routing, err := fleet.RoutingByName(c.Fleet.Routing)
+	if err != nil {
+		return CellResult{Cell: c, Err: fmt.Errorf("scenario: %s: %w", c.Name(), err)}
+	}
+	res := fleet.Run(fleet.Config{
+		System:           cfg,
+		Shards:           fleet.UniformShards(c.Fleet.Shards, c.Topology.CPU, c.Topology.GPU),
+		Models:           models,
+		Routing:          routing,
+		Workers:          1,
+		Seed:             c.Seed,
+		AttachInvariants: true,
+	}, tr)
+	viol := append([]invariants.Violation(nil), res.Violations...)
+	for _, vs := range res.ShardViolations {
+		viol = append(viol, vs...)
+	}
+	return CellResult{Cell: c, Report: res.Report, Violations: viol}
 }
 
 // runTrace is the shared single-run core: build, attach, run.

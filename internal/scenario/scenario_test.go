@@ -23,8 +23,8 @@ func TestGridExpansion(t *testing.T) {
 			t.Fatalf("duplicate cell name %q", name)
 		}
 		seen[name] = true
-		if strings.Count(name, "/") != 5 {
-			t.Fatalf("cell name %q does not encode all six axes", name)
+		if strings.Count(name, "/") != 6 {
+			t.Fatalf("cell name %q does not encode all seven axes", name)
 		}
 	}
 }

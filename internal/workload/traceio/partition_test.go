@@ -1,0 +1,98 @@
+package traceio
+
+import (
+	"bytes"
+	"testing"
+
+	"slinfer/internal/sim"
+	"slinfer/internal/workload"
+)
+
+func partitionTrace(t *testing.T) workload.Trace {
+	t.Helper()
+	tr := workload.Generate(workload.TraceConfig{
+		ModelNames: []string{"m-0", "m-1", "m-2"},
+		Duration:   3 * sim.Minute,
+		Dataset:    workload.AzureConv,
+		Seed:       11,
+	})
+	if len(tr.Requests) == 0 {
+		t.Fatal("empty generated trace")
+	}
+	return tr
+}
+
+// canonicalBytes renders a trace through the canonical encoder, the same
+// byte-stable form Save/Load round-trips.
+func canonicalBytes(t *testing.T, tr workload.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, tr, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestPartitionMergeRoundTrip pins the fleet persistence contract:
+// normalizing a trace through Merge, splitting it into shard slices, and
+// merging the slices back is byte-identical — no request lost, duplicated,
+// or reordered, and the empirical RPM reconstruction is stable.
+func TestPartitionMergeRoundTrip(t *testing.T) {
+	base := Merge(partitionTrace(t)) // normalize: dense IDs, empirical RPM
+	const n = 4
+	parts := Partition(base, n, func(r workload.Request) int { return int(r.ID % n) })
+	if len(parts) != n {
+		t.Fatalf("got %d slices, want %d", len(parts), n)
+	}
+	total := 0
+	for i, p := range parts {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("slice %d invalid: %v", i, err)
+		}
+		if p.Duration != base.Duration {
+			t.Fatalf("slice %d duration %v, want %v", i, p.Duration, base.Duration)
+		}
+		total += len(p.Requests)
+	}
+	if total != len(base.Requests) {
+		t.Fatalf("slices hold %d requests, base has %d", total, len(base.Requests))
+	}
+	back := Merge(parts...)
+	if got, want := canonicalBytes(t, back), canonicalBytes(t, base); !bytes.Equal(got, want) {
+		t.Fatal("Merge(Partition(base)) is not byte-identical to base")
+	}
+}
+
+// TestPartitionDropsNegative: a negative assignment omits the request — the
+// shed/rejected path of the fleet front door.
+func TestPartitionDropsNegative(t *testing.T) {
+	base := Merge(partitionTrace(t))
+	parts := Partition(base, 2, func(r workload.Request) int {
+		if r.ID%3 == 0 {
+			return -1
+		}
+		return int(r.ID % 2)
+	})
+	kept := len(parts[0].Requests) + len(parts[1].Requests)
+	dropped := (len(base.Requests) + 2) / 3
+	if kept != len(base.Requests)-dropped {
+		t.Fatalf("kept %d requests, want %d", kept, len(base.Requests)-dropped)
+	}
+	for i, p := range parts {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("slice %d invalid after drops: %v", i, err)
+		}
+	}
+}
+
+// TestPartitionDeterministic: same inputs, same slices, bytes included.
+func TestPartitionDeterministic(t *testing.T) {
+	base := Merge(partitionTrace(t))
+	assign := func(r workload.Request) int { return int(r.ID) % 3 }
+	a, b := Partition(base, 3, assign), Partition(base, 3, assign)
+	for i := range a {
+		if !bytes.Equal(canonicalBytes(t, a[i]), canonicalBytes(t, b[i])) {
+			t.Fatalf("slice %d differs across identical calls", i)
+		}
+	}
+}

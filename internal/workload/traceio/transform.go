@@ -7,6 +7,7 @@
 package traceio
 
 import (
+	"fmt"
 	"sort"
 
 	"slinfer/internal/sim"
@@ -114,6 +115,41 @@ func Merge(traces ...workload.Trace) workload.Trace {
 	}
 	sortAndRenumber(&out)
 	out.RPM = empiricalRPM(out)
+	return out
+}
+
+// Partition splits a trace into n slices — the inverse of Merge. assign
+// maps each request to its slice index; a negative index drops the request
+// (how a fleet records shed arrivals), and an index >= n panics (a
+// programming error, like an out-of-range shard). Every slice keeps the
+// full duration and original arrival order, renumbers IDs densely, and
+// carries empirical per-slice RPM — so each slice satisfies
+// workload.Validate and replays standalone against the original timeline.
+// Merging the slices back restores the original request sequence
+// (Merge -> Partition -> Merge is the identity on a Merge-normalized
+// trace; pinned by TestPartitionMergeRoundTrip).
+func Partition(tr workload.Trace, n int, assign func(workload.Request) int) []workload.Trace {
+	if n < 1 {
+		panic("traceio: Partition: n must be >= 1")
+	}
+	out := make([]workload.Trace, n)
+	for i := range out {
+		out[i].Duration = tr.Duration
+	}
+	for _, r := range tr.Requests {
+		s := assign(r)
+		if s < 0 {
+			continue
+		}
+		if s >= n {
+			panic(fmt.Sprintf("traceio: Partition: assign(%d) = %d, out of range [0, %d)", r.ID, s, n))
+		}
+		r.ID = int64(len(out[s].Requests))
+		out[s].Requests = append(out[s].Requests, r)
+	}
+	for i := range out {
+		out[i].RPM = empiricalRPM(out[i])
+	}
 	return out
 }
 

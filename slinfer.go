@@ -11,6 +11,14 @@
 //	report := slinfer.Run(slinfer.SLINFER(), cluster, models, trace)
 //	fmt.Println(report.SLORate)
 //
+// The same workload over a deterministic 4-shard fleet behind a front door:
+//
+//	shards := slinfer.UniformFleet(4, 4, 4) // 4 shards, each 4 CPU + 4 GPU
+//	cfg := slinfer.FleetConfig{System: slinfer.SLINFER(), Shards: shards,
+//	    Models: models, Routing: slinfer.LeastOutstandingRouting()}
+//	res := slinfer.RunFleet(cfg, trace)
+//	fmt.Println(res.Report.SLORate, len(res.Rejections))
+//
 // Baseline systems (Sllm, SllmC, SllmCS, NEOPlus), the ablation variants,
 // and every knob of the paper's sensitivity studies are exposed through
 // Config. See DESIGN.md for the architecture and EXPERIMENTS.md for the
@@ -20,6 +28,7 @@ package slinfer
 import (
 	"slinfer/internal/core"
 	"slinfer/internal/experiments"
+	"slinfer/internal/fleet"
 	"slinfer/internal/hwsim"
 	"slinfer/internal/invariants"
 	"slinfer/internal/metrics"
@@ -258,10 +267,11 @@ type (
 	ControllerProbe = core.Probe
 )
 
-// SmokeGrid returns the CI smoke matrix (48 two-minute cells).
+// SmokeGrid returns the CI smoke matrix (96 two-minute cells, fleet axis
+// included).
 func SmokeGrid() ScenarioGrid { return scenario.Smoke() }
 
-// NightlyGrid returns the deep verification matrix (240 cells).
+// NightlyGrid returns the deep verification matrix (720 cells).
 func NightlyGrid() ScenarioGrid { return scenario.Nightly() }
 
 // RunScenarios evaluates every cell of a grid with invariants attached,
@@ -276,6 +286,91 @@ func RunScenario(c ScenarioCell) ScenarioResult { return scenario.RunCell(c) }
 // lifecycle, SLO bookkeeping — into a controller built with NewController.
 // Call before Run; query the returned suite afterwards.
 func AttachInvariants(c *Controller) *InvariantSuite { return invariants.Attach(c) }
+
+// Fleet layer: N independent controller shards — each its own deterministic
+// simulation over its own (possibly heterogeneous) topology — behind a
+// front door with three pluggable decision points (routing, admission,
+// autoscaling) in epoch-synchronized co-simulation. A fleet run is a pure
+// function of (config, trace) regardless of FleetConfig.Workers. See
+// DESIGN.md "Fleet layer" and examples/fleet.
+type (
+	// FleetConfig parameterizes a fleet run (shards, policies, epoch).
+	FleetConfig = fleet.Config
+	// FleetShard describes one shard: topology plus optional per-shard
+	// system override.
+	FleetShard = fleet.ShardSpec
+	// FleetResult is a fleet run's outcome: merged report, per-shard
+	// reports and replayable trace slices, the rejection ledger, and any
+	// invariant violations.
+	FleetResult = fleet.Result
+	// FleetSnapshot is the per-shard state routing decisions see (always
+	// one epoch stale — the determinism contract).
+	FleetSnapshot = fleet.Snapshot
+	// FleetEpochState is the front door's view while routing one epoch.
+	FleetEpochState = fleet.EpochState
+	// FleetRejection is one shed-request ledger entry.
+	FleetRejection = fleet.Rejection
+	// FleetRoutingPolicy picks the shard an accepted request lands on.
+	FleetRoutingPolicy = fleet.RoutingPolicy
+	// FleetAdmissionPolicy sheds arrivals at the front door.
+	FleetAdmissionPolicy = fleet.AdmissionPolicy
+	// FleetAutoscalePolicy resizes the active shard set per epoch.
+	FleetAutoscalePolicy = fleet.AutoscalePolicy
+	// ScenarioFleet is the scenario grid's fleet axis value.
+	ScenarioFleet = scenario.FleetAxis
+)
+
+// UniformFleet returns n identical shards over the paper's testbed shape.
+func UniformFleet(n, cpu, gpu int) []FleetShard { return fleet.UniformShards(n, cpu, gpu) }
+
+// RunFleet executes a fleet over a trace: requests are admitted and routed
+// in global arrival order on previous-epoch shard snapshots, shards advance
+// in parallel between epoch barriers, and the per-shard reports merge via
+// MergeReports. Deterministic in (cfg, tr).
+func RunFleet(cfg FleetConfig, tr Trace) FleetResult { return fleet.Run(cfg, tr) }
+
+// MergeReports folds per-shard reports into one aggregate: counters sum and
+// percentiles are recomputed from the pooled sample CDFs.
+func MergeReports(system string, duration sim.Duration, reports ...Report) Report {
+	return metrics.MergeReports(system, duration, reports...)
+}
+
+// PartitionTrace splits a trace into n slices (the inverse of MergeTraces):
+// assign maps each request to its slice, negative drops it. Each slice is a
+// valid standalone trace on the original timeline.
+func PartitionTrace(tr Trace, n int, assign func(Request) int) []Trace {
+	return traceio.Partition(tr, n, assign)
+}
+
+// Stock fleet policies.
+
+// RoundRobinRouting cycles arrivals across the active shards.
+func RoundRobinRouting() FleetRoutingPolicy { return new(fleet.RoundRobin) }
+
+// LeastOutstandingRouting routes to the least-loaded active shard.
+func LeastOutstandingRouting() FleetRoutingPolicy { return fleet.LeastOutstanding{} }
+
+// ModelAffinityRouting pins each model to a shard by rendezvous hashing.
+func ModelAffinityRouting() FleetRoutingPolicy { return fleet.ModelAffinity{} }
+
+// AcceptAllAdmission admits every arrival.
+func AcceptAllAdmission() FleetAdmissionPolicy { return fleet.AcceptAll{} }
+
+// MaxOutstandingAdmission sheds arrivals past perShard outstanding requests
+// per active shard, recording each in the rejection ledger.
+func MaxOutstandingAdmission(perShard int) FleetAdmissionPolicy {
+	return fleet.MaxOutstanding{PerShard: perShard}
+}
+
+// FixedFleetScale keeps every shard active.
+func FixedFleetScale() FleetAutoscalePolicy { return fleet.FixedFleet{} }
+
+// LoadThresholdScale grows/shrinks the active shard set one shard per epoch
+// around per-shard outstanding-load watermarks (low < high; min bounds the
+// shrink).
+func LoadThresholdScale(low, high, min int) FleetAutoscalePolicy {
+	return fleet.LoadThreshold{High: high, Low: low, Min: min}
+}
 
 // Run executes one serving system over a cluster and trace, returning the
 // metrics report. Runs are deterministic for a given (config, trace) pair.

@@ -31,6 +31,56 @@ func TestFacadeDeterminism(t *testing.T) {
 	}
 }
 
+// TestFacadeFleet is the acceptance golden: slinfer.RunFleet with 4 shards
+// is byte-identical (canonical merged and per-shard reports) across
+// repeated runs and across Workers settings, conserves every request, and
+// its shard slices partition the trace.
+func TestFacadeFleet(t *testing.T) {
+	models := Replicas(Llama2_7B, 8)
+	trace := AzureTrace(models, 3, 5)
+	cfg := FleetConfig{
+		System:           SLINFER(),
+		Shards:           UniformFleet(4, 1, 1),
+		Models:           models,
+		Routing:          LeastOutstandingRouting(),
+		Seed:             5,
+		AttachInvariants: true,
+	}
+	render := func(res FleetResult) string {
+		out := res.Report.Canonical()
+		for _, r := range res.Shards {
+			out += r.Canonical()
+		}
+		return out
+	}
+	cfg.Workers = 1
+	serial := RunFleet(cfg, trace)
+	if !serial.Ok() {
+		t.Fatalf("violations: %v %v", serial.Violations, serial.ShardViolations)
+	}
+	cfg.Workers = 8
+	parallel := RunFleet(cfg, trace)
+	if render(serial) != render(parallel) {
+		t.Fatal("fleet run diverged between -parallel 1 and -parallel 8")
+	}
+	again := RunFleet(cfg, trace)
+	if render(parallel) != render(again) {
+		t.Fatal("fleet run diverged across repeated runs at fixed seed")
+	}
+	if serial.Accepted != int64(len(trace.Requests)) || len(serial.Rejections) != 0 {
+		t.Fatalf("accept-all fleet shed requests: accepted=%d rejected=%d",
+			serial.Accepted, len(serial.Rejections))
+	}
+	if got := MergeTraces(serial.ShardTraces...); len(got.Requests) != len(trace.Requests) {
+		t.Fatalf("shard slices merge to %d requests, trace has %d",
+			len(got.Requests), len(trace.Requests))
+	}
+	parts := PartitionTrace(trace, 2, func(r Request) int { return int(r.ID) % 2 })
+	if len(parts[0].Requests)+len(parts[1].Requests) != len(trace.Requests) {
+		t.Fatal("PartitionTrace lost requests")
+	}
+}
+
 func TestFacadeController(t *testing.T) {
 	models := Replicas(Llama2_7B, 1)
 	c, s := NewController(SLINFER(), Testbed(1, 0), models)
