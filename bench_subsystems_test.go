@@ -49,25 +49,32 @@ func BenchmarkSub_SimEventLoop(b *testing.B) {
 	b.ReportMetric(float64(100*chain*b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
-// BenchmarkSub_MemctlLedger measures ledger op throughput: admit, execute,
-// complete, and reservation-station churn under contention.
+// BenchmarkSub_MemctlLedger measures ledger op throughput on the default
+// (pooled, batched) path: ops come from the node's free-list, demands stage
+// through the per-node step batch, and each round reuses the simulator and
+// ledger through their Reset lifecycles — the arena steady state, where the
+// admit/execute/complete/station churn itself allocates nothing.
 func BenchmarkSub_MemctlLedger(b *testing.B) {
 	b.ReportAllocs()
 	const ops = 256
+	s := sim.New()
+	nm := memctl.New(s, "bench", 64<<30)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := sim.New()
-		nm := memctl.New(s, "bench", 64<<30)
+		s.Reset()
+		nm.Reset("bench", 64<<30)
 		for j := 0; j < ops; j++ {
 			owner := "a/kv"
 			if j%2 == 1 {
 				owner = "b/kv"
 			}
 			grow := int64(40 << 30)
-			nm.Demand(&memctl.Op{Kind: memctl.ResizeKV, Owner: owner,
-				From: 0, To: grow, Duration: sim.Millisecond})
+			bt := nm.StepBatch()
+			bt.Demand(memctl.ResizeKV, owner, 0, grow, sim.Millisecond, nil)
+			bt.Commit()
 			s.RunUntil(s.Now().Add(2 * sim.Millisecond))
-			nm.Demand(&memctl.Op{Kind: memctl.ResizeKV, Owner: owner,
-				From: grow, To: 0, Duration: sim.Millisecond})
+			bt.Demand(memctl.ResizeKV, owner, grow, 0, sim.Millisecond, nil)
+			bt.Commit()
 			s.RunUntil(s.Now().Add(2 * sim.Millisecond))
 		}
 		if err := nm.CheckInvariants(); err != nil {
@@ -138,6 +145,7 @@ func BenchmarkSub_ReplayThroughput(b *testing.B) {
 // always-on checker overhead.
 func BenchmarkSub_ScenarioCell(b *testing.B) {
 	cell := scenario.Smoke().Cells()[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := scenario.RunCell(cell)
@@ -145,6 +153,7 @@ func BenchmarkSub_ScenarioCell(b *testing.B) {
 			b.Fatalf("cell failed: %v %v", r.Err, r.Violations)
 		}
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cells/s")
 }
 
 // BenchmarkSub_FleetEpoch measures epoch-synchronized co-simulation
@@ -178,6 +187,47 @@ func BenchmarkSub_FleetEpoch(b *testing.B) {
 					Shards: fleet.UniformShards(shards, 1, 1),
 					Models: models,
 					Seed:   17,
+				}, tr)
+				if res.Accepted != int64(len(tr.Requests)) {
+					b.Fatalf("fleet shed %d requests", int64(len(tr.Requests))-res.Accepted)
+				}
+				if len(res.Violations) > 0 {
+					b.Fatalf("fleet violations: %v", res.Violations)
+				}
+				events += res.EventsFired
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkSub_FleetEpochWide measures wide-fleet epoch throughput at the
+// nightly grid's shard shape (2c2g per shard, least-outstanding routing) at
+// 16 and 64 shards: the whole-grid amortization case, where every shard
+// borrows a pooled arena and a full fleet's worth of controllers is
+// constructed, run, and recycled per iteration.
+func BenchmarkSub_FleetEpochWide(b *testing.B) {
+	models := model.Replicas(model.Llama2_7B, 32)
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	tr := workload.GenerateBurstGPT(workload.BurstGPTConfig{
+		ModelNames: names, Duration: 2 * sim.Minute, RPS: 16, Seed: 17,
+		Dataset: workload.AzureConv,
+	})
+	for _, shards := range []int{16, 64} {
+		b.Run(fmt.Sprintf("%dshard", shards), func(b *testing.B) {
+			var events uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := fleet.Run(fleet.Config{
+					System:  core.SLINFER(),
+					Shards:  fleet.UniformShards(shards, 2, 2),
+					Models:  models,
+					Routing: fleet.LeastOutstanding{},
+					Seed:    17,
 				}, tr)
 				if res.Accepted != int64(len(tr.Requests)) {
 					b.Fatalf("fleet shed %d requests", int64(len(tr.Requests))-res.Accepted)

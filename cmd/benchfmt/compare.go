@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -100,10 +101,34 @@ func compareMatrices(old, new Matrix, threshold float64) (deltas []delta, unmatc
 	return out, unmatched
 }
 
+// filterMatrix drops results whose name does not match re (nil keeps all).
+func filterMatrix(m Matrix, re *regexp.Regexp) Matrix {
+	if re == nil {
+		return m
+	}
+	kept := make([]Entry, 0, len(m.Results))
+	for _, e := range m.Results {
+		if re.MatchString(e.Name) {
+			kept = append(kept, e)
+		}
+	}
+	m.Results = kept
+	return m
+}
+
 // runCompare implements `benchfmt -compare old.json new.json`: prints a
 // per-benchmark delta table and returns the number of metrics regressed past
-// the threshold.
-func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (int, error) {
+// the threshold. A non-empty match restricts the comparison to benchmarks
+// whose name matches the regexp; entries outside it are dropped from both
+// sides before matching, so they neither regress nor count as coverage gaps.
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64, match string) (int, error) {
+	var re *regexp.Regexp
+	if match != "" {
+		var err error
+		if re, err = regexp.Compile(match); err != nil {
+			return 0, fmt.Errorf("bad -match regexp: %w", err)
+		}
+	}
 	load := func(path string) (Matrix, error) {
 		var m Matrix
 		raw, err := os.ReadFile(path)
@@ -123,7 +148,7 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (int, e
 	if err != nil {
 		return 0, err
 	}
-	deltas, unmatched := compareMatrices(oldM, newM, threshold)
+	deltas, unmatched := compareMatrices(filterMatrix(oldM, re), filterMatrix(newM, re), threshold)
 	if len(deltas) == 0 && len(unmatched) == 0 {
 		fmt.Fprintln(w, "benchfmt: no common benchmarks to compare")
 		return 0, nil

@@ -126,7 +126,7 @@ func TestRunCompareOutput(t *testing.T) {
 	oldP := write("old.json", `{"results":[{"name":"Sub_X","iterations":1,"metrics":{"ns/op":100,"events/s":1000}}]}`)
 	newP := write("new.json", `{"results":[{"name":"Sub_X","iterations":1,"metrics":{"ns/op":300,"events/s":2000}}]}`)
 	var b strings.Builder
-	regressions, err := runCompare(&b, oldP, newP, 0.25)
+	regressions, err := runCompare(&b, oldP, newP, 0.25, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,5 +139,38 @@ func TestRunCompareOutput(t *testing.T) {
 	}
 	if !strings.Contains(out, "2 metric(s) compared, 0 not comparable, 1 regression(s)") {
 		t.Fatalf("output missing summary:\n%s", out)
+	}
+}
+
+func TestRunCompareMatchFilter(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		path := dir + "/" + name
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	// Sub_X regressed hard; Exp_Y regressed hard AND was renamed away in the
+	// new run. With -match '^Sub_' only Sub_X is gated: Exp_Y neither counts
+	// as a regression nor as an unmatched coverage gap.
+	oldP := write("old.json", `{"results":[
+		{"name":"Sub_X","iterations":1,"metrics":{"ns/op":100}},
+		{"name":"Exp_Y","iterations":1,"metrics":{"ns/op":100}}]}`)
+	newP := write("new.json", `{"results":[
+		{"name":"Sub_X","iterations":1,"metrics":{"ns/op":900}}]}`)
+	var b strings.Builder
+	regressions, err := runCompare(&b, oldP, newP, 0.25, "^Sub_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (only Sub_X gated):\n%s", regressions, b.String())
+	}
+	if out := b.String(); strings.Contains(out, "Exp_Y") {
+		t.Fatalf("filtered-out Exp_Y leaked into output:\n%s", out)
+	}
+	if _, err := runCompare(&b, oldP, newP, 0.25, "("); err == nil {
+		t.Fatal("bad -match regexp must error")
 	}
 }

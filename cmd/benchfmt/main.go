@@ -19,9 +19,17 @@
 //
 // It prints a per-benchmark delta table (positive deltas are improvements;
 // "/s" metrics improve upward, ns/op, B/op and allocs/op improve downward)
-// and exits nonzero when any metric worsened past the threshold. CI runs it
-// warn-only against the committed baseline: cross-machine absolute numbers
-// are not comparable, but order-of-magnitude regressions still surface.
+// and exits nonzero when any metric worsened past the threshold. -match
+// restricts the comparison to benchmarks whose name matches a regexp, so CI
+// can gate hard on the subsystem suite while keeping the experiment suite
+// warn-only:
+//
+//	benchfmt -compare -match '^Sub_' -threshold 4 BENCH_baseline.json BENCH_matrix.json
+//
+// Cross-machine absolute numbers are not comparable, so the gating threshold
+// is generous — it exists to catch order-of-magnitude regressions, not
+// single-digit noise. See DESIGN.md "Benchmark gating" for the
+// baseline-refresh procedure.
 package main
 
 import (
@@ -54,13 +62,14 @@ type Matrix struct {
 func main() {
 	compare := flag.Bool("compare", false, "compare two benchmark matrices: benchfmt -compare old.json new.json")
 	threshold := flag.Float64("threshold", 0.25, "relative worsening past which a metric is a regression (compare mode)")
+	match := flag.String("match", "", "regexp restricting compare mode to matching benchmark names")
 	flag.Parse()
 	if *compare {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchfmt -compare [-threshold 0.25] old.json new.json")
+			fmt.Fprintln(os.Stderr, "usage: benchfmt -compare [-threshold 0.25] [-match '^Sub_'] old.json new.json")
 			os.Exit(2)
 		}
-		regressions, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		regressions, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, *match)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
 			os.Exit(2)

@@ -144,14 +144,28 @@ type Node struct {
 	ReservedBy int
 
 	sim *sim.Simulator
+	// spare holds executor shells recycled at the last cluster Reset.
+	// Executors removed mid-run are NOT recycled: their completion event may
+	// still be pending, and reusing the shell would hand that event a live
+	// successor.
+	spare []*Executor
 }
 
-// NewExecutor carves an executor with the given share from the node.
+// NewExecutor carves an executor with the given share from the node,
+// reusing a recycled shell when one is available.
 func (n *Node) NewExecutor(share float64) *Executor {
 	if n.SpeedFactor > 0 {
 		share *= n.SpeedFactor
 	}
-	e := &Executor{Node: n, Share: share, sim: n.sim}
+	var e *Executor
+	if k := len(n.spare); k > 0 {
+		e = n.spare[k-1]
+		n.spare[k-1] = nil
+		n.spare = n.spare[:k-1]
+	} else {
+		e = &Executor{}
+	}
+	e.Node, e.Share, e.sim = n, share, n.sim
 	n.Executors = append(n.Executors, e)
 	return e
 }
@@ -195,18 +209,69 @@ type Cluster struct {
 func New(s *sim.Simulator, specs []hwsim.NodeSpec) *Cluster {
 	c := &Cluster{Sim: s}
 	for i, spec := range specs {
-		n := &Node{
-			Idx: i, Spec: spec,
-			Mem:         memctl.New(s, spec.Name, spec.MemBytes),
-			SpeedFactor: 1,
-			sim:         s,
-		}
-		if spec.SpeedFactor > 0 {
-			n.SpeedFactor = spec.SpeedFactor
-		}
-		c.Nodes = append(c.Nodes, n)
+		c.Nodes = append(c.Nodes, newNode(s, i, spec))
 	}
 	return c
+}
+
+func newNode(s *sim.Simulator, i int, spec hwsim.NodeSpec) *Node {
+	n := &Node{
+		Idx: i, Spec: spec,
+		Mem:         memctl.New(s, spec.Name, spec.MemBytes),
+		SpeedFactor: 1,
+		sim:         s,
+	}
+	if spec.SpeedFactor > 0 {
+		n.SpeedFactor = spec.SpeedFactor
+	}
+	return n
+}
+
+// Reset rebuilds the cluster over specs in place, equivalent to
+// New(c.Sim, specs) but reusing node shells, their memory ledgers, and
+// retired executor shells positionally. The caller must have reset the
+// shared simulator first (any events referencing the old executors are
+// gone).
+func (c *Cluster) Reset(specs []hwsim.NodeSpec) {
+	if len(specs) < len(c.Nodes) {
+		tail := c.Nodes[len(specs):]
+		clear(tail)
+		c.Nodes = c.Nodes[:len(specs)]
+	}
+	for i, spec := range specs {
+		if i < len(c.Nodes) {
+			c.Nodes[i].reset(i, spec)
+		} else {
+			c.Nodes = append(c.Nodes, newNode(c.Sim, i, spec))
+		}
+	}
+}
+
+// reset returns the node to its freshly built state for a (possibly
+// different) spec, recycling its executors.
+func (n *Node) reset(i int, spec hwsim.NodeSpec) {
+	n.Idx, n.Spec = i, spec
+	n.Mem.Reset(spec.Name, spec.MemBytes)
+	for _, e := range n.Executors {
+		insts := clearInstances(e.Instances)
+		*e = Executor{Instances: insts}
+		n.spare = append(n.spare, e)
+	}
+	clear(n.Executors)
+	n.Executors = n.Executors[:0]
+	n.SpeedFactor = 1
+	if spec.SpeedFactor > 0 {
+		n.SpeedFactor = spec.SpeedFactor
+	}
+	n.ReservedBy = 0
+}
+
+// clearInstances nils an instance slice and returns its empty prefix.
+func clearInstances(insts []*engine.Instance) []*engine.Instance {
+	for k := range insts {
+		insts[k] = nil
+	}
+	return insts[:0]
 }
 
 // NodesOfKind returns the cluster's nodes of one device kind.

@@ -101,21 +101,32 @@ type InstView struct {
 
 // ViewInstance builds an InstView from live instance state.
 func ViewInstance(inst *engine.Instance, now sim.Time) InstView {
-	v := InstView{Profile: inst.Profile}
+	v, _ := ViewInstanceInto(inst, nil)
+	return v
+}
+
+// ViewInstanceInto builds an InstView whose request views live in buf,
+// returning the view and the extended buffer. Hot callers reuse one buffer
+// across an executor's instances; the buffer must be pre-sized for every
+// view built from it (growth would reallocate and detach the views already
+// handed out). Validate deep-copies its inputs, so the buffer is free for
+// reuse once validation returns.
+func ViewInstanceInto(inst *engine.Instance, buf []ReqView) (InstView, []ReqView) {
+	start := len(buf)
 	for _, r := range inst.Running {
-		v.Reqs = append(v.Reqs, ReqView{
+		buf = append(buf, ReqView{
 			Deadline: r.Tracker.NextDeadline(), TPOT: r.Obj.TPOT,
 			InputLen: r.W.InputLen, Ctx: r.ContextTokens(),
 		})
 	}
 	for _, r := range inst.WaitingPrefill {
 		// A migrated request re-prefills its whole context.
-		v.Reqs = append(v.Reqs, ReqView{
+		buf = append(buf, ReqView{
 			Deadline: r.Tracker.NextDeadline(), TPOT: r.Obj.TPOT,
 			InputLen: r.ContextTokens(), Ctx: r.ContextTokens(), NeedsPrefill: true,
 		})
 	}
-	return v
+	return InstView{Profile: inst.Profile, Reqs: buf[start:len(buf):len(buf)]}, buf
 }
 
 // ViewRequest builds the candidate's ReqView. For migrated requests the
@@ -141,11 +152,27 @@ type Validator struct {
 	// Validations and Rejections count outcomes for the overhead study.
 	Validations int64
 	Rejections  int64
+
+	// Scratch storage for the virtual projection, reused across Validate
+	// calls (one validation can run per admission attempt, so the copies
+	// dominated the allocation profile). A Validator is therefore not safe
+	// for concurrent use; each controller owns one.
+	projScratch   []InstView
+	reqScratch    []ReqView
+	roundsScratch []int
 }
 
 // NewValidator returns a validator with the paper's defaults.
 func NewValidator() *Validator {
 	return &Validator{Overestimate: 1.10, DecodeRounds: 2, MaxSteps: 600}
+}
+
+// Reset rebinds a recycled validator's tuning and zeroes its outcome
+// counters for a new run, keeping the scratch storage. Reused controllers
+// must call this or ValidationCount accumulates across runs.
+func (v *Validator) Reset(overestimate float64, decodeRounds, maxSteps int) {
+	v.Overestimate, v.DecodeRounds, v.MaxSteps = overestimate, decodeRounds, maxSteps
+	v.Validations, v.Rejections = 0, 0
 }
 
 // Validate virtually adds newReq to insts[candIdx] and simulates the
@@ -174,13 +201,31 @@ func (v *Validator) validate(now, busyUntil sim.Time, insts []InstView, candIdx 
 		over = 1
 	}
 
-	// Deep-copy the projection so validation never touches live state.
-	proj := make([]InstView, len(insts))
-	for i, iv := range insts {
-		proj[i] = InstView{Profile: iv.Profile, BlockedUntil: iv.BlockedUntil,
-			Reqs: append([]ReqView(nil), iv.Reqs...)}
+	// Deep-copy the projection so validation never touches live state. The
+	// copies live in scratch buffers reused across calls; the request buffer
+	// is sized up front so carving per-instance windows never reallocates.
+	need := 1 // newReq
+	for _, iv := range insts {
+		need += len(iv.Reqs)
 	}
-	proj[candIdx].Reqs = append(proj[candIdx].Reqs, newReq)
+	if cap(v.reqScratch) < need {
+		v.reqScratch = make([]ReqView, 0, 2*need)
+	}
+	if cap(v.projScratch) < len(insts) {
+		v.projScratch = make([]InstView, len(insts), 2*len(insts))
+	}
+	proj := v.projScratch[:len(insts)]
+	buf := v.reqScratch[:0]
+	for i, iv := range insts {
+		start := len(buf)
+		buf = append(buf, iv.Reqs...)
+		if i == candIdx {
+			buf = append(buf, newReq)
+		}
+		proj[i] = InstView{Profile: iv.Profile, BlockedUntil: iv.BlockedUntil,
+			Reqs: buf[start:len(buf):len(buf)]}
+	}
+	v.projScratch, v.reqScratch = proj, buf[:0]
 
 	// Case 3 (Figure 15): the aggregate decode round across all colocated
 	// instances must fit within one TPOT budget, otherwise decode tokens
@@ -202,7 +247,13 @@ func (v *Validator) validate(now, busyUntil sim.Time, insts []InstView, candIdx 
 		vclock = busyUntil
 	}
 	newPrefilled := false
-	roundsAfter := make([]int, len(proj))
+	if cap(v.roundsScratch) < len(proj) {
+		v.roundsScratch = make([]int, 2*len(proj))
+	}
+	roundsAfter := v.roundsScratch[:len(proj)]
+	for i := range roundsAfter {
+		roundsAfter[i] = 0
+	}
 	for step := 0; step < v.MaxSteps; step++ {
 		// Termination: the new request prefilled and every instance
 		// verified DecodeRounds decode iterations (or has no work).

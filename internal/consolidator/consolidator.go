@@ -8,10 +8,20 @@
 package consolidator
 
 import (
-	"sort"
-
 	"slinfer/internal/engine"
 )
+
+// insertionSort keeps the package's orderings allocation-free: the candidate
+// lists are a handful of entries, reflection-based sort.SliceStable costs one
+// swapper allocation per call on the routing hot path, and insertion sort is
+// stable, so every ordering below is unchanged.
+func insertionSort[T any](s []T, less func(a, b T) bool) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
 
 // PreemptionVictims returns the neighbours of grower (instances colocated on
 // the same executor) that may be preempted to make room, per §VIII-A:
@@ -37,11 +47,11 @@ func PreemptionVictims(grower *engine.Instance, neighbours []*engine.Instance) [
 			out = append(out, n)
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].TotalLoad() != out[j].TotalLoad() {
-			return out[i].TotalLoad() < out[j].TotalLoad()
+	insertionSort(out, func(a, b *engine.Instance) bool {
+		if a.TotalLoad() != b.TotalLoad() {
+			return a.TotalLoad() < b.TotalLoad()
 		}
-		return out[i].ID < out[j].ID
+		return a.ID < b.ID
 	})
 	return out
 }
@@ -52,13 +62,19 @@ func PreemptionVictims(grower *engine.Instance, neighbours []*engine.Instance) [
 // drain and get reclaimed.
 func RouteOrder(instances []*engine.Instance) []*engine.Instance {
 	out := append([]*engine.Instance(nil), instances...)
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].TotalLoad() != out[j].TotalLoad() {
-			return out[i].TotalLoad() > out[j].TotalLoad()
-		}
-		return out[i].ID < out[j].ID
-	})
+	SortRoute(out)
 	return out
+}
+
+// SortRoute applies RouteOrder's ordering in place, without allocating —
+// the form the controller's routing hot path uses over its scratch buffers.
+func SortRoute(instances []*engine.Instance) {
+	insertionSort(instances, func(a, b *engine.Instance) bool {
+		if a.TotalLoad() != b.TotalLoad() {
+			return a.TotalLoad() > b.TotalLoad()
+		}
+		return a.ID < b.ID
+	})
 }
 
 // NodeScore is a candidate placement for a new instance.
@@ -82,8 +98,14 @@ func PlaceOrder(cands []NodeScore, needBytes int64, cpuFirst bool) []NodeScore {
 			fit = append(fit, c)
 		}
 	}
-	sort.SliceStable(fit, func(i, j int) bool {
-		a, b := fit[i], fit[j]
+	SortPlace(fit, cpuFirst)
+	return fit
+}
+
+// SortPlace applies PlaceOrder's ordering in place without filtering or
+// allocating — for callers whose candidates all fit (needBytes 0).
+func SortPlace(cands []NodeScore, cpuFirst bool) {
+	insertionSort(cands, func(a, b NodeScore) bool {
 		if cpuFirst && a.IsCPU != b.IsCPU {
 			return a.IsCPU
 		}
@@ -92,7 +114,6 @@ func PlaceOrder(cands []NodeScore, needBytes int64, cpuFirst bool) []NodeScore {
 		}
 		return a.NodeIdx < b.NodeIdx
 	})
-	return fit
 }
 
 // Fragmented reports whether a model's deployment is fragmented: more than

@@ -107,6 +107,12 @@ type Config struct {
 	// Probe observes lifecycle events for verification (see Probe); nil
 	// disables observation.
 	Probe Probe
+	// MeasureOverhead samples host wall-clock time around every scheduling
+	// pick and shadow validation to feed the Figure 33 overhead study
+	// (Report.ValidationMS / ScheduleUS). Off by default: the clock reads
+	// cost more than the picks they measure, and the overhead fields are
+	// excluded from canonical reports anyway.
+	MeasureOverhead bool
 	// MemSamplePeriod is the metrics sampling interval.
 	MemSamplePeriod sim.Duration
 	// DrainGrace bounds how long the run continues past the last arrival.

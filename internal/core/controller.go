@@ -76,6 +76,29 @@ type Controller struct {
 	nextInstID   int
 	traceEnd     sim.Time
 
+	// Scratch buffers reused by the admission hot path (shadow validation
+	// builds a projection of every colocated instance per candidate, and
+	// retryPending snapshots the queue); the simulation is single-threaded
+	// per controller, so plain fields suffice.
+	viewScratch    []compute.InstView
+	reqViewScratch []compute.ReqView
+	kvStateScratch []kvcache.ReqState
+	retryScratch   []*engine.Request
+	// routeCandidates scratch: the returned ordering lives in routeScratch
+	// until the next routeCandidates call. Internal callers (tryExisting,
+	// tryPlaceAvoiding) iterate it immediately and admit never routes, so
+	// they cannot nest; policies get a copy via hostView.RouteCandidates
+	// because preemption routes recursively while iterating.
+	routeScratch []*engine.Instance
+	routeCPU     []*engine.Instance
+	routeGPU     []*engine.Instance
+
+	// Arena recycling (reset): instance and estimator shells retired by the
+	// previous run on this controller. Instances are recycled ONLY at reset —
+	// a mid-run removal may still be referenced by in-flight events.
+	spareInsts []*engine.Instance
+	spareEsts  []*kvcache.Estimator
+
 	// host is the policy.Host view policies call back through.
 	host hostView
 	// pick is the iteration-scheduling function wired into executors.
@@ -114,31 +137,124 @@ func New(s *sim.Simulator, specs []hwsim.NodeSpec, models []model.Model, cfg Con
 		delete(c.keepAlive, inst.ID)
 		c.reclaim(inst)
 	}
+	c.finishSetup(models)
+	return c
+}
+
+// finishSetup is the tail of construction shared by New and reset: the
+// iteration-scheduling pick, the hosted-model tables, and (under elastic
+// sharing) one wired executor per node.
+func (c *Controller) finishSetup(models []model.Model) {
 	// Iteration scheduling: min-headroom unless the FIFO ablation is on.
 	// Partitioned executors host one instance each, where headroom order
 	// degenerates to FIFO anyway.
 	c.pick = compute.PickFIFO
-	if cfg.TokenLevelSched || cfg.Sharing != Elastic {
+	if c.Cfg.TokenLevelSched || c.Cfg.Sharing != Elastic {
 		c.pick = compute.PickMinHeadroom
 	}
 	for _, m := range models {
 		c.models[m.Name] = m
-		c.estimators[m.Name] = kvcache.NewEstimator(m.MaxContext, 256)
+		c.estimators[m.Name] = c.newEstimator(m)
 	}
-	if cfg.Sharing == Elastic {
+	if c.Cfg.Sharing == Elastic {
 		for _, n := range c.Cluster.Nodes {
 			ex := n.NewExecutor(1)
 			c.wireExecutor(ex)
 			c.elasticExecs[n.Idx] = ex
 		}
 	}
-	return c
+}
+
+// reset rebinds a recycled controller for a new run over (possibly
+// different) specs, models, and config — equivalent to New on the same
+// simulator, but reusing the cluster, ledgers, collector, validator,
+// profile registry, pre-bound callbacks, scratch buffers, and retired
+// instance shells. The caller (Arena.NewController) must Reset the shared
+// simulator first so no event from the previous run survives into this one.
+// Keep this in lockstep with New: any per-run field added to Controller
+// must be re-zeroed here.
+func (c *Controller) reset(specs []hwsim.NodeSpec, models []model.Model, cfg Config) {
+	cfg = cfg.withDefaults().composePolicies()
+	c.Cfg = cfg
+	c.Cluster.Reset(specs)
+	if c.Registry.MaxBatch() != cfg.MaxBatch {
+		// Profiles are pure in (class, model, share, maxBatch); a registry
+		// carried across runs stays valid unless the batch ceiling changed.
+		c.Registry = perfmodel.NewRegistry(cfg.MaxBatch)
+	}
+	c.Collector.Reset()
+	c.Validator.Reset(cfg.Overestimate, 3, 600)
+	// Retire the surviving instances (and every model's estimator) into the
+	// spare pools before clearing the tables.
+	for _, list := range c.instances {
+		for _, inst := range list {
+			inst.Recycle()
+			c.spareInsts = append(c.spareInsts, inst)
+		}
+	}
+	for _, est := range c.estimators {
+		c.spareEsts = append(c.spareEsts, est)
+	}
+	clear(c.models)
+	clear(c.estimators)
+	clear(c.instances)
+	clear(c.elasticExecs)
+	clear(c.instExec)
+	clear(c.dropEvents)
+	clear(c.keepAlive)
+	clear(c.loadETA)
+	if cap(c.slotUsed) < len(specs) {
+		c.slotUsed = make([]float64, len(specs))
+	} else {
+		c.slotUsed = c.slotUsed[:len(specs)]
+		clear(c.slotUsed)
+	}
+	for i := range c.pending {
+		c.pending[i] = nil
+	}
+	c.pending = c.pending[:0]
+	clear(c.routeScratch)
+	clear(c.routeCPU)
+	clear(c.routeGPU)
+	c.routeScratch, c.routeCPU, c.routeGPU = c.routeScratch[:0], c.routeCPU[:0], c.routeGPU[:0]
+	c.retrying = false
+	c.arrivals, c.arrIdx = nil, 0
+	c.externalArrivals = false
+	c.samplerEv, c.samplerPeriod = sim.Event{}, 0
+	c.rng.Reseed(cfg.Seed^0xC0FFEE, cfg.Seed+13)
+	c.noiseStreams = 0
+	c.nextInstID = 1
+	c.traceEnd = 0
+	c.finishSetup(models)
+}
+
+// newEstimator builds (or recycles) a per-model KV-demand estimator.
+func (c *Controller) newEstimator(m model.Model) *kvcache.Estimator {
+	if n := len(c.spareEsts); n > 0 {
+		est := c.spareEsts[n-1]
+		c.spareEsts[n-1] = nil
+		c.spareEsts = c.spareEsts[:n-1]
+		est.Reset(m.MaxContext, 256)
+		return est
+	}
+	return kvcache.NewEstimator(m.MaxContext, 256)
+}
+
+// takeInstance returns an empty instance shell, recycled when available.
+func (c *Controller) takeInstance() *engine.Instance {
+	if n := len(c.spareInsts); n > 0 {
+		inst := c.spareInsts[n-1]
+		c.spareInsts[n-1] = nil
+		c.spareInsts = c.spareInsts[:n-1]
+		return inst
+	}
+	return &engine.Instance{}
 }
 
 // RegisterModel adds a hosted model after construction.
 func (c *Controller) RegisterModel(m model.Model) {
 	c.models[m.Name] = m
-	c.estimators[m.Name] = kvcache.NewEstimator(m.MaxContext, 256)
+	c.estimators[m.Name] = c.newEstimator(m)
 }
 
 // Run replays a trace to completion (plus drain grace) and returns the
@@ -284,9 +400,11 @@ func (c *Controller) tryExisting(req *engine.Request, m model.Model) bool {
 }
 
 // routeCandidates returns live instances of a model in routing order:
-// CPU before GPU (when CPUFirst), then §VIII-B largest-batch-first.
+// CPU before GPU (when CPUFirst), then §VIII-B largest-batch-first. The
+// result is backed by the controller's route scratch — valid until the next
+// routeCandidates call, so iterate it, don't keep it.
 func (c *Controller) routeCandidates(m model.Model, role engine.Role) []*engine.Instance {
-	var cpu, gpu []*engine.Instance
+	cpu, gpu := c.routeCPU[:0], c.routeGPU[:0]
 	for _, inst := range c.instances[m.Name] {
 		if inst.Role != role {
 			continue
@@ -300,12 +418,16 @@ func (c *Controller) routeCandidates(m model.Model, role engine.Role) []*engine.
 			gpu = append(gpu, inst)
 		}
 	}
-	cpu = consolidator.RouteOrder(cpu)
-	gpu = consolidator.RouteOrder(gpu)
+	consolidator.SortRoute(cpu)
+	consolidator.SortRoute(gpu)
+	out := c.routeScratch[:0]
 	if c.Cfg.CPUFirst {
-		return append(cpu, gpu...)
+		out = append(append(out, cpu...), gpu...)
+	} else {
+		out = append(append(out, gpu...), cpu...)
 	}
-	return append(gpu, cpu...)
+	c.routeCPU, c.routeGPU, c.routeScratch = cpu, gpu, out
+	return out
 }
 
 // wantRole returns the instance role requests are admitted to.
@@ -374,7 +496,9 @@ func (c *Controller) prospectiveResizeBlock(req *engine.Request, inst *engine.In
 		return 0
 	}
 	est := c.estimators[inst.Model.Name]
-	states := append(inst.KVReqStates(), kvcache.ReqState{InputLen: req.W.InputLen})
+	states := append(inst.AppendKVReqStates(c.kvStateScratch[:0]),
+		kvcache.ReqState{InputLen: req.W.InputLen})
+	c.kvStateScratch = states[:0]
 	require := est.RequireBytes(inst.Model, states, len(inst.NodeIdxs))
 	cur := inst.Cache.CapacityBytes()
 	if !c.Cfg.Watermark.NeedScaleUp(require, cur) {
@@ -383,17 +507,44 @@ func (c *Controller) prospectiveResizeBlock(req *engine.Request, inst *engine.In
 	return kvcache.ScaleTime(cur, c.Cfg.Watermark.Recommend(require))
 }
 
+// beginViews prepares the view scratch for projecting ex's instances (plus
+// one candidate view). Validate deep-copies its inputs, so both buffers are
+// free for reuse as soon as it returns; the request-view buffer is sized up
+// front because growth mid-build would detach earlier views' sub-slices.
+func (c *Controller) beginViews(ex *cluster.Executor) ([]compute.InstView, []compute.ReqView) {
+	need := 0
+	for _, other := range ex.Instances {
+		need += other.TotalLoad()
+	}
+	if cap(c.reqViewScratch) < need {
+		c.reqViewScratch = make([]compute.ReqView, 0, need*2)
+	}
+	if cap(c.viewScratch) < len(ex.Instances)+1 {
+		c.viewScratch = make([]compute.InstView, 0, 2*(len(ex.Instances)+1))
+	}
+	return c.viewScratch[:0], c.reqViewScratch[:0]
+}
+
+// endViews returns the (possibly grown) scratch backing for reuse.
+func (c *Controller) endViews(views []compute.InstView, rbuf []compute.ReqView) {
+	c.viewScratch, c.reqViewScratch = views[:0], rbuf[:0]
+}
+
 // validateOnExecutor runs shadow validation for adding a request view to
 // cand; candBlock additionally delays the candidate (prospective resize).
 func (c *Controller) validateOnExecutor(ex *cluster.Executor, cand *engine.Instance, rv compute.ReqView, tpot sim.Duration, candBlock sim.Duration) bool {
-	start := time.Now()
-	views := make([]compute.InstView, 0, len(ex.Instances)+1)
+	var start time.Time
+	if c.Cfg.MeasureOverhead {
+		start = time.Now()
+	}
+	views, rbuf := c.beginViews(ex)
 	candIdx := -1
 	for _, other := range ex.Instances {
 		if other == cand {
 			candIdx = len(views)
 		}
-		v := compute.ViewInstance(other, c.Sim.Now())
+		var v compute.InstView
+		v, rbuf = compute.ViewInstanceInto(other, rbuf)
 		if other.ResizeInFlight {
 			// Approximate the remaining resize as one full resize of the
 			// current target (conservative).
@@ -414,7 +565,10 @@ func (c *Controller) validateOnExecutor(ex *cluster.Executor, cand *engine.Insta
 		busyUntil = ex.BusyUntil()
 	}
 	got := c.Validator.Validate(c.Sim.Now(), busyUntil, views, candIdx, rv, tpot)
-	c.Collector.ValidationNs += time.Since(start).Nanoseconds()
+	c.endViews(views, rbuf)
+	if c.Cfg.MeasureOverhead {
+		c.Collector.ValidationNs += time.Since(start).Nanoseconds()
+	}
 	return got == compute.OK
 }
 
@@ -424,10 +578,14 @@ func (c *Controller) validateOnExecutor(ex *cluster.Executor, cand *engine.Insta
 func (c *Controller) validateNewInstanceOn(ex *cluster.Executor, prof *perfmodel.Profile, req *engine.Request, loadDur sim.Duration) bool {
 	rv := compute.ViewRequest(req)
 	rv.Deadline = rv.Deadline.Add(loadDur) // cold-start grace
-	start := time.Now()
-	views := make([]compute.InstView, 0, len(ex.Instances)+1)
+	var start time.Time
+	if c.Cfg.MeasureOverhead {
+		start = time.Now()
+	}
+	views, rbuf := c.beginViews(ex)
 	for _, other := range ex.Instances {
-		v := compute.ViewInstance(other, c.Sim.Now())
+		var v compute.InstView
+		v, rbuf = compute.ViewInstanceInto(other, rbuf)
 		if other.ResizeInFlight {
 			v.BlockedUntil = c.Sim.Now().Add(kvcache.ScaleTime(0, other.KVTarget))
 		}
@@ -446,7 +604,10 @@ func (c *Controller) validateNewInstanceOn(ex *cluster.Executor, prof *perfmodel
 		busyUntil = ex.BusyUntil()
 	}
 	got := c.Validator.Validate(c.Sim.Now(), busyUntil, views, candIdx, rv, req.Obj.TPOT)
-	c.Collector.ValidationNs += time.Since(start).Nanoseconds()
+	c.endViews(views, rbuf)
+	if c.Cfg.MeasureOverhead {
+		c.Collector.ValidationNs += time.Since(start).Nanoseconds()
+	}
 	return got == compute.OK
 }
 
@@ -512,12 +673,18 @@ func (c *Controller) retryPending() {
 	}
 	c.retrying = true
 	defer func() { c.retrying = false }()
-	queue := append([]*engine.Request(nil), c.pending...)
+	// Snapshot into reusable scratch: tryPlace mutates c.pending, and the
+	// retrying flag guarantees no nested use of the buffer.
+	queue := append(c.retryScratch[:0], c.pending...)
+	c.retryScratch = queue
 	for _, req := range queue {
 		if req.State != engine.Queued {
 			continue
 		}
 		c.tryPlace(req)
+	}
+	for i := range queue {
+		queue[i] = nil // do not pin completed requests
 	}
 }
 

@@ -31,7 +31,10 @@ func (h hostView) AddSlot(nodeIdx int, delta float64) {
 }
 
 func (h hostView) RouteCandidates(m model.Model) []*engine.Instance {
-	return h.c.routeCandidates(m, wantRole(h.c.Cfg, engine.PrefillWork))
+	// Copy out of the controller's route scratch: policies route recursively
+	// (preemption dry-runs rehoming candidates while iterating growers), so
+	// they cannot share the scratch the internal admission path reuses.
+	return append([]*engine.Instance(nil), h.c.routeCandidates(m, wantRole(h.c.Cfg, engine.PrefillWork))...)
 }
 
 func (h hostView) ExecutorOf(inst *engine.Instance) *cluster.Executor {

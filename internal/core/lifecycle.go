@@ -18,12 +18,19 @@ import (
 
 // wireExecutor installs the compute policy and iteration handlers.
 func (c *Controller) wireExecutor(ex *cluster.Executor) {
-	ex.Pick = func(e *cluster.Executor) (engine.Work, bool) {
-		start := time.Now()
-		w, ok := c.pick(e.Instances, c.Sim.Now())
-		c.Collector.ScheduleNs += time.Since(start).Nanoseconds()
-		c.Collector.ScheduleCount++
-		return w, ok
+	if c.Cfg.MeasureOverhead {
+		ex.Pick = func(e *cluster.Executor) (engine.Work, bool) {
+			start := time.Now()
+			w, ok := c.pick(e.Instances, c.Sim.Now())
+			c.Collector.ScheduleNs += time.Since(start).Nanoseconds()
+			c.Collector.ScheduleCount++
+			return w, ok
+		}
+	} else {
+		ex.Pick = func(e *cluster.Executor) (engine.Work, bool) {
+			c.Collector.ScheduleCount++
+			return c.pick(e.Instances, c.Sim.Now())
+		}
 	}
 	ex.OnDone = c.onIterationDone
 	amp := c.Cfg.Fluctuation
@@ -102,7 +109,9 @@ func (c *Controller) ensureMemoryFor(req *engine.Request, inst *engine.Instance)
 		return inst.Cache.FitsTokens(needTokens)
 	}
 	est := c.estimators[inst.Model.Name]
-	states := append(inst.KVReqStates(), kvcache.ReqState{InputLen: req.W.InputLen})
+	states := append(inst.AppendKVReqStates(c.kvStateScratch[:0]),
+		kvcache.ReqState{InputLen: req.W.InputLen})
+	c.kvStateScratch = states[:0]
 	div := len(inst.NodeIdxs)
 	require := est.RequireBytes(inst.Model, states, div)
 	cur := inst.Cache.CapacityBytes()
@@ -158,19 +167,20 @@ func (c *Controller) issueResize(inst *engine.Instance, target int64) bool {
 	inst.ResizeInFlight = true
 	inst.KVTarget = target
 	remaining := len(inst.NodeIdxs)
+	onComplete := func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		c.finishResize(inst, target, dur)
+	}
 	for _, idx := range inst.NodeIdxs {
-		ok := c.Cluster.Nodes[idx].Mem.Demand(&memctl.Op{
-			Kind: memctl.ResizeKV, Owner: inst.KVOwner(),
-			From: cur, To: target, Duration: dur,
-			OnComplete: func() {
-				remaining--
-				if remaining > 0 {
-					return
-				}
-				c.finishResize(inst, target, dur)
-			},
-		})
-		if !ok {
+		nm := c.Cluster.Nodes[idx].Mem
+		op := nm.AcquireOp()
+		op.Kind, op.Owner = memctl.ResizeKV, inst.KVOwner()
+		op.From, op.To, op.Duration = cur, target, dur
+		op.OnComplete = onComplete
+		if !nm.Demand(op) {
 			// First node admitted is impossible here: CanAdmit pre-checked
 			// and nothing ran in between (single-threaded simulation).
 			panic("core: resize demand rejected after CanAdmit")
@@ -206,7 +216,9 @@ func (c *Controller) recheckKV(inst *engine.Instance) {
 		return
 	}
 	est := c.estimators[inst.Model.Name]
-	require := est.RequireBytes(inst.Model, inst.KVReqStates(), len(inst.NodeIdxs))
+	states := inst.AppendKVReqStates(c.kvStateScratch[:0])
+	c.kvStateScratch = states[:0]
+	require := est.RequireBytes(inst.Model, states, len(inst.NodeIdxs))
 	cur := inst.Cache.CapacityBytes()
 	switch {
 	case c.Cfg.Watermark.NeedScaleUp(require, cur):
@@ -319,19 +331,20 @@ func (c *Controller) creationBytes(m model.Model, n *cluster.Node, share float64
 // createInstance builds the instance, carves its executor, and issues the
 // cold-start load. Returns nil when memory admission fails.
 func (c *Controller) createInstance(m model.Model, nodes []*cluster.Node, share float64, first *engine.Request) *engine.Instance {
-	idxs := make([]int, len(nodes))
-	for i, n := range nodes {
-		idxs[i] = n.Idx
+	inst := c.takeInstance()
+	for _, n := range nodes {
+		inst.NodeIdxs = append(inst.NodeIdxs, n.Idx)
 	}
-	inst := &engine.Instance{
-		ID: c.nextInstID, Model: m, Class: nodes[0].Spec.Class, Share: share,
-		NodeIdxs:  idxs,
-		Profile:   c.Registry.Get(nodes[0].Spec.Class, m, share*orOne(nodes[0].SpeedFactor)),
-		Cache:     kvcache.NewCache(m, len(nodes)),
-		State:     engine.Loading,
-		Role:      wantRole(c.Cfg, engine.PrefillWork),
-		CreatedAt: c.Sim.Now(),
+	if inst.Cache == nil {
+		inst.Cache = kvcache.NewCache(m, len(nodes))
+	} else {
+		inst.Cache.Reset(m, len(nodes))
 	}
+	inst.ID, inst.Model, inst.Class, inst.Share = c.nextInstID, m, nodes[0].Spec.Class, share
+	inst.Profile = c.Registry.Get(nodes[0].Spec.Class, m, share*orOne(nodes[0].SpeedFactor))
+	inst.State = engine.Loading
+	inst.Role = wantRole(c.Cfg, engine.PrefillWork)
+	inst.CreatedAt = c.Sim.Now()
 	c.nextInstID++
 	if c.Cfg.NEOAssist {
 		inst.DecodePenalty = c.Cfg.NEODecodePenalty
@@ -344,11 +357,12 @@ func (c *Controller) createInstance(m model.Model, nodes []*cluster.Node, share 
 	var kvInit int64
 	if dynamicKV {
 		est := c.estimators[m.Name]
-		states := []kvcache.ReqState{}
+		states := c.kvStateScratch[:0]
 		if first != nil {
 			states = append(states, kvcache.ReqState{InputLen: first.W.InputLen})
 		}
 		kvInit = c.Cfg.Watermark.Recommend(est.RequireBytes(m, states, 1))
+		c.kvStateScratch = states[:0]
 	} else {
 		memShare := int64(float64(nodes[0].Spec.MemBytes) * share)
 		kvInit = memShare - weights
@@ -383,19 +397,19 @@ func (c *Controller) createInstance(m model.Model, nodes []*cluster.Node, share 
 	loadDur := nodes[0].Spec.LoadTime(m)
 	c.loadETA[inst.ID] = c.Sim.Now().Add(loadDur)
 	remaining := len(nodes)
+	onLoaded := func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		c.finishLoad(inst, staticKV)
+	}
 	for _, n := range nodes {
-		ok := n.Mem.Demand(&memctl.Op{
-			Kind: memctl.LoadWeights, Owner: inst.WeightsOwner(),
-			From: 0, To: loadTo, Duration: loadDur,
-			OnComplete: func() {
-				remaining--
-				if remaining > 0 {
-					return
-				}
-				c.finishLoad(inst, staticKV)
-			},
-		})
-		if !ok {
+		op := n.Mem.AcquireOp()
+		op.Kind, op.Owner = memctl.LoadWeights, inst.WeightsOwner()
+		op.From, op.To, op.Duration = 0, loadTo, loadDur
+		op.OnComplete = onLoaded
+		if !n.Mem.Demand(op) {
 			panic("core: load demand rejected after CanAdmit")
 		}
 	}
@@ -522,28 +536,27 @@ func (c *Controller) removeInstance(inst *engine.Instance, countLifetime bool) {
 	if dynamicKV {
 		unloadFrom = weights
 	}
+	// The per-node teardown is a batched ledger step: the KV release and the
+	// weights unload stage into the node's step batch and apply in one
+	// Commit, so the ledger (and its conservation observer) sees the
+	// teardown as a single coherent burst rather than interleaved calls.
 	for _, idx := range inst.NodeIdxs {
 		node := c.Cluster.Nodes[idx]
 		dur := node.Spec.UnloadTime(inst.Model)
+		b := node.Mem.StepBatch()
 		if dynamicKV && kv > 0 {
-			node.Mem.Demand(&memctl.Op{
-				Kind: memctl.ResizeKV, Owner: inst.KVOwner(),
-				From: kv, To: 0, Duration: dur,
-			})
+			b.Demand(memctl.ResizeKV, inst.KVOwner(), kv, 0, dur, nil)
 		}
-		node.Mem.Demand(&memctl.Op{
-			Kind: memctl.UnloadWeights, Owner: inst.WeightsOwner(),
-			From: unloadFrom, To: 0, Duration: dur,
-			OnComplete: func() {
-				if node.ReservedBy == inst.ID {
-					node.ReservedBy = 0
-				}
-				if !node.Occupied() {
-					c.Collector.NodeInactive(node.Idx, c.Sim.Now())
-				}
-				c.retryPending()
-			},
+		b.Demand(memctl.UnloadWeights, inst.WeightsOwner(), unloadFrom, 0, dur, func() {
+			if node.ReservedBy == inst.ID {
+				node.ReservedBy = 0
+			}
+			if !node.Occupied() {
+				c.Collector.NodeInactive(node.Idx, c.Sim.Now())
+			}
+			c.retryPending()
 		})
+		b.Commit()
 	}
 	inst.Cache.SetCapacity(0)
 }
@@ -612,7 +625,8 @@ func (c *Controller) decodeCandidates(m model.Model) []*engine.Instance {
 			out = append(out, inst)
 		}
 	}
-	return consolidator.RouteOrder(out)
+	consolidator.SortRoute(out)
+	return out
 }
 
 // createDecodeInstance spawns a DecodeOnly instance for PD mode.

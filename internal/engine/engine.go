@@ -58,8 +58,10 @@ type Request struct {
 	W workload.Request
 	// Obj is the request's SLO.
 	Obj slo.Objective
-	// Tracker accumulates attainment.
-	Tracker *slo.Tracker
+	// Tracker accumulates attainment. Embedded by value (its methods take
+	// pointer receivers and requests are always handled as *Request): one
+	// request costs one allocation, not two.
+	Tracker slo.Tracker
 	// State is the lifecycle state.
 	State ReqState
 	// Generated is the number of output tokens produced.
@@ -80,7 +82,7 @@ func NewRequest(w workload.Request) *Request {
 func NewRequestWith(w workload.Request, obj slo.Objective) *Request {
 	return &Request{
 		W: w, Obj: obj,
-		Tracker: slo.NewTracker(obj, w.Arrival),
+		Tracker: slo.MakeTracker(obj, w.Arrival),
 		State:   Queued,
 	}
 }
@@ -176,13 +178,58 @@ type Instance struct {
 	// DecodePenalty multiplies decode durations (NEO+ CPU-offload path or
 	// background CPU stress); zero means no penalty.
 	DecodePenalty float64
+
+	// decode caches the (Class, Model) decode polynomial; built lazily so
+	// hand-constructed test instances need no extra setup.
+	decode hwsim.DecodeCoeffs
+	// kvOwner/weightsOwner cache the ledger owner names (derived from ID).
+	kvOwner, weightsOwner string
+	// finishedScratch backs CompleteDecode's result across iterations.
+	finishedScratch []*Request
+}
+
+// Recycle strips a retired instance back to an empty shell for reuse: every
+// field is zeroed except the slice capacities (NodeIdxs, request queues,
+// scratch) and the Cache object, which the next creation rebinds with
+// Cache.Reset. Only recycle instances no scheduled event can still reach —
+// in practice, at an arena reset after the simulator's queue was discarded,
+// never mid-run.
+func (i *Instance) Recycle() {
+	cache := i.Cache
+	idxs := i.NodeIdxs[:0]
+	waiting := clearRequests(i.WaitingPrefill)
+	running := clearRequests(i.Running)
+	scratch := clearRequests(i.finishedScratch)
+	*i = Instance{
+		NodeIdxs: idxs, Cache: cache,
+		WaitingPrefill: waiting, Running: running, finishedScratch: scratch,
+	}
+}
+
+// clearRequests nils out a request slice (so recycled shells pin nothing)
+// and returns its empty prefix for reuse.
+func clearRequests(rs []*Request) []*Request {
+	for k := range rs {
+		rs[k] = nil
+	}
+	return rs[:0]
 }
 
 // KVOwner returns the memctl allocation name for this instance's KV cache.
-func (i *Instance) KVOwner() string { return fmt.Sprintf("inst%d/kv", i.ID) }
+func (i *Instance) KVOwner() string {
+	if i.kvOwner == "" {
+		i.kvOwner = fmt.Sprintf("inst%d/kv", i.ID)
+	}
+	return i.kvOwner
+}
 
 // WeightsOwner returns the memctl allocation name for the weights.
-func (i *Instance) WeightsOwner() string { return fmt.Sprintf("inst%d/weights", i.ID) }
+func (i *Instance) WeightsOwner() string {
+	if i.weightsOwner == "" {
+		i.weightsOwner = fmt.Sprintf("inst%d/weights", i.ID)
+	}
+	return i.weightsOwner
+}
 
 // BatchSize returns the current decode batch size.
 func (i *Instance) BatchSize() int { return len(i.Running) }
@@ -277,7 +324,10 @@ func (i *Instance) GroundTruthDuration(w *Work) sim.Duration {
 	case PrefillWork:
 		d = i.Class.PrefillTime(i.Model, w.Req.ContextTokens(), i.Share)
 	default:
-		d = i.Class.DecodeTime(i.Model, i.BatchSize(), i.TotalContextTokens(), i.Share)
+		if !i.decode.Valid() {
+			i.decode = i.Class.DecodeCoeffsFor(i.Model)
+		}
+		d = i.decode.Time(i.BatchSize(), i.TotalContextTokens(), i.Share)
 		if i.DecodePenalty > 0 {
 			d *= sim.Duration(1 + i.DecodePenalty)
 		}
@@ -364,6 +414,10 @@ func (i *Instance) JoinDecode(r *Request) bool {
 // returns the requests that finished (already removed from the batch, KV
 // released). It reports underestimation when the batch's new tokens do not
 // fit the cache (§VII-D); in that case no tokens are produced.
+//
+// The returned slice is scratch storage reused by the next CompleteDecode
+// call on this instance; callers must finish with it before the instance
+// runs another decode iteration (one allocation per iteration otherwise).
 func (i *Instance) CompleteDecode(now sim.Time) (finished []*Request, underestimated bool) {
 	if len(i.Running) == 0 {
 		return nil, false
@@ -371,6 +425,7 @@ func (i *Instance) CompleteDecode(now sim.Time) (finished []*Request, underestim
 	if !i.Cache.AddTokens(int64(len(i.Running))) {
 		return nil, true
 	}
+	finished = i.finishedScratch[:0]
 	keep := i.Running[:0]
 	for _, r := range i.Running {
 		r.Generated++
@@ -391,20 +446,26 @@ func (i *Instance) CompleteDecode(now sim.Time) (finished []*Request, underestim
 		i.Running[k] = nil
 	}
 	i.Running = keep
+	i.finishedScratch = finished
 	return finished, false
 }
 
 // KVReqStates converts the live requests to Eq.-2 inputs, covering both the
 // decode batch and admitted-but-unprefilled requests.
 func (i *Instance) KVReqStates() []kvcache.ReqState {
-	out := make([]kvcache.ReqState, 0, len(i.Running)+len(i.WaitingPrefill))
+	return i.AppendKVReqStates(make([]kvcache.ReqState, 0, len(i.Running)+len(i.WaitingPrefill)))
+}
+
+// AppendKVReqStates appends the Eq.-2 inputs to buf and returns it, letting
+// hot callers reuse one scratch buffer instead of allocating per query.
+func (i *Instance) AppendKVReqStates(buf []kvcache.ReqState) []kvcache.ReqState {
 	for _, r := range i.Running {
-		out = append(out, kvcache.ReqState{InputLen: r.W.InputLen, Generated: r.Generated})
+		buf = append(buf, kvcache.ReqState{InputLen: r.W.InputLen, Generated: r.Generated})
 	}
 	for _, r := range i.WaitingPrefill {
-		out = append(out, kvcache.ReqState{InputLen: r.W.InputLen, Generated: r.Generated})
+		buf = append(buf, kvcache.ReqState{InputLen: r.W.InputLen, Generated: r.Generated})
 	}
-	return out
+	return buf
 }
 
 // Idle reports whether the instance holds no requests at all.

@@ -151,14 +151,19 @@ func paperTrace(base model.Model, n int, s Scale, seed uint64) ([]model.Model, w
 	return models, tr
 }
 
-// runSystem executes one system over a trace on a testbed.
+// runSystem executes one system over a trace on a testbed, on a pooled
+// arena: the worker reuses a warm simulation core instead of building one
+// per cell. The report stays valid after release (collector buffers that
+// escape into it are disowned, not recycled).
 func runSystem(cfg core.Config, specs []hwsim.NodeSpec, models []model.Model, tr workload.Trace) metrics.Report {
-	s := sim.New()
-	c := core.New(s, specs, models, cfg)
-	return c.Run(tr)
+	a := core.AcquireArena()
+	defer a.Release()
+	return a.NewController(specs, models, cfg).Run(tr)
 }
 
 // runSystemCtl is runSystem exposing the controller for deeper inspection.
+// The controller escapes to the caller, so this path deliberately builds a
+// fresh core instead of borrowing a pooled arena.
 func runSystemCtl(cfg core.Config, specs []hwsim.NodeSpec, models []model.Model, tr workload.Trace) (*core.Controller, metrics.Report) {
 	s := sim.New()
 	c := core.New(s, specs, models, cfg)

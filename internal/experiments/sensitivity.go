@@ -234,7 +234,11 @@ func runFig33(s Scale) Result {
 	}
 	res.Rows = sweep(len(ks), func(i int) []string {
 		k := ks[i]
-		rep := runSystem(core.SLINFER(), hwsim.Testbed(k, k), models, tr)
+		// Figure 33 reports host wall-clock overheads, so this experiment —
+		// alone — turns the clock sampling on.
+		cfg := core.SLINFER()
+		cfg.MeasureOverhead = true
+		rep := runSystem(cfg, hwsim.Testbed(k, k), models, tr)
 		return []string{
 			fmt.Sprintf("%dC+%dG", k, k), f3(rep.ValidationMS), f2(rep.ScheduleUS),
 		}

@@ -184,7 +184,10 @@ func (r Result) Ok() bool {
 }
 
 // shard is one running shard: its simulator, controller, and submit glue.
+// Each shard borrows a pooled core.Arena for the duration of the run; Run
+// releases every shard's arena after the final checker pass.
 type shard struct {
+	arena    *core.Arena
 	sim      *sim.Simulator
 	ctl      *core.Controller
 	suite    *invariants.Suite
@@ -204,8 +207,8 @@ func newShard(cfg Config, i int) *shard {
 	}
 	sys.Name = fmt.Sprintf("%s/%s", sys.Name, name)
 	sys.Seed = ShardSeed(cfg.Seed^sys.Seed, i)
-	s := sim.New()
-	sd := &shard{sim: s, ctl: core.New(s, spec.Specs, cfg.Models, sys)}
+	a := core.AcquireArena()
+	sd := &shard{arena: a, sim: a.Sim(), ctl: a.NewController(spec.Specs, cfg.Models, sys)}
 	if cfg.AttachInvariants {
 		sd.suite = invariants.Attach(sd.ctl)
 	}
@@ -346,6 +349,11 @@ func Run(cfg Config, tr workload.Trace) Result {
 	})
 	ck.runDone(&res, shards)
 	res.Violations = ck.violations
+	// Everything read out of the shards (reports, violations, checker state)
+	// has been extracted; the arenas can go back to the pool.
+	for _, sd := range shards {
+		sd.arena.Release()
+	}
 	return res
 }
 

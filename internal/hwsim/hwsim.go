@@ -101,7 +101,11 @@ type coeffs struct {
 	decodeKV     float64 // ms per MB of KV read (attention)
 }
 
-var classCoeffs = map[DeviceClass]coeffs{
+// classCoeffs is indexed by DeviceClass: the lookup sits on the decode/
+// prefill ground-truth path (every iteration of every instance), where an
+// array index beats a map access. classOf guards out-of-range classes the
+// way the old map returned its zero value.
+var classCoeffs = [3]coeffs{
 	// Fitted to Table I row "4th Gen": TTFT 149/567/2748 ms,
 	// TPOT 71/196/80/459 ms.
 	XeonGen4: {
@@ -137,6 +141,15 @@ var classCoeffs = map[DeviceClass]coeffs{
 	},
 }
 
+// classOf returns the fitted coefficients for a class; classes outside the
+// catalog get the zero coefficients (what the map lookup used to yield).
+func classOf(c DeviceClass) coeffs {
+	if c < 0 || int(c) >= len(classCoeffs) {
+		return coeffs{}
+	}
+	return classCoeffs[c]
+}
+
 // PrefillTime returns the ground-truth duration of one prefill iteration for
 // inputLen tokens at the given node share (1 = whole node).
 func (c DeviceClass) PrefillTime(m model.Model, inputLen int, share float64) sim.Duration {
@@ -144,7 +157,7 @@ func (c DeviceClass) PrefillTime(m model.Model, inputLen int, share float64) sim
 		return 0
 	}
 	share = clampShare(share)
-	k := classCoeffs[c]
+	k := classOf(c)
 	L := float64(inputLen)
 	tp := c.tpDegree(m)
 	pb := m.Params / 1e9 / tp
@@ -161,13 +174,54 @@ func (c DeviceClass) DecodeTime(m model.Model, batch, totalTokens int, share flo
 		return 0
 	}
 	share = clampShare(share)
-	k := classCoeffs[c]
+	k := classOf(c)
 	tp := c.tpDegree(m)
 	weightGB := float64(m.WeightBytes()) / 1e9 / tp
 	kvMB := float64(m.KVBytesPerToken()) / 1e6 / tp
 	ms := k.decodeWeight*weightGB +
 		k.decodePerPB*(m.Params/1e9/tp)*float64(batch) +
 		k.decodeKV*kvMB*float64(totalTokens)
+	return sim.Duration(ms/1e3) / sim.Duration(share)
+}
+
+// DecodeCoeffs is the per-(class, model) decode-latency polynomial with the
+// model-dependent factors folded in: one decode iteration costs
+// a0 + a1*batch + a2*totalTokens milliseconds before the share division.
+// Each term is the exact product DecodeTime computes, factored at the same
+// associativity, so Time returns bit-identical durations — it just skips
+// re-deriving weight/KV byte counts on every iteration of the hot loop.
+type DecodeCoeffs struct {
+	a0, a1, a2 float64
+	valid      bool
+}
+
+// Valid reports whether the coefficients were built by DecodeCoeffsFor (the
+// zero value is not usable).
+func (d DecodeCoeffs) Valid() bool { return d.valid }
+
+// DecodeCoeffsFor precomputes the decode polynomial for a (class, model)
+// pair; see DecodeCoeffs.
+func (c DeviceClass) DecodeCoeffsFor(m model.Model) DecodeCoeffs {
+	k := classOf(c)
+	tp := c.tpDegree(m)
+	weightGB := float64(m.WeightBytes()) / 1e9 / tp
+	kvMB := float64(m.KVBytesPerToken()) / 1e6 / tp
+	return DecodeCoeffs{
+		a0:    k.decodeWeight * weightGB,
+		a1:    k.decodePerPB * (m.Params / 1e9 / tp),
+		a2:    k.decodeKV * kvMB,
+		valid: true,
+	}
+}
+
+// Time returns the decode iteration duration, identical bit-for-bit to
+// DecodeTime on the pair the coefficients were built for.
+func (d DecodeCoeffs) Time(batch, totalTokens int, share float64) sim.Duration {
+	if batch <= 0 {
+		return 0
+	}
+	share = clampShare(share)
+	ms := d.a0 + d.a1*float64(batch) + d.a2*float64(totalTokens)
 	return sim.Duration(ms/1e3) / sim.Duration(share)
 }
 

@@ -61,6 +61,15 @@ func NewEstimator(lminTokens int, priorMean float64) *Estimator {
 	return &Estimator{LminTokens: lminTokens, priorMean: priorMean}
 }
 
+// Reset reinitializes a recycled estimator in place, equivalent to
+// NewEstimator(lminTokens, priorMean).
+func (e *Estimator) Reset(lminTokens int, priorMean float64) {
+	if priorMean <= 0 {
+		priorMean = 256
+	}
+	*e = Estimator{LminTokens: lminTokens, priorMean: priorMean}
+}
+
 // Observe records a completed request's output length.
 func (e *Estimator) Observe(outputLen int) {
 	if outputLen > 0 {
@@ -158,6 +167,9 @@ type CacheObserver interface {
 // tokens. It is pure accounting: timing and safety live in memctl.
 type Cache struct {
 	m model.Model
+	// kvb caches m.KVBytesPerToken(): the token accounting runs on every
+	// iteration and copying the model struct per query showed in profiles.
+	kvb int64
 	// perNodeDivisor shards the per-token cost across TP nodes.
 	perNodeDivisor int
 	capacityBytes  int64
@@ -172,7 +184,17 @@ func NewCache(m model.Model, perNodeDivisor int) *Cache {
 	if perNodeDivisor < 1 {
 		perNodeDivisor = 1
 	}
-	return &Cache{m: m, perNodeDivisor: perNodeDivisor}
+	return &Cache{m: m, kvb: m.KVBytesPerToken(), perNodeDivisor: perNodeDivisor}
+}
+
+// Reset rebinds a recycled cache to a (possibly different) model with empty
+// accounting, equivalent to NewCache. Instance arenas reuse Cache objects
+// across runs instead of allocating one per instance.
+func (c *Cache) Reset(m model.Model, perNodeDivisor int) {
+	if perNodeDivisor < 1 {
+		perNodeDivisor = 1
+	}
+	*c = Cache{m: m, kvb: m.KVBytesPerToken(), perNodeDivisor: perNodeDivisor}
 }
 
 // CapacityBytes returns the allocated capacity.
@@ -180,7 +202,7 @@ func (c *Cache) CapacityBytes() int64 { return c.capacityBytes }
 
 // UsedBytes returns the bytes consumed by live tokens.
 func (c *Cache) UsedBytes() int64 {
-	return c.usedTokens * c.m.KVBytesPerToken() / int64(c.perNodeDivisor)
+	return c.usedTokens * c.kvb / int64(c.perNodeDivisor)
 }
 
 // UsedTokens returns the number of live tokens.
@@ -217,7 +239,7 @@ func (c *Cache) AddTokens(n int64) bool {
 	if n < 0 {
 		return false
 	}
-	if (c.usedTokens+n)*c.m.KVBytesPerToken()/int64(c.perNodeDivisor) > c.capacityBytes {
+	if (c.usedTokens+n)*c.kvb/int64(c.perNodeDivisor) > c.capacityBytes {
 		return false
 	}
 	c.usedTokens += n
@@ -243,5 +265,5 @@ func (c *Cache) ReleaseTokens(n int64) {
 
 // FitsTokens reports whether n more tokens would fit in current capacity.
 func (c *Cache) FitsTokens(n int64) bool {
-	return (c.usedTokens+n)*c.m.KVBytesPerToken()/int64(c.perNodeDivisor) <= c.capacityBytes
+	return (c.usedTokens+n)*c.kvb/int64(c.perNodeDivisor) <= c.capacityBytes
 }

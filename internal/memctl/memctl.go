@@ -69,6 +69,7 @@ type Op struct {
 
 	canceled bool
 	started  bool
+	pooled   bool        // owned by nm.free; recycled after complete/cancel
 	nm       *NodeMemory // set at admission; completion trampoline target
 }
 
@@ -118,7 +119,15 @@ type NodeMemory struct {
 	optimistic  int64
 	pessimistic int64
 
-	station []*Op // reservation station: admitted scale-ups awaiting safety
+	station []*Op  // reservation station: admitted scale-ups awaiting safety
+	spare   []*Op  // ping-pong buffer for drainStation rebuilds
+	free    []*Op  // recycled pooled ops (see AcquireOp)
+	batch   *Batch // per-node reusable step batch (see StepBatch)
+
+	// drainStation reentrancy: a completion cascade that frees more bytes
+	// while a drain is in progress requests another pass instead of nesting.
+	draining bool
+	redrain  bool
 
 	// Stats.
 	opsStarted     int64
@@ -133,6 +142,76 @@ func New(s *sim.Simulator, name string, capacity int64) *NodeMemory {
 		panic(fmt.Sprintf("memctl: non-positive capacity for %s", name))
 	}
 	return &NodeMemory{sim: s, name: name, capacity: capacity}
+}
+
+// Reset returns the NodeMemory to the state of a fresh New(s, name, capacity)
+// while keeping the reservation-station storage and the pooled-Op free-list,
+// so a long-lived worker reuses one ledger per node across runs. Any parked
+// operations are discarded without accounting rollback (the whole ledger is
+// being zeroed anyway); callers must not retain Op handles across a Reset.
+func (nm *NodeMemory) Reset(name string, capacity int64) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("memctl: non-positive capacity for %s", name))
+	}
+	nm.name, nm.capacity = name, capacity
+	nm.Observer = nil
+	nm.optimistic, nm.pessimistic = 0, 0
+	for _, op := range nm.station {
+		nm.recycle(op)
+	}
+	clear(nm.station)
+	nm.station = nm.station[:0]
+	if nm.batch != nil {
+		nm.batch.Abandon()
+	}
+	nm.draining, nm.redrain = false, false
+	nm.opsStarted, nm.opsCompleted, nm.stationedTotal, nm.rejected = 0, 0, 0, 0
+}
+
+// AcquireOp returns a zeroed Op owned by this node's free-list. Pooled ops
+// recycle themselves when they complete or are cancelled out of the station,
+// so a steady-state Demand stream allocates nothing. The caller must not
+// retain a pooled Op past its completion (the slot is reused); an op whose
+// Demand was rejected stays with the caller for retry — hand it back with
+// ReleaseOp if the retry is abandoned.
+func (nm *NodeMemory) AcquireOp() *Op {
+	if n := len(nm.free); n > 0 {
+		op := nm.free[n-1]
+		nm.free[n-1] = nil
+		nm.free = nm.free[:n-1]
+		*op = Op{pooled: true}
+		return op
+	}
+	return &Op{pooled: true}
+}
+
+// ReleaseOp returns a rejected (never-admitted) pooled op to the free-list.
+// Ops that were admitted recycle themselves; releasing a non-pooled op is a
+// no-op.
+func (nm *NodeMemory) ReleaseOp(op *Op) { nm.recycle(op) }
+
+// StepBatch returns this node's reusable step batch, lazily created. Callers
+// that issue several ledger transitions in one simulation step stage them
+// here and Commit once; the batch empties itself on Commit, so the singleton
+// is safely shared by every call site in the single-threaded simulation —
+// stage and commit within one step, never across steps.
+func (nm *NodeMemory) StepBatch() *Batch {
+	if nm.batch == nil {
+		nm.batch = NewBatch(nm)
+	}
+	return nm.batch
+}
+
+// recycle returns a finished pooled op to the free-list; non-pooled ops
+// (caller-owned &Op{} literals) pass through untouched.
+func (nm *NodeMemory) recycle(op *Op) {
+	if op == nil || !op.pooled {
+		return
+	}
+	op.pooled = false // double-release keeps it a no-op
+	op.OnComplete = nil
+	op.nm = nil
+	nm.free = append(nm.free, op)
 }
 
 // Capacity returns the node's memory capacity in bytes.
@@ -245,7 +324,8 @@ func opComplete(a any) {
 }
 
 // complete finishes an operation: pessimistic frees at completion for
-// scale-downs, then OnComplete cascades and the station drains.
+// scale-downs, then OnComplete cascades and the station drains. Pooled ops
+// return to the free-list afterwards.
 func (nm *NodeMemory) complete(op *Op) {
 	delta := op.To - op.From
 	nm.opsCompleted++
@@ -261,29 +341,55 @@ func (nm *NodeMemory) complete(op *Op) {
 	if delta < 0 {
 		nm.drainStation()
 	}
+	nm.recycle(op)
 }
 
 // drainStation re-evaluates parked scale-ups, launching — out of order —
 // every operation that is now pessimistically safe.
+//
+// Launching a zero-duration op completes it inline, and its OnComplete
+// cascade may re-enter this method (another scale-down completed) or park new
+// ops via Demand. Both are handled without allocation: the station is swapped
+// into a scratch buffer before scanning, so reentrant Demand calls append to
+// the live (rebuilding) station and are preserved, and a reentrant drain
+// request just schedules another pass on the outer call instead of nesting.
 func (nm *NodeMemory) drainStation() {
-	remaining := nm.station[:0]
-	for _, op := range nm.station {
-		if op.canceled {
-			// Roll back its optimistic admission.
-			nm.optimistic -= op.To - op.From
-			if nm.Observer != nil {
-				nm.Observer.OpCanceled(nm, op)
-			}
-			continue
+	if nm.draining {
+		nm.redrain = true
+		return
+	}
+	nm.draining = true
+	for {
+		nm.redrain = false
+		src := nm.station
+		if len(nm.spare) != 0 {
+			panic("memctl: drain scratch buffer in use")
 		}
-		delta := op.To - op.From
-		if nm.pessimistic+delta <= nm.capacity {
-			nm.execute(op)
-		} else {
-			remaining = append(remaining, op)
+		nm.station, nm.spare = nm.spare[:0], src
+		for _, op := range src {
+			if op.canceled {
+				// Roll back its optimistic admission.
+				nm.optimistic -= op.To - op.From
+				if nm.Observer != nil {
+					nm.Observer.OpCanceled(nm, op)
+				}
+				nm.recycle(op)
+				continue
+			}
+			delta := op.To - op.From
+			if nm.pessimistic+delta <= nm.capacity {
+				nm.execute(op)
+			} else {
+				nm.station = append(nm.station, op)
+			}
+		}
+		clear(src)
+		nm.spare = src[:0]
+		if !nm.redrain {
+			break
 		}
 	}
-	nm.station = append([]*Op(nil), remaining...)
+	nm.draining = false
 }
 
 // CancelStationed cancels a parked op and rolls back its optimistic budget.
@@ -294,6 +400,93 @@ func (nm *NodeMemory) CancelStationed(op *Op) bool {
 	}
 	nm.drainStation()
 	return true
+}
+
+// Batch coalesces a burst of demands against one NodeMemory into at most one
+// operation per owner, applied in a single Commit. Per-iteration callers
+// (e.g. a scheduler step that grows several KV caches and frees others) stage
+// their demands here instead of issuing one ledger transition each: the
+// ledger, its observer, and the reservation station see one op per owner per
+// step, with the net From→To movement.
+//
+// Coalescing rule per owner: the first staged demand pins From, the last
+// pins To and Duration (the final move is the one that executes), and every
+// staged OnComplete runs in staging order when the coalesced op completes.
+// The From-chain stays continuous for conservation checkers because
+// intermediate sizes never become ledger transitions.
+//
+// A Batch is reusable: Commit applies the staged ops and leaves the batch
+// empty. Ops come from the node's free-list, so a steady-state
+// stage/commit cycle allocates nothing.
+type Batch struct {
+	nm  *NodeMemory
+	ops []*Op
+	idx map[string]int // owner -> index in ops
+}
+
+// NewBatch returns an empty batch against nm.
+func NewBatch(nm *NodeMemory) *Batch {
+	return &Batch{nm: nm, idx: make(map[string]int)}
+}
+
+// Node returns the NodeMemory this batch commits against.
+func (b *Batch) Node() *NodeMemory { return b.nm }
+
+// Len returns the number of coalesced (per-owner) operations staged.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Demand stages one demand. Demands against an owner already staged coalesce
+// into its pending op instead of creating a new one.
+func (b *Batch) Demand(kind OpKind, owner string, from, to int64, dur sim.Duration, onComplete func()) {
+	if i, ok := b.idx[owner]; ok {
+		op := b.ops[i]
+		op.Kind, op.To, op.Duration = kind, to, dur
+		if onComplete != nil {
+			if prev := op.OnComplete; prev != nil {
+				op.OnComplete = func() { prev(); onComplete() }
+			} else {
+				op.OnComplete = onComplete
+			}
+		}
+		return
+	}
+	op := b.nm.AcquireOp()
+	op.Kind, op.Owner, op.From, op.To = kind, owner, from, to
+	op.Duration, op.OnComplete = dur, onComplete
+	b.idx[owner] = len(b.ops)
+	b.ops = append(b.ops, op)
+}
+
+// Commit applies the staged operations in staging order and empties the
+// batch. Owners whose staged demands net to no size change (From == To) are
+// still applied — their OnComplete chain must run — but cost no budget.
+// Returns the number of admitted and rejected operations; rejected ops are
+// returned to the free-list (stage a compromised size next step to retry).
+func (b *Batch) Commit() (admitted, rejected int) {
+	for i, op := range b.ops {
+		b.ops[i] = nil
+		if b.nm.Demand(op) {
+			admitted++
+		} else {
+			rejected++
+			b.nm.ReleaseOp(op)
+		}
+	}
+	b.ops = b.ops[:0]
+	clear(b.idx)
+	return admitted, rejected
+}
+
+// Abandon discards every staged operation without applying it, returning the
+// ops to the free-list. NodeMemory.Reset uses it to drop a batch staged but
+// never committed when its run was torn down.
+func (b *Batch) Abandon() {
+	for i, op := range b.ops {
+		b.ops[i] = nil
+		b.nm.ReleaseOp(op)
+	}
+	b.ops = b.ops[:0]
+	clear(b.idx)
 }
 
 // CheckInvariants verifies the safety conditions; tests call it after every

@@ -26,8 +26,10 @@ type Collector struct {
 	// TTFTs holds observed time-to-first-token values (seconds).
 	TTFTs []float64
 
-	// DecodeTokens counts generated decode tokens per device kind.
-	DecodeTokens map[hwsim.Kind]int64
+	// DecodeTokens counts generated decode tokens per device kind, indexed
+	// by hwsim.Kind (CPU, GPU). An array, not a map: it is bumped on every
+	// decode iteration and first-token emission.
+	DecodeTokens [2]int64
 
 	// Node activity integration.
 	nodeKind   map[int]hwsim.Kind
@@ -39,8 +41,9 @@ type Collector struct {
 	// KVUtil holds sampled KV allocation utilization (used/allocated).
 	KVUtil []float64
 
-	// BatchHist histograms decode batch sizes weighted by iterations.
-	BatchHist map[int]int64
+	// batchHist histograms decode batch sizes weighted by iterations,
+	// indexed by batch size (MaxBatch-bounded, so the slice stays small).
+	batchHist []int64
 
 	// Lifecycle counters.
 	ColdStarts  int64
@@ -65,13 +68,40 @@ type Collector struct {
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
 	return &Collector{
-		DecodeTokens: map[hwsim.Kind]int64{},
-		nodeKind:     map[int]hwsim.Kind{},
-		nodeSince:    map[int]sim.Time{},
-		nodeActive:   map[int]sim.Duration{},
-		MemUtil:      map[hwsim.Kind][]float64{},
-		BatchHist:    map[int]int64{},
+		nodeKind:   map[int]hwsim.Kind{},
+		nodeSince:  map[int]sim.Time{},
+		nodeActive: map[int]sim.Duration{},
+		MemUtil:    map[hwsim.Kind][]float64{},
 	}
+}
+
+// Reset returns the collector to the state of a fresh NewCollector so a
+// long-lived worker can reuse it across runs.
+//
+// Buffers whose backing arrays escape into the previous run's Report are
+// DISOWNED, not truncated: BuildReport aliases TTFTs and the MemUtil slices
+// into Report.TTFTCDF / Report.MemUtilCDF, so reusing those arrays would
+// mutate an already-returned report. Buffers that BuildReport only summarizes
+// (KVUtil feeds a mean; batchHist is materialized into a fresh BatchCDF) keep
+// their storage. When adding a sample buffer to Collector, decide which side
+// of this split it is on and update both BuildReport's doc and this method.
+func (c *Collector) Reset() {
+	c.Total, c.Completed, c.Met, c.Dropped = 0, 0, 0, 0
+	c.TTFTs = nil // aliased by Report.TTFTCDF — disown
+	c.DecodeTokens = [2]int64{}
+	clear(c.nodeKind)
+	clear(c.nodeSince)
+	clear(c.nodeActive)
+	clear(c.MemUtil) // slices aliased by Report.MemUtilCDF — disown, keep map
+	c.KVUtil = c.KVUtil[:0]
+	for i := range c.batchHist {
+		c.batchHist[i] = 0
+	}
+	c.ColdStarts, c.Reclaims, c.Preemptions = 0, 0, 0
+	c.Migrations, c.Evictions, c.KVResizes = 0, 0, 0
+	c.ScalingBusy, c.InstanceLifetime = 0, 0
+	c.ValidationNs, c.ValidationCount = 0, 0
+	c.ScheduleNs, c.ScheduleCount = 0, 0
 }
 
 // Reserve size-hints the collector's sample slices from the workload (one
@@ -107,7 +137,19 @@ func (c *Collector) RecordDrop() { c.Dropped++ }
 // device kind.
 func (c *Collector) RecordDecode(kind hwsim.Kind, batch int) {
 	c.DecodeTokens[kind] += int64(batch)
-	c.BatchHist[batch]++
+	if batch >= len(c.batchHist) {
+		grown := make([]int64, maxI(batch+1, 2*len(c.batchHist)))
+		copy(grown, c.batchHist)
+		c.batchHist = grown
+	}
+	c.batchHist[batch]++
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // NodeActive marks a node as hosting work from time at.
@@ -234,7 +276,7 @@ func (c *Collector) BuildReport(system string, duration sim.Duration) Report {
 	}
 
 	var batchSum, batchN int64
-	for b, n := range c.BatchHist {
+	for b, n := range c.batchHist {
 		batchSum += int64(b) * n
 		batchN += n
 	}
@@ -243,13 +285,14 @@ func (c *Collector) BuildReport(system string, duration sim.Duration) Report {
 			cdfLen = 200000
 		}
 		r.BatchCDF = make([]int, 0, cdfLen)
-		for b, n := range c.BatchHist {
+		// The histogram is indexed by batch size, so this materializes the
+		// CDF already sorted (and truncation, if ever hit, is deterministic).
+		for b, n := range c.batchHist {
 			for k := int64(0); k < n && len(r.BatchCDF) < 200000; k++ {
 				r.BatchCDF = append(r.BatchCDF, b)
 			}
 		}
 	}
-	sort.Ints(r.BatchCDF)
 	if batchN > 0 {
 		r.AvgBatch = float64(batchSum) / float64(batchN)
 	}

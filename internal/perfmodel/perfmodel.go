@@ -11,7 +11,6 @@
 package perfmodel
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 
@@ -175,27 +174,43 @@ func (p *Profile) MaxBatchWithin(avgLen int, budget sim.Duration) int {
 	return lo
 }
 
+// profileKey identifies a cached profile. A comparable struct, not a
+// formatted string: Get sits on the instance-creation path and the
+// Sprintf-rendered key showed up in run profiles.
+type profileKey struct {
+	class hwsim.DeviceClass
+	name  string
+	share float64
+}
+
 // Registry caches profiles per (class, model, share). It is safe for
 // concurrent use; experiments share one registry to amortize profiling,
 // exactly as SLINFER profiles each hardware type once (§VI-B).
 type Registry struct {
 	mu       sync.Mutex
 	maxBatch int
-	profiles map[string]*Profile
+	profiles map[profileKey]*Profile
 }
 
 // NewRegistry returns a registry whose profiles cover batch sizes up to
 // maxBatch (the paper uses Bmax ~256).
 func NewRegistry(maxBatch int) *Registry {
-	return &Registry{maxBatch: maxBatch, profiles: make(map[string]*Profile)}
+	return &Registry{maxBatch: maxBatch, profiles: make(map[profileKey]*Profile)}
 }
 
-// Get returns (building on first use) the profile for the combination.
+// MaxBatch returns the batch-size ceiling the registry profiles against.
+func (r *Registry) MaxBatch() int { return r.maxBatch }
+
+// Get returns (building on first use) the profile for the combination. The
+// cache is keyed by model name, and model.Model is fully comparable, so a
+// cached profile whose Model no longer equals m — a registry shared across
+// runs that rebind a name to different dimensions — is rebuilt rather than
+// served stale.
 func (r *Registry) Get(class hwsim.DeviceClass, m model.Model, share float64) *Profile {
-	key := fmt.Sprintf("%d|%s|%.4f", class, m.Name, share)
+	key := profileKey{class: class, name: m.Name, share: share}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if p, ok := r.profiles[key]; ok {
+	if p, ok := r.profiles[key]; ok && p.Model == m {
 		return p
 	}
 	p := NewProfile(class, m, share, r.maxBatch)

@@ -70,14 +70,13 @@ func (p *BinPack) PlaceNew(h Host, req *engine.Request, m model.Model) bool {
 	if m.TPDegree > 1 {
 		return p.placeNewTP(h, req, m)
 	}
-	type option struct {
-		node  *cluster.Node
-		class hwsim.DeviceClass
-		share float64
-	}
+	// NodeScore.NodeIdx is the cluster index, so candidates map back to
+	// their node via h.Nodes() — no side table needed. PlaceNew must stay
+	// stateless (one BinPack is shared across concurrently advancing fleet
+	// shards), so the candidate list is a local, not policy scratch.
+	nodes := h.Nodes()
 	var cands []consolidator.NodeScore
-	byIdx := map[int]option{}
-	for _, n := range h.Nodes() {
+	for _, n := range nodes {
 		class := n.Spec.Class
 		kindCPU := n.Kind() == hwsim.CPU
 		if kindCPU {
@@ -107,22 +106,18 @@ func (p *BinPack) PlaceNew(h Host, req *engine.Request, m model.Model) bool {
 		cands = append(cands, consolidator.NodeScore{
 			NodeIdx: n.Idx, FreeBytes: n.Mem.OptimisticFree(), IsCPU: kindCPU,
 		})
-		byIdx[n.Idx] = option{node: n, class: class, share: share}
 	}
-	needs := func(idx int) int64 {
-		o := byIdx[idx]
-		return h.CreationBytes(m, o.node, o.share, req)
-	}
-	ordered := consolidator.PlaceOrder(cands, 0, p.CPUFirst)
-	for _, cand := range ordered {
-		if cand.FreeBytes < needs(cand.NodeIdx) {
+	consolidator.SortPlace(cands, p.CPUFirst)
+	for _, cand := range cands {
+		n := nodes[cand.NodeIdx]
+		share := p.Share(m, n.Spec.Class)
+		if cand.FreeBytes < h.CreationBytes(m, n, share, req) {
 			continue
 		}
-		o := byIdx[cand.NodeIdx]
-		if !p.AdmitScaleOut(h, o.node, m, o.share, req) {
+		if !p.AdmitScaleOut(h, n, m, share, req) {
 			continue
 		}
-		if h.Spawn(m, []*cluster.Node{o.node}, o.share, req) {
+		if h.Spawn(m, []*cluster.Node{n}, share, req) {
 			return true
 		}
 	}

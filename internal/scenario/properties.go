@@ -169,12 +169,12 @@ func checkReplayEqualsLive(g Grid) error {
 			return fmt.Errorf("cell %s: load: %w", c.Name(), err)
 		}
 
-		live, liveSuite := runTrace(cfg, c.Topology, models, tr)
-		replay, replaySuite := runTrace(cfg, c.Topology, models, loaded)
-		if err := liveSuite.Err(); err != nil {
+		live, liveViol := runTrace(cfg, c.Topology, models, tr)
+		replay, replayViol := runTrace(cfg, c.Topology, models, loaded)
+		if err := violationsErr(liveViol); err != nil {
 			return fmt.Errorf("cell %s live run: %w", c.Name(), err)
 		}
-		if err := replaySuite.Err(); err != nil {
+		if err := violationsErr(replayViol); err != nil {
 			return fmt.Errorf("cell %s replay run: %w", c.Name(), err)
 		}
 		if lc, rc := live.Canonical(), replay.Canonical(); lc != rc {
@@ -205,8 +205,8 @@ func checkKeepAliveMonotone(g Grid) error {
 				return err
 			}
 			cfg.KeepAlive = sim.Duration(keepAlive) * sim.Second
-			rep, suite := runTrace(cfg, topo, models, tr)
-			if err := suite.Err(); err != nil {
+			rep, viol := runTrace(cfg, topo, models, tr)
+			if err := violationsErr(viol); err != nil {
 				return fmt.Errorf("keep-alive %vs run: %w", keepAlive, err)
 			}
 			if prevCold >= 0 && rep.ColdStarts > prevCold {

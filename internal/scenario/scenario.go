@@ -287,8 +287,8 @@ func RunCell(c Cell) CellResult {
 	if c.Fleet.Shards > 1 {
 		return runFleetCell(c, cfg, models, tr)
 	}
-	rep, suite := runTrace(cfg, c.Topology, models, tr)
-	return CellResult{Cell: c, Report: rep, Violations: suite.Violations()}
+	rep, viol := runTrace(cfg, c.Topology, models, tr)
+	return CellResult{Cell: c, Report: rep, Violations: viol}
 }
 
 // runFleetCell runs the cell's trace through an N-shard fleet. Workers is
@@ -316,12 +316,26 @@ func runFleetCell(c Cell, cfg core.Config, models []model.Model, tr workload.Tra
 	return CellResult{Cell: c, Report: res.Report, Violations: viol}
 }
 
-// runTrace is the shared single-run core: build, attach, run.
-func runTrace(cfg core.Config, topo Topology, models []model.Model, tr workload.Trace) (metrics.Report, *invariants.Suite) {
-	s := sim.New()
-	ctl := core.New(s, topo.Specs(), models, cfg)
+// violationsErr summarizes an invariant-violation list as an error, nil when
+// clean — the property checkers' counterpart to invariants.Suite.Err, usable
+// after the suite itself has been released with its arena.
+func violationsErr(viol []invariants.Violation) error {
+	if len(viol) == 0 {
+		return nil
+	}
+	return fmt.Errorf("invariants: %d violation(s), first: %s", len(viol), viol[0])
+}
+
+// runTrace is the shared single-run core: borrow a pooled arena, attach the
+// invariant suite, run, and extract the violations before the arena (and
+// with it the controller the suite watches) goes back to the pool.
+func runTrace(cfg core.Config, topo Topology, models []model.Model, tr workload.Trace) (metrics.Report, []invariants.Violation) {
+	a := core.AcquireArena()
+	defer a.Release()
+	ctl := a.NewController(topo.Specs(), models, cfg)
 	suite := invariants.Attach(ctl)
-	return ctl.Run(tr), suite
+	rep := ctl.Run(tr)
+	return rep, suite.Violations()
 }
 
 // RunGrid expands the grid and evaluates every cell through the experiments

@@ -10,12 +10,22 @@ import (
 // so that adding a consumer never perturbs another component's stream.
 type RNG struct {
 	r            *rand.Rand
+	pcg          *rand.PCG
 	seed1, seed2 uint64
 }
 
 // NewRNG returns a deterministic RNG for the given seed pair.
 func NewRNG(seed1, seed2 uint64) *RNG {
-	return &RNG{r: rand.New(rand.NewPCG(seed1, seed2)), seed1: seed1, seed2: seed2}
+	pcg := rand.NewPCG(seed1, seed2)
+	return &RNG{r: rand.New(pcg), pcg: pcg, seed1: seed1, seed2: seed2}
+}
+
+// Reseed restarts the generator from a fresh seed pair in place: the stream
+// is byte-identical to NewRNG(seed1, seed2) with no allocation. Reused
+// simulation cores reseed their run RNG instead of constructing a new one.
+func (g *RNG) Reseed(seed1, seed2 uint64) {
+	g.pcg.Seed(seed1, seed2)
+	g.seed1, g.seed2 = seed1, seed2
 }
 
 // Derive returns an independent RNG keyed by the parent's seed pair and a

@@ -235,6 +235,30 @@ func (s *Simulator) AfterFunc(d Duration, fn func(arg any), arg any) Event {
 // Stop makes Run return after the currently-executing event completes.
 func (s *Simulator) Stop() { s.stopped = true }
 
+// Reset returns the simulator to the state of a fresh New() — clock at
+// zero, empty queue, no observer — while keeping the event arena, the
+// free-list, and the heap's backing storage for reuse. A long-lived worker
+// resets one simulator between runs instead of allocating a new arena per
+// run; after the first run, steady-state scheduling allocates nothing.
+//
+// Every pending event is discarded (callbacks never fire) and its slot
+// recycled with a bumped generation, so handles issued before Reset turn
+// stale and degrade to no-ops exactly like handles to fired events.
+func (s *Simulator) Reset() {
+	for _, he := range s.queue {
+		e := &s.slots[he.slot]
+		e.gen++ // invalidate outstanding handles immediately
+		e.index = -1
+		e.canceled = false
+		e.fn, e.fn1, e.arg = nil, nil, nil
+		s.pool = append(s.pool, he.slot)
+	}
+	s.queue = s.queue[:0]
+	s.now, s.seq, s.fired = 0, 0, 0
+	s.stopped = false
+	s.OnEvent = nil
+}
+
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It returns false when no events remain. Cancelled events
 // were already removed by Cancel, so whatever is popped is live.

@@ -76,6 +76,14 @@ func NewTracker(obj Objective, start sim.Time) *Tracker {
 	return &Tracker{obj: obj, start: start}
 }
 
+// MakeTracker is NewTracker by value, for embedding the tracker into a
+// request object (one request, one allocation). All Tracker methods take a
+// pointer receiver; keep the embedding addressable and never copy it after
+// the first RecordToken.
+func MakeTracker(obj Objective, start sim.Time) Tracker {
+	return Tracker{obj: obj, start: start}
+}
+
 // AddGrace extends the TTFT budget by d (cold-start grace). It has no
 // effect once the first token has been produced.
 func (t *Tracker) AddGrace(d sim.Duration) {
