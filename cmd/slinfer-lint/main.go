@@ -1,0 +1,87 @@
+// Command slinfer-lint is the repo's static-analysis gate: it runs the
+// internal/analysis suite (resetcomplete, nodeterminism, hotpath, poolpair)
+// over the given package patterns and exits nonzero on any diagnostic.
+//
+// Usage:
+//
+//	go run ./cmd/slinfer-lint ./...
+//	go run ./cmd/slinfer-lint -json ./... > findings.json
+//
+// The analyzers mechanize the determinism, reset-completeness, hot-path
+// allocation, and pool-pairing contracts documented in DESIGN.md's "Static
+// analysis" section; CI runs this as a hard gate alongside vet/gofmt/race.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"slinfer/internal/analysis"
+)
+
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array for tooling")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: slinfer-lint [-json] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	fset, pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(fset, pkgs, analysis.Analyzers())
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			out = append(out, jsonDiag{
+				File: pos.Filename, Line: pos.Line, Column: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "slinfer-lint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slinfer-lint:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,43 @@
+package analysis
+
+import "testing"
+
+// TestFixtures runs each analyzer over its fixture package and checks the
+// diagnostics against the // want comments (positive, negative, and
+// pragma-suppressed cases).
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		fixture  string
+		analyzer *Analyzer
+	}{
+		{"resetcomplete", ResetComplete},
+		{"nodeterminism", NoDeterminism},
+		{"hotpath", HotPath},
+		{"poolpair", PoolPair},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			RunFixture(t, ".", tc.fixture, tc.analyzer)
+		})
+	}
+}
+
+// TestSuiteCleanOnOwnFixturesOnly sanity-checks Analyzers() wiring: the
+// suite must contain all four analyzers exactly once.
+func TestSuiteWiring(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Run == nil {
+			t.Fatalf("analyzer %+v missing name or run", a)
+		}
+		if seen[a.Name] {
+			t.Fatalf("analyzer %s registered twice", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, want := range []string{"resetcomplete", "nodeterminism", "hotpath", "poolpair"} {
+		if !seen[want] {
+			t.Fatalf("analyzer %s missing from suite", want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Analyzers returns the full suite in the order the multichecker runs it.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{ResetComplete, NoDeterminism, HotPath, PoolPair}
+}
+
+// errorfer is the subset of *testing.T the fixture runner needs, so this
+// file stays out of test binaries' way while remaining testable itself.
+type errorfer interface {
+	Errorf(format string, args ...any)
+	Helper()
+}
+
+// RunFixture loads testdata/src/<fixture> (relative to dir, the analysis
+// package directory) and checks the analyzer's diagnostics against the
+// fixture's expectations — the x/tools analysistest convention:
+//
+//	code()	// want "regexp"
+//
+// Every diagnostic must match a want-comment on its line, and every
+// want-comment must be matched by at least one diagnostic. The regexp may
+// be quoted ("...") or backquoted (`...`).
+func RunFixture(t errorfer, dir, fixture string, a *Analyzer) {
+	t.Helper()
+	fset, pkgs, err := Load(dir, "./testdata/src/"+fixture)
+	if err != nil {
+		t.Errorf("loading fixture %s: %v", fixture, err)
+		return
+	}
+	diags, err := RunAnalyzers(fset, pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Errorf("running %s on fixture %s: %v", a.Name, fixture, err)
+		return
+	}
+
+	type want struct {
+		file string
+		line int
+		re   *regexp.Regexp
+		hit  bool
+	}
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pat, ok := parseWant(c.Text)
+					if !ok {
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", fset.Position(c.Pos()), pat, err)
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected %s diagnostic: %s", relPos(pos, dir), a.Name, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected %s diagnostic matching %q, got none", relFile(w.file, dir), w.line, a.Name, w.re)
+		}
+	}
+}
+
+// parseWant extracts the pattern from a `// want "..."` comment.
+func parseWant(text string) (string, bool) {
+	body, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		return "", false
+	}
+	body = strings.TrimSpace(body)
+	if strings.HasPrefix(body, "`") && strings.HasSuffix(body, "`") && len(body) >= 2 {
+		return body[1 : len(body)-1], true
+	}
+	if strings.HasPrefix(body, `"`) {
+		if s, err := strconv.Unquote(body); err == nil {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+func relPos(pos token.Position, dir string) string {
+	return fmt.Sprintf("%s:%d", relFile(pos.Filename, dir), pos.Line)
+}
+
+func relFile(file, dir string) string {
+	if rel, err := filepath.Rel(dir, file); err == nil {
+		return rel
+	}
+	return file
+}

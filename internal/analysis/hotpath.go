@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotPath enforces the closure-allocation discipline from DESIGN.md's
+// "Performance" section on functions annotated //slinfer:hotpath (the PR 4/6
+// surface: AtFunc/AfterFunc callers, heap ops, NextWork/OnDone, the memctl
+// trampoline). Inside an annotated function it flags every allocation
+// source the discipline bans:
+//
+//   - capturing func literals (the captured variables are named; schedule a
+//     pre-bound callback through AtFunc/AfterFunc instead)
+//   - map literals and make(map...)
+//   - conversions of non-pointer-shaped values (structs, numbers, strings,
+//     slices) to interface types, including implicit conversions at call
+//     arguments — each one heap-allocates a box. Pointer-shaped values
+//     (pointers, maps, channels, funcs) ride in the interface word for
+//     free, which is exactly why AtFunc's arg is documented as
+//     "pointer-shaped does not allocate".
+//
+// Only the annotated function's own body is checked: the pragma marks the
+// audited hot set, and callees opt in with their own annotation. Arguments
+// to panic(...) are exempt — a failure path's formatting never runs hot.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "ban capturing closures, map allocation, and interface boxing in //slinfer:hotpath functions",
+	Run:  runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !FuncPragma(fd, "hotpath") {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			if caps := capturedVars(pass, fd, node); len(caps) > 0 {
+				pass.Reportf(node.Pos(), "capturing func literal on hot path (captures %s): pre-bind the callback and pass state via AtFunc/AfterFunc arg",
+					strings.Join(caps, ", "))
+			}
+			return true
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[node]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(node.Pos(), "map literal allocates on hot path")
+				}
+			}
+		case *ast.CallExpr:
+			if calleeKind(pass, node) == "panic" {
+				return false // failure path: its formatting never runs hot
+			}
+			checkHotCall(pass, node)
+		}
+		return true
+	})
+}
+
+// capturedVars returns the names of variables a func literal captures from
+// its enclosing function (parameters, receiver, or locals declared outside
+// the literal), sorted for stable diagnostics.
+func capturedVars(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) []string {
+	seen := map[string]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		// Captured = declared inside the enclosing function but outside
+		// the literal. Package-level vars and the literal's own
+		// params/locals are not captures.
+		if pos >= fd.Pos() && pos < fd.End() && !(pos >= lit.Pos() && pos < lit.End()) {
+			seen[v.Name()] = true
+		}
+		return true
+	})
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.IsType() {
+		// Explicit conversion T(x).
+		if isInterface(tv.Type) && len(call.Args) == 1 {
+			reportBoxing(pass, call.Args[0], tv.Type)
+		}
+		return
+	}
+	if b, ok := pass.TypesInfo.Uses[calleeIdent(call)].(*types.Builtin); ok {
+		if b.Name() == "make" && len(call.Args) > 0 {
+			if mt, ok := pass.TypesInfo.Types[call.Args[0]]; ok && mt.Type != nil {
+				if _, isMap := mt.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(call.Pos(), "make(map) allocates on hot path")
+				}
+			}
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if isInterface(pt) {
+			reportBoxing(pass, arg, pt)
+		}
+	}
+}
+
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	}
+	return nil
+}
+
+// reportBoxing flags arg if converting it to the interface type dst would
+// heap-allocate: non-interface, non-pointer-shaped concrete values.
+func reportBoxing(pass *Pass, arg ast.Expr, dst types.Type) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return
+	}
+	t := tv.Type
+	if isInterface(t) || pointerShaped(t) {
+		return
+	}
+	pass.Reportf(arg.Pos(), "value of type %s converted to interface %s allocates on hot path (pass a pointer-shaped value instead)",
+		t.String(), dst.String())
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// pointerShaped reports whether a value of type t rides in an interface
+// word without allocating.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

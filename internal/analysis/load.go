@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Root marks a pattern-matched package (analyzers run on roots only;
+	// dependencies are loaded declarations-only to supply type info).
+	Root bool
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Loader resolves and type-checks packages without any dependency beyond
+// the go tool: `go list -e -json -deps` enumerates the build graph
+// (including the standard library), source files are parsed with go/parser,
+// and go/types checks them bottom-up. Root packages are checked with full
+// function bodies and a populated types.Info; dependencies are checked
+// declarations-only (IgnoreFuncBodies), which is all that resolving the
+// roots' types requires and keeps whole-tree runs fast.
+type Loader struct {
+	dir    string
+	fset   *token.FileSet
+	listed map[string]*listedPkg
+	pkgs   map[string]*Package
+}
+
+// Load lists, parses, and type-checks the packages matching patterns,
+// resolving relative patterns against dir. It returns the root packages in
+// deterministic (import-path) order.
+func Load(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
+	l := &Loader{
+		dir:    dir,
+		fset:   token.NewFileSet(),
+		listed: make(map[string]*listedPkg),
+		pkgs:   make(map[string]*Package),
+	}
+	if err := l.list(patterns); err != nil {
+		return nil, nil, err
+	}
+	var roots []*Package
+	// Deterministic processing order: diagnostics come out stable.
+	paths := make([]string, 0, len(l.listed))
+	for path, lp := range l.listed {
+		if !lp.DepOnly {
+			paths = append(paths, path)
+		}
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		pkg, err := l.check(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkg.Root = true
+		roots = append(roots, pkg)
+	}
+	return l.fset, roots, nil
+}
+
+// list runs `go list -e -json -deps` and indexes the result by import path.
+func (l *Loader) list(patterns []string) error {
+	args := append([]string{"list", "-e", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	dec := json.NewDecoder(out)
+	for {
+		var lp listedPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		l.listed[lp.ImportPath] = &lp
+	}
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	if len(l.listed) == 0 {
+		return fmt.Errorf("analysis: no packages matched %v", patterns)
+	}
+	return nil
+}
+
+// check type-checks one package (memoized), recursively checking imports.
+func (l *Loader) check(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	lp := l.listed[path]
+	if lp == nil {
+		return nil, fmt.Errorf("analysis: package %q not in build graph", path)
+	}
+	if lp.Error != nil && !lp.DepOnly {
+		return nil, fmt.Errorf("analysis: %s: %s", path, lp.Error.Err)
+	}
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if lp.DepOnly {
+				continue // tolerate unparseable dependency files (e.g. cgo)
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{Path: path, Dir: lp.Dir, Files: files}
+	// Install the (incomplete) entry before checking so import cycles in a
+	// broken tree fail with a types error instead of unbounded recursion.
+	l.pkgs[path] = pkg
+
+	var firstErr error
+	conf := types.Config{
+		Importer:         importerFunc(func(imp string) (*types.Package, error) { return l.resolve(lp, imp) }),
+		IgnoreFuncBodies: lp.DepOnly,
+		FakeImportC:      true,
+		Error: func(err error) {
+			// Dependencies (notably cgo-flavored stdlib) may not check
+			// cleanly from pure-Go source; their exported declarations
+			// still resolve, which is all the roots need.
+			if !lp.DepOnly && firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	if !lp.DepOnly {
+		pkg.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+	}
+	tpkg, err := conf.Check(path, l.fset, files, pkg.Info)
+	pkg.Types = tpkg
+	if !lp.DepOnly {
+		if firstErr != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %v", path, firstErr)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+		}
+	}
+	return pkg, nil
+}
+
+// resolve maps an import path seen in from's source to a checked package,
+// honoring go list's ImportMap (vendored stdlib).
+func (l *Loader) resolve(from *listedPkg, imp string) (*types.Package, error) {
+	if mapped, ok := from.ImportMap[imp]; ok {
+		imp = mapped
+	}
+	if imp == "unsafe" {
+		return types.Unsafe, nil
+	}
+	pkg, err := l.check(imp)
+	if err != nil {
+		return nil, err
+	}
+	if pkg.Types == nil {
+		return nil, fmt.Errorf("analysis: import %q produced no type information", imp)
+	}
+	return pkg.Types, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// RunAnalyzers applies each analyzer to each root package, collecting
+// diagnostics in (package, file:line) order.
+func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ResetComplete mechanizes DESIGN.md's reset rule — "any new per-run field
+// must be re-zeroed in reset" — for every struct with a Reset/reset method
+// (the arena lifecycle surface: Simulator, Controller, Collector,
+// NodeMemory, kvcache.Cache/Estimator, compute.Validator, and anything
+// added later).
+//
+// For each method named Reset or reset on a pointer-to-struct receiver
+// declared in the same package, every field of the struct must be handled
+// by the reset body or carry a //slinfer:resetsafe <reason> annotation. A
+// field is handled when the body (or any receiver method the body calls,
+// transitively) does one of:
+//
+//   - assigns through it (recv.F = x, recv.F[i] = x, recv.F.G = x, recv.F++)
+//   - replaces the whole receiver (*recv = T{...})
+//   - calls a method on it (recv.F.Reset(...))
+//   - passes it (or its address) to any call (clear(recv.F), copy, helpers)
+//   - takes its address (e := &recv.F[i] followed by mutation through e)
+//
+// Reads alone do not count: a field the reset body never touches is exactly
+// the bug class the PR 6 arena work had to hand-audit for.
+var ResetComplete = &Analyzer{
+	Name: "resetcomplete",
+	Doc:  "verify every struct field is re-zeroed, recycled, or annotated in Reset/reset methods",
+	Run:  runResetComplete,
+}
+
+func runResetComplete(pass *Pass) error {
+	// Index the package's type declarations and methods by receiver type.
+	structs := map[string]*ast.StructType{}
+	methods := map[string]map[string]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						structs[ts.Name.Name] = st
+					}
+				}
+			case *ast.FuncDecl:
+				if name, ok := recvTypeName(d); ok {
+					if methods[name] == nil {
+						methods[name] = map[string]*ast.FuncDecl{}
+					}
+					methods[name][d.Name.Name] = d
+				}
+			}
+		}
+	}
+
+	for typeName, ms := range methods {
+		reset := ms["Reset"]
+		if reset == nil {
+			reset = ms["reset"]
+		}
+		if reset == nil || reset.Body == nil {
+			continue
+		}
+		st := structs[typeName]
+		if st == nil {
+			continue // receiver is not a struct declared here
+		}
+		handled := map[string]bool{}
+		wholeRecv := false
+		visited := map[*ast.FuncDecl]bool{}
+		collectHandled(reset, ms, handled, &wholeRecv, visited)
+		if wholeRecv {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			if pr, ok := CommentPragma(field.Doc, "resetsafe"); ok {
+				if pr.Reason == "" {
+					pass.Reportf(field.Pos(), "//slinfer:resetsafe requires a reason")
+				}
+				continue
+			}
+			if pr, ok := CommentPragma(field.Comment, "resetsafe"); ok {
+				if pr.Reason == "" {
+					pass.Reportf(field.Pos(), "//slinfer:resetsafe requires a reason")
+				}
+				continue
+			}
+			for _, name := range fieldNames(field) {
+				if !handled[name] {
+					pass.Reportf(field.Pos(), "field %s.%s is not reset by (*%s).%s: assign or clear it there, or annotate //slinfer:resetsafe <reason>",
+						typeName, name, typeName, reset.Name.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// recvTypeName extracts the receiver's base type name from a method decl.
+func recvTypeName(d *ast.FuncDecl) (string, bool) {
+	if d.Recv == nil || len(d.Recv.List) != 1 {
+		return "", false
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Strip generic receiver type parameters.
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name, true
+	}
+	return "", false
+}
+
+// fieldNames lists a field declaration's names (the type name for embedded
+// fields).
+func fieldNames(f *ast.Field) []string {
+	if len(f.Names) > 0 {
+		names := make([]string, len(f.Names))
+		for i, n := range f.Names {
+			names[i] = n.Name
+		}
+		return names
+	}
+	t := f.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch e := t.(type) {
+	case *ast.Ident:
+		return []string{e.Name}
+	case *ast.SelectorExpr:
+		return []string{e.Sel.Name}
+	}
+	return nil
+}
+
+// collectHandled records which receiver fields fn's body handles, following
+// calls to sibling methods on the same receiver.
+func collectHandled(fn *ast.FuncDecl, methods map[string]*ast.FuncDecl, handled map[string]bool, wholeRecv *bool, visited map[*ast.FuncDecl]bool) {
+	if visited[fn] || fn.Body == nil {
+		return
+	}
+	visited[fn] = true
+	recv := ""
+	if names := fn.Recv.List[0].Names; len(names) == 1 {
+		recv = names[0].Name
+	}
+	if recv == "" || recv == "_" {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if star, ok := lhs.(*ast.StarExpr); ok {
+					if id, ok := star.X.(*ast.Ident); ok && id.Name == recv {
+						*wholeRecv = true // *recv = T{...} resets everything
+						continue
+					}
+				}
+				if name, ok := rootField(lhs, recv); ok {
+					handled[name] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if name, ok := rootField(s.X, recv); ok {
+				handled[name] = true
+			}
+		case *ast.UnaryExpr:
+			// &recv.F[i]: the address escapes to a local the body mutates
+			// through (the Simulator.Reset slot-bump pattern).
+			if s.Op == token.AND {
+				if name, ok := rootField(s.X, recv); ok {
+					handled[name] = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := s.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+					// recv.method(...): follow it.
+					if m := methods[sel.Sel.Name]; m != nil {
+						collectHandled(m, methods, handled, wholeRecv, visited)
+					}
+				} else if name, ok := rootField(sel.X, recv); ok {
+					// recv.F.Method(...): the field participates in the
+					// reset (e.g. c.Cluster.Reset(specs)).
+					handled[name] = true
+				}
+			}
+			for _, arg := range s.Args {
+				if u, ok := arg.(*ast.UnaryExpr); ok {
+					arg = u.X
+				}
+				if name, ok := rootField(arg, recv); ok {
+					// Passed to clear/copy/append/a helper for mutation.
+					handled[name] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rootField resolves an expression chain rooted at recv to its first field
+// selector: recv.F, recv.F[i].G, (*recv).F, recv.F[i] all yield F.
+func rootField(e ast.Expr, recv string) (string, bool) {
+	for {
+		switch t := e.(type) {
+		case *ast.SelectorExpr:
+			switch x := t.X.(type) {
+			case *ast.Ident:
+				if x.Name == recv {
+					return t.Sel.Name, true
+				}
+				return "", false
+			case *ast.ParenExpr:
+				if star, ok := x.X.(*ast.StarExpr); ok {
+					if id, ok := star.X.(*ast.Ident); ok && id.Name == recv {
+						return t.Sel.Name, true
+					}
+				}
+				e = t.X
+			default:
+				e = t.X
+			}
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		default:
+			return "", false
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Package hotpath exercises the hotpath analyzer: functions annotated
+// //slinfer:hotpath must not allocate closures, maps, or interface boxes.
+package hotpath
+
+import "fmt"
+
+func sink(v any)            {}
+func variadic(vs ...any)    {}
+func run(fn func())         { fn() }
+func runArg(fn func(v any)) {}
+
+type state struct{ n int }
+
+// clean is annotated and stays within the discipline: pointer-shaped
+// arguments ride in the interface word for free, non-capturing literals
+// allocate nothing per call, and panic formatting never runs hot.
+//
+//slinfer:hotpath
+func clean(s *state, xs []int) {
+	if s == nil {
+		panic(fmt.Sprintf("nil state with %d pending", len(xs)))
+	}
+	sink(s)   // pointer: no box
+	sink(nil) // untyped nil: no box
+	runArg(func(v any) { _ = v })
+	variadic(nil, s)
+}
+
+// capturing closes over its parameter.
+//
+//slinfer:hotpath
+func capturing(s *state) {
+	run(func() { s.n++ }) // want `capturing func literal on hot path \(captures s\)`
+}
+
+//slinfer:hotpath
+func mapAlloc(keys []string) int {
+	seen := map[string]bool{} // want `map literal allocates on hot path`
+	for _, k := range keys {
+		seen[k] = true
+	}
+	counts := make(map[string]int) // want `make\(map\) allocates on hot path`
+	return len(seen) + len(counts)
+}
+
+//slinfer:hotpath
+func boxing(n int, s *state) {
+	sink(n)              // want `value of type int converted to interface any allocates`
+	variadic(n, s)       // want `value of type int converted to interface any allocates`
+	_ = any(n)           // want `value of type int converted to interface any allocates`
+	sink(s)              // pointer-shaped: free
+	variadic([]any{}...) // slice passed through: no per-element boxing
+}
+
+// unannotated may do anything: the pragma marks the audited set.
+func unannotated(n int) {
+	sink(n)
+	run(func() { n++ })
+	_ = map[int]bool{}
+}

@@ -1,0 +1,94 @@
+// Package nodeterminism exercises the nodeterminism analyzer: wall clock,
+// global rand, and order-sensitive map iteration are banned in
+// simulation-semantic packages (testdata packages are always in scope).
+package nodeterminism
+
+import (
+	oldrand "math/rand" // want `import of math/rand in simulation-semantic package`
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now in simulation-semantic package`
+}
+
+func annotatedLine() time.Duration {
+	start := time.Now()      //slinfer:wallclock measures analyzer overhead only, never event times
+	return time.Since(start) //slinfer:wallclock diagnostic counter only
+}
+
+// annotatedFunc profiles itself; the pragma on the doc comment covers the
+// whole body.
+//
+//slinfer:wallclock overhead profiling helper, never reaches event times
+func annotatedFunc() time.Time {
+	return time.Now()
+}
+
+func globalRand() int {
+	_ = oldrand.Int()    // want `math/rand\.Int draws from the global rand source`
+	return rand.IntN(10) // want `math/rand/v2\.IntN draws from the global rand source`
+}
+
+func seededRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed+1)) // constructors are the sanctioned path
+}
+
+func orderedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map has ordered effects \(append`
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort: order-insensitive
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func earlyReturn(m map[string]int) (string, bool) {
+	for k, v := range m { // want `range over map has ordered effects \(early return`
+		if v > 0 {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `floating-point accumulation`
+		sum += v
+	}
+	return sum
+}
+
+func intSum(m map[string]int) int {
+	var sum int
+	for _, v := range m { // integer accumulation is order-free
+		sum += v
+	}
+	return sum
+}
+
+func pragmaRange(m map[string]float64) float64 {
+	var sum float64
+	//slinfer:maporder single-entry map by construction
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func drain(m map[string]int) {
+	for k := range m { // delete on the ranged map is order-free
+		delete(m, k)
+	}
+}

@@ -1,0 +1,121 @@
+// Package poolpair exercises the poolpair analyzer with a local pool shaped
+// like the core.Arena / memctl.Op lifecycle (detection is name-matched).
+package poolpair
+
+import "errors"
+
+type Arena struct{ n int }
+
+func (a *Arena) Release()  {}
+func (a *Arena) Work() int { return a.n }
+
+func AcquireArena() *Arena { return &Arena{} }
+
+type Op struct{ Kind int }
+
+type Mem struct{ free []*Op }
+
+func (m *Mem) AcquireOp() *Op     { return &Op{} }
+func (m *Mem) Demand(op *Op) bool { return true }
+func (m *Mem) ReleaseOp(op *Op)   {}
+
+var errBoom = errors.New("boom")
+
+func deferred() int {
+	a := AcquireArena()
+	defer a.Release()
+	return a.Work()
+}
+
+func deferredLit(done *bool) {
+	a := AcquireArena()
+	defer func() {
+		*done = true
+		a.Release()
+	}()
+	a.Work()
+}
+
+func directOnEveryPath(fail bool) error {
+	a := AcquireArena()
+	if fail {
+		a.Release()
+		return errBoom
+	}
+	a.Release()
+	return nil
+}
+
+func escapes() *Arena {
+	a := AcquireArena()
+	return a // handoff: the caller owns it now
+}
+
+type holder struct{ a *Arena }
+
+func stored() holder {
+	a := AcquireArena()
+	return holder{a: a} // stored in a struct: escaped
+}
+
+func leakyReturn(fail bool) error {
+	a := AcquireArena()
+	if fail {
+		return errBoom // want `may reach this return without Release`
+	}
+	a.Release()
+	return nil
+}
+
+func leakyEnd() {
+	a := AcquireArena() // want `may reach the end of the function without Release`
+	a.Work()
+}
+
+func discarded() {
+	_ = AcquireArena() // want `AcquireArena result discarded`
+}
+
+func annotated() *Arena {
+	a := AcquireArena() //slinfer:poolpair ownership recorded out of band in the registry
+	globalReg.a = a
+	return globalReg.a
+}
+
+var globalReg holder
+
+func opDemand(m *Mem) {
+	op := m.AcquireOp()
+	op.Kind = 1 // writes through the op are neutral
+	if !m.Demand(op) {
+		panic("rejected")
+	}
+}
+
+func opRejectedPath(m *Mem, risky bool) bool {
+	op := m.AcquireOp()
+	op.Kind = 2
+	if risky {
+		m.ReleaseOp(op)
+		return false
+	}
+	return m.Demand(op)
+}
+
+func opLeaky(m *Mem, fail bool) error {
+	op := m.AcquireOp()
+	op.Kind = 3
+	if fail {
+		return errBoom // want `may reach this return unconsumed`
+	}
+	m.Demand(op)
+	return nil
+}
+
+func opInLiteral(m *Mem) {
+	fn := func() {
+		op := m.AcquireOp() // want `may reach the end of the function unconsumed`
+		op.Kind = 4
+	}
+	fn()
+}

@@ -1,0 +1,72 @@
+// Package resetcomplete exercises the resetcomplete analyzer: every struct
+// field must be assigned, cleared, recycled, or annotated in Reset/reset.
+package resetcomplete
+
+// Complete handles every field: direct assignment, slice truncation, a
+// helper call, an address-taken slot mutation, and an annotation.
+type Complete struct {
+	n     int
+	buf   []int
+	slots []int
+	sub   inner
+	//slinfer:resetsafe immutable configuration bound at construction
+	cfg string
+}
+
+type inner struct{ v int }
+
+func (z *inner) Reset() { z.v = 0 }
+
+func (c *Complete) Reset() {
+	c.n = 0
+	c.buf = c.buf[:0]
+	for i := range c.slots {
+		p := &c.slots[i] // address-taken: mutation through p counts
+		*p = 0
+	}
+	c.sub.Reset()
+}
+
+// Transitive resets via a sibling method on the same receiver.
+type Transitive struct {
+	a int
+	b int
+}
+
+func (t *Transitive) reset() {
+	t.a = 0
+	t.finish()
+}
+
+func (t *Transitive) finish() { t.b = 0 }
+
+// Whole replaces the entire receiver, which covers every field.
+type Whole struct {
+	x int
+	y []int
+}
+
+func (w *Whole) Reset() {
+	keep := w.y[:0]
+	*w = Whole{y: keep}
+}
+
+// Leaky forgets two fields: one is only read, one is never mentioned.
+type Leaky struct {
+	used    int
+	onlyRed []int // want `field Leaky\.onlyRed is not reset`
+	missed  int   // want `field Leaky\.missed is not reset`
+}
+
+func (l *Leaky) Reset() {
+	l.used = 0
+	_ = l.onlyRed // a read alone does not reset
+}
+
+// NoReason has the annotation but no justification.
+type NoReason struct {
+	//slinfer:resetsafe
+	f int // want `resetsafe requires a reason`
+}
+
+func (n *NoReason) Reset() {}

@@ -87,6 +87,8 @@ func (e *Executor) RemoveInstance(inst *engine.Instance) bool {
 // Kick starts the next iteration if the executor is idle and work exists.
 // All state changes flow through OnDone, so controllers call Kick whenever
 // new work may have become available (arrivals, resize completions).
+//
+//slinfer:hotpath
 func (e *Executor) Kick() {
 	if e.busy || e.Pick == nil {
 		return
@@ -111,8 +113,11 @@ func (e *Executor) Kick() {
 
 // execDone is the iteration-completion trampoline: a plain function value,
 // so scheduling it allocates nothing.
+//
+//slinfer:hotpath
 func execDone(a any) { a.(*Executor).finishIteration() }
 
+//slinfer:hotpath
 func (e *Executor) finishIteration() {
 	w, dur := e.inflight, e.inflightDur
 	e.inflight, e.inflightDur = engine.Work{}, 0
@@ -143,6 +148,7 @@ type Node struct {
 	// 0 means unreserved.
 	ReservedBy int
 
+	//slinfer:resetsafe bound to the shared simulator for the node's lifetime
 	sim *sim.Simulator
 	// spare holds executor shells recycled at the last cluster Reset.
 	// Executors removed mid-run are NOT recycled: their completion event may

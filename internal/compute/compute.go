@@ -15,6 +15,8 @@ import (
 // PickMinHeadroom implements the token-level scheduling cycle: across the
 // executor's instances, run the iteration whose driving request has the
 // least headroom (Figure 14). ok is false when nothing is runnable.
+//
+//slinfer:hotpath
 func PickMinHeadroom(insts []*engine.Instance, now sim.Time) (best engine.Work, ok bool) {
 	var bestH sim.Duration
 	for _, inst := range insts {
@@ -31,6 +33,8 @@ func PickMinHeadroom(insts []*engine.Instance, now sim.Time) (best engine.Work, 
 
 // PickFIFO is the ablation alternative: serve instances round-robin-by-order
 // with prefill priority, ignoring headroom.
+//
+//slinfer:hotpath
 func PickFIFO(insts []*engine.Instance, now sim.Time) (engine.Work, bool) {
 	for _, inst := range insts {
 		if !inst.HasWork() {
@@ -168,11 +172,23 @@ func NewValidator() *Validator {
 }
 
 // Reset rebinds a recycled validator's tuning and zeroes its outcome
-// counters for a new run, keeping the scratch storage. Reused controllers
-// must call this or ValidationCount accumulates across runs.
+// counters for a new run, keeping the scratch capacity (but dropping the
+// stale profiles and request views its backing arrays still pin). Reused
+// controllers must call this or ValidationCount accumulates across runs.
 func (v *Validator) Reset(overestimate float64, decodeRounds, maxSteps int) {
 	v.Overestimate, v.DecodeRounds, v.MaxSteps = overestimate, decodeRounds, maxSteps
 	v.Validations, v.Rejections = 0, 0
+	v.projScratch = wipe(v.projScratch)
+	v.reqScratch = wipe(v.reqScratch)
+	v.roundsScratch = wipe(v.roundsScratch)
+}
+
+// wipe zeroes a scratch slice's full backing array and returns the empty
+// prefix for reuse.
+func wipe[T any](s []T) []T {
+	s = s[:cap(s)]
+	clear(s)
+	return s[:0]
 }
 
 // Validate virtually adds newReq to insts[candIdx] and simulates the

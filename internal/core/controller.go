@@ -33,6 +33,10 @@ type Controller struct {
 	models     map[string]model.Model
 	estimators map[string]*kvcache.Estimator
 	instances  map[string][]*engine.Instance
+	// modelOrder pins registration order so every walk over the model
+	// tables (reset retirement, sampler ticks) is deterministic; ranging
+	// the maps directly would randomize recycling and sample order.
+	modelOrder []string
 
 	// elasticExecs maps node index to its shared executor (Elastic mode).
 	elasticExecs map[int]*cluster.Executor
@@ -62,14 +66,11 @@ type Controller struct {
 	samplerPeriod sim.Duration
 
 	// Pre-bound hot-path callbacks (one closure each for the controller's
-	// lifetime); scheduled via sim.AtFunc/AfterFunc so the per-event closure
-	// allocation disappears from the hot path.
-	fnArrival   func(any)
-	fnDrop      func(any)
-	fnReclaim   func(any)
-	fnPD        func(any)
-	fnSampler   func(any)
-	fnKeepAlive func(any)
+	// lifetime, reused verbatim across arena resets); scheduled via
+	// sim.AtFunc/AfterFunc so the per-event closure allocation disappears
+	// from the hot path.
+	//slinfer:resetsafe pre-bound for the controller lifetime; reset reuses them unchanged
+	fnArrival, fnDrop, fnReclaim, fnPD, fnSampler, fnKeepAlive func(any)
 
 	rng          *sim.RNG
 	noiseStreams int
@@ -100,6 +101,7 @@ type Controller struct {
 	spareEsts  []*kvcache.Estimator
 
 	// host is the policy.Host view policies call back through.
+	//slinfer:resetsafe stable self-reference wired at construction; carries no per-run state
 	host hostView
 	// pick is the iteration-scheduling function wired into executors.
 	pick func([]*engine.Instance, sim.Time) (engine.Work, bool)
@@ -153,8 +155,7 @@ func (c *Controller) finishSetup(models []model.Model) {
 		c.pick = compute.PickMinHeadroom
 	}
 	for _, m := range models {
-		c.models[m.Name] = m
-		c.estimators[m.Name] = c.newEstimator(m)
+		c.RegisterModel(m)
 	}
 	if c.Cfg.Sharing == Elastic {
 		for _, n := range c.Cluster.Nodes {
@@ -185,16 +186,19 @@ func (c *Controller) reset(specs []hwsim.NodeSpec, models []model.Model, cfg Con
 	c.Collector.Reset()
 	c.Validator.Reset(cfg.Overestimate, 3, 600)
 	// Retire the surviving instances (and every model's estimator) into the
-	// spare pools before clearing the tables.
-	for _, list := range c.instances {
-		for _, inst := range list {
+	// spare pools before clearing the tables, walking models in
+	// registration order so the spare pools refill deterministically and
+	// the next run's recycled shells come back in a reproducible order.
+	for _, name := range c.modelOrder {
+		for _, inst := range c.instances[name] {
 			inst.Recycle()
 			c.spareInsts = append(c.spareInsts, inst)
 		}
+		if est := c.estimators[name]; est != nil {
+			c.spareEsts = append(c.spareEsts, est)
+		}
 	}
-	for _, est := range c.estimators {
-		c.spareEsts = append(c.spareEsts, est)
-	}
+	c.modelOrder = c.modelOrder[:0]
 	clear(c.models)
 	clear(c.estimators)
 	clear(c.instances)
@@ -217,6 +221,12 @@ func (c *Controller) reset(specs []hwsim.NodeSpec, models []model.Model, cfg Con
 	clear(c.routeCPU)
 	clear(c.routeGPU)
 	c.routeScratch, c.routeCPU, c.routeGPU = c.routeScratch[:0], c.routeCPU[:0], c.routeGPU[:0]
+	// The admission scratch buffers rest at length 0 but their backing
+	// arrays still pin last run's profiles and requests; wipe to capacity.
+	c.viewScratch = clearScratch(c.viewScratch)
+	c.reqViewScratch = clearScratch(c.reqViewScratch)
+	c.kvStateScratch = clearScratch(c.kvStateScratch)
+	c.retryScratch = clearScratch(c.retryScratch)
 	c.retrying = false
 	c.arrivals, c.arrIdx = nil, 0
 	c.externalArrivals = false
@@ -251,10 +261,23 @@ func (c *Controller) takeInstance() *engine.Instance {
 	return &engine.Instance{}
 }
 
-// RegisterModel adds a hosted model after construction.
+// RegisterModel adds a hosted model (at construction via finishSetup, or
+// after it) and records its place in the deterministic walk order;
+// re-registration keeps the original slot.
 func (c *Controller) RegisterModel(m model.Model) {
+	if _, known := c.models[m.Name]; !known {
+		c.modelOrder = append(c.modelOrder, m.Name)
+	}
 	c.models[m.Name] = m
 	c.estimators[m.Name] = c.newEstimator(m)
+}
+
+// clearScratch wipes a scratch slice's full backing array (dropping any
+// pointers it pins) and returns the empty prefix for reuse.
+func clearScratch[T any](s []T) []T {
+	s = s[:cap(s)]
+	clear(s)
+	return s[:0]
 }
 
 // Run replays a trace to completion (plus drain grace) and returns the
@@ -535,7 +558,7 @@ func (c *Controller) endViews(views []compute.InstView, rbuf []compute.ReqView) 
 func (c *Controller) validateOnExecutor(ex *cluster.Executor, cand *engine.Instance, rv compute.ReqView, tpot sim.Duration, candBlock sim.Duration) bool {
 	var start time.Time
 	if c.Cfg.MeasureOverhead {
-		start = time.Now()
+		start = time.Now() //slinfer:wallclock MeasureOverhead-gated validator profiling; feeds only Collector.ValidationNs, never event times
 	}
 	views, rbuf := c.beginViews(ex)
 	candIdx := -1
@@ -567,7 +590,7 @@ func (c *Controller) validateOnExecutor(ex *cluster.Executor, cand *engine.Insta
 	got := c.Validator.Validate(c.Sim.Now(), busyUntil, views, candIdx, rv, tpot)
 	c.endViews(views, rbuf)
 	if c.Cfg.MeasureOverhead {
-		c.Collector.ValidationNs += time.Since(start).Nanoseconds()
+		c.Collector.ValidationNs += time.Since(start).Nanoseconds() //slinfer:wallclock diagnostic overhead counter only
 	}
 	return got == compute.OK
 }
@@ -580,7 +603,7 @@ func (c *Controller) validateNewInstanceOn(ex *cluster.Executor, prof *perfmodel
 	rv.Deadline = rv.Deadline.Add(loadDur) // cold-start grace
 	var start time.Time
 	if c.Cfg.MeasureOverhead {
-		start = time.Now()
+		start = time.Now() //slinfer:wallclock MeasureOverhead-gated validator profiling; feeds only Collector.ValidationNs, never event times
 	}
 	views, rbuf := c.beginViews(ex)
 	for _, other := range ex.Instances {
@@ -606,7 +629,7 @@ func (c *Controller) validateNewInstanceOn(ex *cluster.Executor, prof *perfmodel
 	got := c.Validator.Validate(c.Sim.Now(), busyUntil, views, candIdx, rv, req.Obj.TPOT)
 	c.endViews(views, rbuf)
 	if c.Cfg.MeasureOverhead {
-		c.Collector.ValidationNs += time.Since(start).Nanoseconds()
+		c.Collector.ValidationNs += time.Since(start).Nanoseconds() //slinfer:wallclock diagnostic overhead counter only
 	}
 	return got == compute.OK
 }

@@ -20,9 +20,9 @@ import (
 func (c *Controller) wireExecutor(ex *cluster.Executor) {
 	if c.Cfg.MeasureOverhead {
 		ex.Pick = func(e *cluster.Executor) (engine.Work, bool) {
-			start := time.Now()
+			start := time.Now() //slinfer:wallclock MeasureOverhead-gated scheduler profiling; feeds only Collector.ScheduleNs, never event times
 			w, ok := c.pick(e.Instances, c.Sim.Now())
-			c.Collector.ScheduleNs += time.Since(start).Nanoseconds()
+			c.Collector.ScheduleNs += time.Since(start).Nanoseconds() //slinfer:wallclock diagnostic overhead counter only
 			c.Collector.ScheduleCount++
 			return w, ok
 		}
@@ -49,6 +49,8 @@ func (c *Controller) wireExecutor(ex *cluster.Executor) {
 
 // onIterationDone applies an iteration's effects: token emission, request
 // completion, KV growth, and follow-up scheduling.
+//
+//slinfer:hotpath
 func (c *Controller) onIterationDone(ex *cluster.Executor, w engine.Work, dur sim.Duration) {
 	now := c.Sim.Now()
 	inst := w.Inst
@@ -85,6 +87,8 @@ func (c *Controller) onIterationDone(ex *cluster.Executor, w engine.Work, dur si
 }
 
 // completeRequest finalizes one finished request.
+//
+//slinfer:hotpath
 func (c *Controller) completeRequest(req *engine.Request, inst *engine.Instance) {
 	est := c.estimators[req.W.ModelName]
 	est.Observe(req.W.OutputLen)
@@ -685,13 +689,17 @@ func (c *Controller) scheduleSampler(period sim.Duration) {
 // workload is provably finished (no arrivals left, every request terminal,
 // no instances): from that point no tick could record a sample, so cutting
 // the chain is observationally identical.
+//
+//slinfer:hotpath
 func (c *Controller) samplerTick() {
 	if c.Sim.Now() > c.traceEnd || c.workloadDrained() {
 		c.samplerEv = sim.Event{}
 		return
 	}
-	for _, list := range c.instances {
-		for _, inst := range list {
+	// Walk models in registration order: samples land in the collector in
+	// iteration order, so ranging the map would shuffle them run-to-run.
+	for _, name := range c.modelOrder {
+		for _, inst := range c.instances[name] {
 			if inst.State != engine.Active {
 				continue
 			}

@@ -297,6 +297,8 @@ type Work struct {
 // the batch's decode. ok is false when the instance has no runnable work.
 // Work travels by value — the scheduler runs every simulated iteration
 // through here, and a per-probe heap allocation dominated its profile.
+//
+//slinfer:hotpath
 func (i *Instance) NextWork(now sim.Time) (w Work, headroom sim.Duration, ok bool) {
 	if !i.HasWork() {
 		return Work{}, 0, false
@@ -372,6 +374,8 @@ func (i *Instance) RemoveRunning(r *Request) bool {
 // recomputes the full context — prompt plus already-generated tokens — and
 // produces the next one. It reports whether the KV tokens fit; on false the
 // caller must handle the underestimation path before retrying.
+//
+//slinfer:hotpath
 func (i *Instance) CompletePrefill(r *Request, now sim.Time) bool {
 	// Context tokens plus the newly generated one.
 	tokens := int64(r.ContextTokens()) + 1
@@ -418,6 +422,8 @@ func (i *Instance) JoinDecode(r *Request) bool {
 // The returned slice is scratch storage reused by the next CompleteDecode
 // call on this instance; callers must finish with it before the instance
 // runs another decode iteration (one allocation per iteration otherwise).
+//
+//slinfer:hotpath
 func (i *Instance) CompleteDecode(now sim.Time) (finished []*Request, underestimated bool) {
 	if len(i.Running) == 0 {
 		return nil, false

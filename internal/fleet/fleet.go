@@ -217,6 +217,8 @@ func newShard(cfg Config, i int) *shard {
 }
 
 // enqueue schedules one routed arrival on the shard's simulator.
+//
+//slinfer:hotpath
 func (sd *shard) enqueue(r workload.Request) {
 	sd.routed++
 	arg := new(workload.Request)

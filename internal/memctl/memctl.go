@@ -109,6 +109,7 @@ type Observer interface {
 
 // NodeMemory orchestrates the memory of one node (one device).
 type NodeMemory struct {
+	//slinfer:resetsafe bound to the shared simulator for the ledger's lifetime
 	sim      *sim.Simulator
 	name     string
 	capacity int64
@@ -119,10 +120,11 @@ type NodeMemory struct {
 	optimistic  int64
 	pessimistic int64
 
-	station []*Op  // reservation station: admitted scale-ups awaiting safety
-	spare   []*Op  // ping-pong buffer for drainStation rebuilds
-	free    []*Op  // recycled pooled ops (see AcquireOp)
-	batch   *Batch // per-node reusable step batch (see StepBatch)
+	station []*Op // reservation station: admitted scale-ups awaiting safety
+	//slinfer:resetsafe drainStation ping-pong scratch, invariantly empty between drains
+	spare []*Op  // ping-pong buffer for drainStation rebuilds
+	free  []*Op  // recycled pooled ops (see AcquireOp)
+	batch *Batch // per-node reusable step batch (see StepBatch)
 
 	// drainStation reentrancy: a completion cascade that frees more bytes
 	// while a drain is in progress requests another pass instead of nesting.
@@ -174,6 +176,8 @@ func (nm *NodeMemory) Reset(name string, capacity int64) {
 // retain a pooled Op past its completion (the slot is reused); an op whose
 // Demand was rejected stays with the caller for retry — hand it back with
 // ReleaseOp if the retry is abandoned.
+//
+//slinfer:hotpath
 func (nm *NodeMemory) AcquireOp() *Op {
 	if n := len(nm.free); n > 0 {
 		op := nm.free[n-1]
@@ -204,6 +208,8 @@ func (nm *NodeMemory) StepBatch() *Batch {
 
 // recycle returns a finished pooled op to the free-list; non-pooled ops
 // (caller-owned &Op{} literals) pass through untouched.
+//
+//slinfer:hotpath
 func (nm *NodeMemory) recycle(op *Op) {
 	if op == nil || !op.pooled {
 		return
@@ -264,6 +270,8 @@ func (nm *NodeMemory) CanAdmit(delta int64) bool {
 // performs no accounting — when a scale-up exceeds the optimistic budget;
 // the caller may retry with a compromised (smaller) size per §VII-D.
 // Scale-downs are always admitted.
+//
+//slinfer:hotpath
 func (nm *NodeMemory) Demand(op *Op) bool {
 	delta := op.To - op.From
 	if delta > 0 && nm.optimistic+delta > nm.capacity {
@@ -296,6 +304,8 @@ func (nm *NodeMemory) Demand(op *Op) bool {
 
 // execute starts an operation: pessimistic charges the peak of (from, to)
 // for its duration; physical moves at completion.
+//
+//slinfer:hotpath
 func (nm *NodeMemory) execute(op *Op) {
 	op.started = true
 	nm.opsStarted++
@@ -318,6 +328,8 @@ func (nm *NodeMemory) execute(op *Op) {
 
 // opComplete is the op-completion trampoline (a plain function value —
 // scheduling it allocates nothing).
+//
+//slinfer:hotpath
 func opComplete(a any) {
 	op := a.(*Op)
 	op.nm.complete(op)
@@ -326,6 +338,8 @@ func opComplete(a any) {
 // complete finishes an operation: pessimistic frees at completion for
 // scale-downs, then OnComplete cascades and the station drains. Pooled ops
 // return to the free-list afterwards.
+//
+//slinfer:hotpath
 func (nm *NodeMemory) complete(op *Op) {
 	delta := op.To - op.From
 	nm.opsCompleted++
@@ -353,6 +367,8 @@ func (nm *NodeMemory) complete(op *Op) {
 // into a scratch buffer before scanning, so reentrant Demand calls append to
 // the live (rebuilding) station and are preserved, and a reentrant drain
 // request just schedules another pass on the outer call instead of nesting.
+//
+//slinfer:hotpath
 func (nm *NodeMemory) drainStation() {
 	if nm.draining {
 		nm.redrain = true

@@ -3,6 +3,7 @@ package scenario
 import (
 	"bytes"
 	"fmt"
+	"sort"
 
 	"slinfer/internal/experiments"
 	"slinfer/internal/sim"
@@ -134,9 +135,16 @@ func sameRequests(a, b workload.Trace) error {
 	if len(a.RPM) != len(b.RPM) {
 		return fmt.Errorf("RPM map size %d != %d", len(a.RPM), len(b.RPM))
 	}
-	for name, v := range a.RPM {
-		if b.RPM[name] != v {
-			return fmt.Errorf("RPM[%s] %v != %v", name, v, b.RPM[name])
+	// Sorted keys so a multi-entry mismatch reports the same offender every
+	// run (map order would pick one at random).
+	names := make([]string, 0, len(a.RPM))
+	for name := range a.RPM {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if b.RPM[name] != a.RPM[name] {
+			return fmt.Errorf("RPM[%s] %v != %v", name, a.RPM[name], b.RPM[name])
 		}
 	}
 	return nil

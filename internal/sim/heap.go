@@ -60,6 +60,8 @@ func entryLess(a, b heapEntry) bool {
 }
 
 // push enqueues the event in arena slot sl and restores the heap property.
+//
+//slinfer:hotpath
 func (s *Simulator) push(sl int32) {
 	e := &s.slots[sl]
 	e.index = int32(len(s.queue))
@@ -72,6 +74,8 @@ func (s *Simulator) push(sl int32) {
 // per level — no early-exit compare), then the displaced last leaf drops
 // into the hole and sifts up; leaves nearly always stay at the bottom, so
 // the up pass is usually a single compare.
+//
+//slinfer:hotpath
 func (s *Simulator) pop() int32 {
 	q := s.queue
 	slots := s.slots
@@ -112,6 +116,8 @@ func (s *Simulator) pop() int32 {
 }
 
 // remove deletes the event at heap position i (Cancel's eager removal).
+//
+//slinfer:hotpath
 func (s *Simulator) remove(i int) {
 	q := s.queue
 	n := len(q) - 1
@@ -128,6 +134,7 @@ func (s *Simulator) remove(i int) {
 	}
 }
 
+//slinfer:hotpath
 func (s *Simulator) siftUp(i int) {
 	q := s.queue
 	slots := s.slots
@@ -147,6 +154,8 @@ func (s *Simulator) siftUp(i int) {
 
 // siftDown restores the heap downward from i with the classic early-exit
 // walk; remove uses it for arbitrary positions (pop has its own hole-sift).
+//
+//slinfer:hotpath
 func (s *Simulator) siftDown(i int) {
 	q := s.queue
 	slots := s.slots

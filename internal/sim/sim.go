@@ -116,6 +116,8 @@ func (h Event) At() Time {
 // The event is removed from the queue eagerly: long runs that cancel many
 // drop/keep-alive timers do not accumulate dead entries in the heap, and
 // Pending stays an O(1) read.
+//
+//slinfer:hotpath
 func (h Event) Cancel() bool {
 	e := h.ev()
 	if e == nil || e.canceled || e.index < 0 {
@@ -171,6 +173,8 @@ func (s *Simulator) Pending() int { return len(s.queue) }
 
 // alloc takes an arena slot from the free-list (bumping its generation so
 // stale handles die) or extends the arena.
+//
+//slinfer:hotpath
 func (s *Simulator) alloc() int32 {
 	if n := len(s.pool); n > 0 {
 		sl := s.pool[n-1]
@@ -184,6 +188,7 @@ func (s *Simulator) alloc() int32 {
 	return int32(len(s.slots) - 1)
 }
 
+//slinfer:hotpath
 func (s *Simulator) schedule(t Time, fn func(), fn1 func(any), arg any) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
@@ -202,11 +207,15 @@ func (s *Simulator) schedule(t Time, fn func(), fn1 func(any), arg any) Event {
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it would silently reorder causality and every caller bug we have seen
 // manifests this way.
+//
+//slinfer:hotpath
 func (s *Simulator) At(t Time, fn func()) Event {
 	return s.schedule(t, fn, nil, nil)
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
+//
+//slinfer:hotpath
 func (s *Simulator) After(d Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
@@ -219,12 +228,16 @@ func (s *Simulator) After(d Duration, fn func()) Event {
 // once (at construction) and schedule without allocating a closure per
 // event: the argument rides inside the pooled event. Passing a pointer (or
 // any pointer-shaped value) as arg does not allocate.
+//
+//slinfer:hotpath
 func (s *Simulator) AtFunc(t Time, fn func(arg any), arg any) Event {
 	return s.schedule(t, nil, fn, arg)
 }
 
 // AfterFunc schedules fn(arg) to run d after the current time; see AtFunc.
 // Negative d panics.
+//
+//slinfer:hotpath
 func (s *Simulator) AfterFunc(d Duration, fn func(arg any), arg any) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
@@ -262,6 +275,8 @@ func (s *Simulator) Reset() {
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It returns false when no events remain. Cancelled events
 // were already removed by Cancel, so whatever is popped is live.
+//
+//slinfer:hotpath
 func (s *Simulator) Step() bool {
 	if len(s.queue) == 0 {
 		return false
