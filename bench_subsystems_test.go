@@ -15,6 +15,7 @@ import (
 	"slinfer/internal/core"
 	"slinfer/internal/experiments"
 	"slinfer/internal/fleet"
+	"slinfer/internal/kvcache"
 	"slinfer/internal/memctl"
 	"slinfer/internal/model"
 	"slinfer/internal/scenario"
@@ -154,6 +155,52 @@ func BenchmarkSub_ScenarioCell(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// BenchmarkSub_PrefixLookup measures tiered prefix-store throughput on a
+// steady-state chat-shaped key population: sessions insert their growing
+// prefixes and look them up next turn, with tier capacities tight enough
+// that the GPU tier continuously spills to the CPU tier and hits promote
+// back. The hitrate metric keeps the measured regime honest — a workload
+// drifting to all-miss (or all-hit in GPU) would make the ns/op
+// incomparable across runs.
+func BenchmarkSub_PrefixLookup(b *testing.B) {
+	const (
+		sessions = 64
+		turns    = 8
+		perTok   = int64(1 << 19) // ~0.5 MiB/token, 7B-class
+	)
+	cfg := kvcache.TieredConfig{
+		Enabled:  true,
+		GPUBytes: 2048 * 16 * perTok, // ~2k tokens of GPU tier: forces spill
+		CPUBytes: 8192 * 16 * perTok,
+	}.WithDefaults()
+	ts := kvcache.NewTieredStore(cfg)
+	keys := make([]string, sessions)
+	for s := range keys {
+		keys[s] = fmt.Sprintf("tpl%d@256/sess%d", s%4, s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var lookups, hitTok, totTok int64
+	for i := 0; i < b.N; i++ {
+		ts.Reset(cfg)
+		for turn := 1; turn <= turns; turn++ {
+			for s := 0; s < sessions; s++ {
+				tokens := 256 + turn*192
+				hit, _ := ts.Lookup("bench-model", keys[s], tokens, perTok)
+				lookups++
+				hitTok += int64(hit)
+				totTok += int64(tokens)
+				ts.Insert("bench-model", keys[s], tokens, perTok)
+			}
+		}
+		if !ts.Ledger.Conserved() {
+			b.Fatal("tier ledger out of conservation")
+		}
+	}
+	b.ReportMetric(float64(lookups)/b.Elapsed().Seconds(), "lookups/s")
+	b.ReportMetric(float64(hitTok)/float64(totTok), "hitrate")
 }
 
 // BenchmarkSub_FleetEpoch measures epoch-synchronized co-simulation

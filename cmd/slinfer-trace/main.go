@@ -9,6 +9,7 @@
 //
 //	slinfer-trace -models 64 -minutes 30 -dataset AzureConv
 //	slinfer-trace -models 64 -burstgpt -rps 2
+//	slinfer-trace -models 4 -chat -minutes 10 -o chat.jsonl
 //	slinfer-trace -models 16 -minutes 5 -o trace.jsonl -base llama-2-7b
 package main
 
@@ -30,12 +31,18 @@ func main() {
 	dataset := flag.String("dataset", "AzureConv", "AzureConv|AzureCode|HumanEval|ShareGPT|LongBench")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	burst := flag.Bool("burstgpt", false, "generate a BurstGPT-style trace instead")
+	chat := flag.Bool("chat", false, "generate a multi-turn chat trace (requests carry prefix keys for the tiered prefix store)")
+	sessions := flag.Int("sessions", 0, "chat mode: concurrent conversation sessions (0 = default)")
 	rps := flag.Float64("rps", 1, "aggregate RPS (BurstGPT mode)")
 	out := flag.String("o", "", "save the trace as JSONL to this path (round-trip verified)")
 	base := flag.String("base", model.Llama2_7B.Name,
 		"catalog model recorded as the trace's base identity (used by replay)")
 	flag.Parse()
 
+	if *chat && *burst {
+		fmt.Fprintln(os.Stderr, "-chat and -burstgpt are mutually exclusive")
+		os.Exit(2)
+	}
 	ds, ok := workload.DatasetByName(*dataset)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
@@ -63,13 +70,20 @@ func main() {
 	}
 	var tr workload.Trace
 	generator := "azure"
-	if *burst {
+	switch {
+	case *chat:
+		generator = "chat"
+		tr = workload.GenerateChat(workload.ChatConfig{
+			ModelNames: names, Duration: sim.Duration(*minutes) * sim.Minute,
+			Sessions: *sessions, Dataset: ds, Seed: *seed, MaxInput: maxInput,
+		})
+	case *burst:
 		generator = "burstgpt"
 		tr = workload.GenerateBurstGPT(workload.BurstGPTConfig{
 			ModelNames: names, Duration: sim.Duration(*minutes) * sim.Minute,
 			RPS: *rps, Dataset: ds, Seed: *seed, MaxInput: maxInput,
 		})
-	} else {
+	default:
 		tr = workload.Generate(workload.TraceConfig{
 			ModelNames: names, Duration: sim.Duration(*minutes) * sim.Minute,
 			Dataset: ds, Seed: *seed, MaxInput: maxInput,

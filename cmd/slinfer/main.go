@@ -25,10 +25,16 @@
 // Fleet replay (-shards N > 1) runs the trace through N controller shards
 // — each a -cpu/-gpu testbed of its own — behind the front door
 // (internal/fleet): -routing picks the routing policy (rr, least,
-// affinity), -admit-limit > 0 sheds past that many outstanding requests
-// per active shard, and -epoch sets the co-simulation window. The output
-// is the merged canonical report plus one summary line per shard; it is
-// byte-identical across runs and across -parallel settings.
+// affinity, kvaffinity), -admit-limit > 0 sheds past that many outstanding
+// requests per active shard, and -epoch sets the co-simulation window. The
+// output is the merged canonical report plus one summary line per shard; it
+// is byte-identical across runs and across -parallel settings.
+//
+// -prefix overlays the tiered prefix-sharing KV store onto the chosen
+// system (GPU tier sized by -prefix-gpu-mb, host spill tier by
+// -prefix-cpu-mb, token-block granularity by -prefix-block; zero keeps the
+// defaults). It only changes behavior on traces whose requests carry
+// prefix keys — record one with slinfer-trace -gen chat.
 package main
 
 import (
@@ -42,6 +48,7 @@ import (
 	"slinfer/internal/baseline"
 	"slinfer/internal/experiments"
 	"slinfer/internal/fleet"
+	"slinfer/internal/kvcache"
 	"slinfer/internal/model"
 	"slinfer/internal/sim"
 	"slinfer/internal/workload/traceio"
@@ -59,22 +66,36 @@ func main() {
 	cpus := flag.Int("cpu", 4, "replay testbed CPU nodes")
 	gpus := flag.Int("gpu", 4, "replay testbed GPU nodes")
 	shards := flag.Int("shards", 1, "fleet replay: number of controller shards (each a -cpu/-gpu testbed)")
-	routing := flag.String("routing", "rr", "fleet routing policy: rr|least|affinity")
+	routing := flag.String("routing", "rr", "fleet routing policy: rr|least|affinity|kvaffinity")
 	admitLimit := flag.Int("admit-limit", 0, "fleet admission: shed past this many outstanding requests per active shard (0 = accept all)")
 	epoch := flag.Float64("epoch", 0, "fleet co-simulation epoch in seconds (0 = default 5s)")
+	prefix := flag.Bool("prefix", false, "enable the tiered prefix-sharing KV store on the chosen system")
+	prefixGPU := flag.Int64("prefix-gpu-mb", 0, "prefix store GPU tier capacity in MiB (0 = default 4096)")
+	prefixCPU := flag.Int64("prefix-cpu-mb", 0, "prefix store host spill tier capacity in MiB (0 = default 4x GPU, negative disables the host tier)")
+	prefixBlock := flag.Int("prefix-block", 0, "prefix store token-block granularity (0 = default 16)")
 	flag.Parse()
+
+	pcache := kvcache.TieredConfig{
+		Enabled:     *prefix,
+		GPUBytes:    *prefixGPU << 20,
+		CPUBytes:    *prefixCPU << 20,
+		BlockTokens: *prefixBlock,
+	}
+	if *prefixCPU < 0 {
+		pcache.CPUBytes = -1 // negative MiB: no host tier at all
+	}
 
 	if *shards > 1 {
 		if *trace == "" {
 			fmt.Fprintln(os.Stderr, "-shards needs -trace (record one with slinfer-trace -o)")
 			os.Exit(2)
 		}
-		runFleet(*trace, *system, *baseName, *cpus, *gpus, *shards, *routing, *admitLimit, *epoch, *par)
+		runFleet(*trace, *system, *baseName, *cpus, *gpus, *shards, *routing, *admitLimit, *epoch, *par, pcache)
 		return
 	}
 
 	if *trace != "" {
-		opt := experiments.ReplayOptions{System: *system, CPUNodes: *cpus, GPUNodes: *gpus}
+		opt := experiments.ReplayOptions{System: *system, CPUNodes: *cpus, GPUNodes: *gpus, PrefixCache: pcache}
 		if *baseName != "" {
 			base, ok := model.ByName(*baseName)
 			if !ok {
@@ -136,7 +157,7 @@ func main() {
 
 // runFleet replays a saved trace through an N-shard fleet and prints the
 // merged canonical report plus a per-shard breakdown.
-func runFleet(path, system, baseName string, cpus, gpus, shards int, routing string, admitLimit int, epochSec float64, workers int) {
+func runFleet(path, system, baseName string, cpus, gpus, shards int, routing string, admitLimit int, epochSec float64, workers int, pcache kvcache.TieredConfig) {
 	tr, meta, err := traceio.LoadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
@@ -155,6 +176,12 @@ func runFleet(path, system, baseName string, cpus, gpus, shards int, routing str
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown system %q\n", system)
 		os.Exit(2)
+	}
+	if pcache.Enabled {
+		if !strings.HasSuffix(cfg.Name, "+prefix") {
+			cfg.Name = cfg.Name + "+prefix"
+		}
+		cfg.PrefixCache = pcache
 	}
 	route, err := fleet.RoutingByName(routing)
 	if err != nil {

@@ -1,0 +1,69 @@
+// Prefixcache: the tiered prefix-sharing KV store on a multi-turn chat
+// workload. Chat sessions resend a shared system-prompt template plus their
+// growing conversation history on every turn, so most prompt bytes have
+// been prefilled before. With Config.PrefixCache enabled the controller
+// indexes completed prefills by token-block hash chains in a GPU tier that
+// spills to host memory, and each admission serves the longest cached
+// prefix — recomputing only the suffix. The example runs the same trace
+// with sharing off and on, then routes it through a fleet where KV-affinity
+// routing keeps sessions on the shard already holding their prefix.
+package main
+
+import (
+	"fmt"
+
+	"slinfer"
+)
+
+func main() {
+	models := slinfer.Replicas(slinfer.Llama2_7B, 4)
+	cluster := slinfer.Testbed(2, 2)
+	trace := slinfer.ChatTrace(models, 6, 42) // 6 minutes of chat sessions
+
+	// Same trace, sharing off vs on. The prefix store is off by default on
+	// every preset, so the baseline run is exactly stock SLINFER.
+	base := slinfer.Run(slinfer.SLINFER(), cluster, models, trace)
+	shared := slinfer.Run(slinfer.WithPrefixCache(slinfer.SLINFER()), cluster, models, trace)
+
+	fmt.Printf("%-16s ttft p50=%.3fs p95=%.3fs slo=%.3f completed=%d\n",
+		base.System, base.TTFTP50, base.TTFTP95, base.SLORate, base.Completed)
+	fmt.Printf("%-16s ttft p50=%.3fs p95=%.3fs slo=%.3f completed=%d\n",
+		shared.System, shared.TTFTP50, shared.TTFTP95, shared.SLORate, shared.Completed)
+	fmt.Printf("prefix store: %d lookups, hit rate %.1f%%, %.1f GB served from cache\n",
+		shared.PrefixLookups, shared.PrefixHitRate*100,
+		float64(shared.PrefixHitBytes)/1e9)
+
+	// Custom tier sizing: a small GPU tier forces spills to the host tier;
+	// hits promoted from host pay a transfer cost but still beat a full
+	// recompute.
+	tight := slinfer.SLINFER()
+	tight.Name = "SLINFER+tight"
+	tight.PrefixCache = slinfer.TieredPrefixConfig{
+		Enabled:  true,
+		GPUBytes: 512 << 20, // 512 MiB GPU tier
+		CPUBytes: 8 << 30,   // 8 GiB host spill tier
+	}
+	small := slinfer.Run(tight, cluster, models, trace)
+	fmt.Printf("%-16s ttft p50=%.3fs hit rate %.1f%% (GPU tier squeezed)\n",
+		small.System, small.TTFTP50, small.PrefixHitRate*100)
+
+	// Fleet: KV-affinity routing sends each session's turns to the shard
+	// whose tier already holds its prefix (snapshots are one epoch stale;
+	// cold prefixes fall back to rendezvous hashing).
+	cfg := slinfer.FleetConfig{
+		System:           slinfer.WithPrefixCache(slinfer.SLINFER()),
+		Shards:           slinfer.UniformFleet(2, 1, 1),
+		Models:           models,
+		Routing:          slinfer.KVAffinityRouting(),
+		Seed:             42,
+		AttachInvariants: true,
+	}
+	res := slinfer.RunFleet(cfg, trace)
+	fmt.Printf("fleet (kvaffinity): hit rate %.1f%% slo=%.3f shards=%d\n",
+		res.Report.PrefixHitRate*100, res.Report.SLORate, len(res.Shards))
+	if !res.Ok() {
+		for _, v := range res.Violations {
+			fmt.Printf("  violation: %s\n", v)
+		}
+	}
+}

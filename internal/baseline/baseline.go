@@ -6,6 +6,7 @@ package baseline
 
 import (
 	"slinfer/internal/core"
+	"slinfer/internal/kvcache"
 )
 
 // Systems returns the four systems of the end-to-end comparison, in the
@@ -27,9 +28,20 @@ func ByName(name string) (core.Config, bool) {
 		return core.SLINFER(), true
 	case "NEO+", "neo+":
 		return core.NEOPlus(16), true
+	case "SLINFER+prefix", "slinfer+prefix":
+		return WithPrefixCache(core.SLINFER()), true
 	default:
 		return core.Config{}, false
 	}
+}
+
+// WithPrefixCache returns a system variant with the tiered prefix-sharing KV
+// store enabled at its default sizing (4 GiB GPU tier, 4x host tier). The
+// variant only changes behavior on traces whose requests carry PrefixKeys.
+func WithPrefixCache(cfg core.Config) core.Config {
+	cfg.Name = cfg.Name + "+prefix"
+	cfg.PrefixCache = kvcache.TieredConfig{Enabled: true}
+	return cfg
 }
 
 // Disaggregated returns the PD-disaggregated variant of a system (§IX-G).

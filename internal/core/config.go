@@ -121,6 +121,10 @@ type Config struct {
 	Seed uint64
 	// CPUStressProcs models background CPU stress (Figure 11).
 	CPUStressProcs int
+	// PrefixCache configures the tiered prefix-sharing KV store. The zero
+	// value disables it, leaving every preset byte-identical to the
+	// pre-sharing behavior.
+	PrefixCache kvcache.TieredConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -154,6 +158,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainGrace <= 0 {
 		c.DrainGrace = 10 * sim.Minute
+	}
+	if c.PrefixCache.Enabled {
+		c.PrefixCache = c.PrefixCache.WithDefaults()
 	}
 	return c
 }

@@ -33,6 +33,10 @@ type Controller struct {
 	models     map[string]model.Model
 	estimators map[string]*kvcache.Estimator
 	instances  map[string][]*engine.Instance
+	// prefix is the tiered prefix-sharing KV store (nil when the feature is
+	// disabled); shared by every instance of this controller, keyed by
+	// (model, token-block chain).
+	prefix *kvcache.TieredStore
 	// modelOrder pins registration order so every walk over the model
 	// tables (reset retirement, sampler ticks) is deterministic; ranging
 	// the maps directly would randomize recycling and sample order.
@@ -139,6 +143,9 @@ func New(s *sim.Simulator, specs []hwsim.NodeSpec, models []model.Model, cfg Con
 		delete(c.keepAlive, inst.ID)
 		c.reclaim(inst)
 	}
+	if cfg.PrefixCache.Enabled {
+		c.prefix = kvcache.NewTieredStore(cfg.PrefixCache)
+	}
 	c.finishSetup(models)
 	return c
 }
@@ -235,6 +242,14 @@ func (c *Controller) reset(specs []hwsim.NodeSpec, models []model.Model, cfg Con
 	c.noiseStreams = 0
 	c.nextInstID = 1
 	c.traceEnd = 0
+	switch {
+	case !cfg.PrefixCache.Enabled:
+		c.prefix = nil
+	case c.prefix == nil:
+		c.prefix = kvcache.NewTieredStore(cfg.PrefixCache)
+	default:
+		c.prefix.Reset(cfg.PrefixCache)
+	}
 	c.finishSetup(models)
 }
 
@@ -367,6 +382,18 @@ func (c *Controller) Submit(w workload.Request) {
 		obj = c.Cfg.SLO(w.InputLen)
 	}
 	req := engine.NewRequestWith(w, obj)
+	if c.prefix != nil && w.PrefixKey != "" {
+		// Prefix-cache lookup happens once at admission: the cached leading
+		// span shortens the prefill, the transfer cost (CPU-tier promotion)
+		// rides on it, and the hit/miss bytes feed the run's hit-rate
+		// counters. Keyless requests bypass the store entirely.
+		perTok := m.KVBytesPerToken()
+		hitTokens, xfer := c.prefix.Lookup(w.ModelName, w.PrefixKey, w.InputLen, perTok)
+		req.CachedPrefixTokens = hitTokens
+		req.PrefixXfer = xfer
+		c.Collector.RecordPrefixLookup(int64(hitTokens)*perTok,
+			int64(w.InputLen-hitTokens)*perTok)
+	}
 	c.Collector.RecordArrival()
 	c.probeSubmitted(req)
 	if !c.tryPlace(req) {
@@ -569,9 +596,11 @@ func (c *Controller) validateOnExecutor(ex *cluster.Executor, cand *engine.Insta
 		var v compute.InstView
 		v, rbuf = compute.ViewInstanceInto(other, rbuf)
 		if other.ResizeInFlight {
-			// Approximate the remaining resize as one full resize of the
-			// current target (conservative).
-			v.BlockedUntil = c.Sim.Now().Add(kvcache.ScaleTime(0, other.KVTarget))
+			// The resize op recorded its landing time when it was issued;
+			// charge only the remaining fraction, not a fresh full-size
+			// transfer (which overstated the stall several-fold for resizes
+			// caught near completion).
+			v.BlockedUntil = other.ResizeDoneAt
 		}
 		if eta, ok := c.loadETA[other.ID]; ok && eta > v.BlockedUntil {
 			v.BlockedUntil = eta // cold start still in progress
@@ -610,7 +639,7 @@ func (c *Controller) validateNewInstanceOn(ex *cluster.Executor, prof *perfmodel
 		var v compute.InstView
 		v, rbuf = compute.ViewInstanceInto(other, rbuf)
 		if other.ResizeInFlight {
-			v.BlockedUntil = c.Sim.Now().Add(kvcache.ScaleTime(0, other.KVTarget))
+			v.BlockedUntil = other.ResizeDoneAt // remaining fraction only
 		}
 		if eta, ok := c.loadETA[other.ID]; ok && eta > v.BlockedUntil {
 			v.BlockedUntil = eta
@@ -723,3 +752,8 @@ func (c *Controller) InstancesOf(name string) []*engine.Instance {
 
 // PendingCount returns the queued-request count.
 func (c *Controller) PendingCount() int { return len(c.pending) }
+
+// PrefixStore exposes the tiered prefix store (nil when prefix sharing is
+// disabled). The invariant suite attaches its conservation observer here and
+// the fleet layer snapshots per-root residency for KV-affinity routing.
+func (c *Controller) PrefixStore() *kvcache.TieredStore { return c.prefix }

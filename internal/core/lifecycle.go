@@ -92,6 +92,13 @@ func (c *Controller) onIterationDone(ex *cluster.Executor, w engine.Work, dur si
 func (c *Controller) completeRequest(req *engine.Request, inst *engine.Instance) {
 	est := c.estimators[req.W.ModelName]
 	est.Observe(req.W.OutputLen)
+	if c.prefix != nil && req.W.PrefixKey != "" {
+		// A completion demotes its context into the tiered store instead of
+		// dropping it: the full prompt+response becomes the shareable prefix
+		// the session's next turn looks up.
+		c.prefix.Insert(req.W.ModelName, req.W.PrefixKey, req.ContextTokens(),
+			inst.Model.KVBytesPerToken())
+	}
 	ttft, haveTTFT := req.Tracker.TTFT()
 	c.Collector.RecordCompletion(req.Tracker.Met(), ttft, haveTTFT)
 	c.probeCompleted(req, inst)
@@ -170,6 +177,7 @@ func (c *Controller) issueResize(inst *engine.Instance, target int64) bool {
 	dur := kvcache.ScaleTime(cur, target)
 	inst.ResizeInFlight = true
 	inst.KVTarget = target
+	inst.ResizeDoneAt = c.Sim.Now().Add(dur)
 	remaining := len(inst.NodeIdxs)
 	onComplete := func() {
 		remaining--
@@ -196,6 +204,7 @@ func (c *Controller) issueResize(inst *engine.Instance, target int64) bool {
 func (c *Controller) finishResize(inst *engine.Instance, target int64, dur sim.Duration) {
 	inst.Cache.SetCapacity(target)
 	inst.ResizeInFlight = false
+	inst.ResizeDoneAt = 0
 	inst.ScalingBusy += dur
 	c.Collector.ScalingBusy += dur
 	c.Collector.KVResizes++

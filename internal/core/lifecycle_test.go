@@ -300,6 +300,63 @@ func TestRandomTracesConservationProperty(t *testing.T) {
 	}
 }
 
+// TestResizeChargesRemainingFractionOnly pins the partial-resize accounting
+// fix: an in-flight resize records its landing time when it is issued, so a
+// shadow validation observing it mid-flight charges only the remaining
+// fraction — never a fresh full-size transfer, which overstated the stall
+// several-fold for resizes caught near completion.
+func TestResizeChargesRemainingFractionOnly(t *testing.T) {
+	m := model.Llama2_7B
+	cfg := SLINFER()
+	cfg.UseCPU = false
+	cfg.Watermark = kvcache.Watermark{W: 0} // no headroom: every growth step resizes
+	s := sim.New()
+	c := New(s, hwsim.Testbed(0, 1), []model.Model{m}, cfg)
+	var reqs []workload.Request
+	for i := 0; i < 24; i++ {
+		reqs = append(reqs, workload.Request{
+			ID: int64(i), ModelName: m.Name, Arrival: sim.Time(1 + float64(i)*0.4),
+			InputLen: 2048, OutputLen: 400,
+		})
+	}
+	observed, partial := 0, 0
+	var probe func()
+	probe = func() {
+		for _, inst := range c.InstancesOf(m.Name) {
+			if !inst.ResizeInFlight {
+				if inst.ResizeDoneAt != 0 {
+					t.Fatalf("instance %d: stale ResizeDoneAt %v with no resize in flight", inst.ID, inst.ResizeDoneAt)
+				}
+				continue
+			}
+			observed++
+			if inst.ResizeDoneAt < s.Now() {
+				t.Fatalf("in-flight resize lands in the past: %v < now %v", inst.ResizeDoneAt, s.Now())
+			}
+			// The old code charged ScaleTime(0, KVTarget) from the observer's
+			// clock; the recorded landing time must never exceed that.
+			full := s.Now().Add(kvcache.ScaleTime(0, inst.KVTarget))
+			if inst.ResizeDoneAt > full {
+				t.Fatalf("remaining charge lands at %v, beyond a fresh full-size transfer at %v", inst.ResizeDoneAt, full)
+			}
+			if inst.ResizeDoneAt < full {
+				partial++ // strictly cheaper than the old full-size charge
+			}
+		}
+		if s.Now() < 40 {
+			s.After(0.01, probe)
+		}
+	}
+	s.After(1, probe)
+	c.Run(workload.Trace{Requests: reqs, Duration: 60 * sim.Second})
+	if observed == 0 {
+		t.Fatal("probe never caught a resize in flight — cadence too coarse for this workload")
+	}
+	if partial == 0 {
+		t.Fatal("every observation equaled a full-size charge: landing time is not anchored at issue")
+	}
+}
+
 func TestDrainGraceBoundsRun(t *testing.T) {
 	m := model.Llama2_7B
 	cfg := SLINFER()

@@ -70,6 +70,13 @@ type Request struct {
 	Inst *Instance
 	// Migrations counts §VII-D evictions/reschedules of this request.
 	Migrations int
+	// CachedPrefixTokens is the leading span of the prompt served from the
+	// tiered prefix store at admission; the prefill recomputes only the
+	// suffix. Zero when prefix sharing is off or the lookup missed.
+	CachedPrefixTokens int
+	// PrefixXfer is the tier-transfer cost (CPU->GPU promotion) the hit
+	// incurred; it is added to the prefill duration.
+	PrefixXfer sim.Duration
 }
 
 // NewRequest wraps a trace record with the paper's default SLO and tracker.
@@ -168,6 +175,10 @@ type Instance struct {
 	ResizeInFlight bool
 	// KVTarget is the allocation size the latest admitted resize moves to.
 	KVTarget int64
+	// ResizeDoneAt is when the in-flight resize lands. Scale-out validation
+	// charges colocated candidates only the remaining fraction of the
+	// resize, not a fresh full-size transfer.
+	ResizeDoneAt sim.Time
 
 	// CreatedAt is the creation time; stats below feed the metrics.
 	CreatedAt    sim.Time
@@ -324,7 +335,14 @@ func (i *Instance) GroundTruthDuration(w *Work) sim.Duration {
 	var d sim.Duration
 	switch w.Kind {
 	case PrefillWork:
-		d = i.Class.PrefillTime(i.Model, w.Req.ContextTokens(), i.Share)
+		// A prefix-cache hit skips recomputation of the cached leading span:
+		// only the suffix (at least one token) is prefilled, plus whatever
+		// tier-transfer time the hit cost.
+		suffix := w.Req.ContextTokens() - w.Req.CachedPrefixTokens
+		if suffix < 1 {
+			suffix = 1
+		}
+		d = i.Class.PrefillTime(i.Model, suffix, i.Share) + w.Req.PrefixXfer
 	default:
 		if !i.decode.Valid() {
 			i.decode = i.Class.DecodeCoeffsFor(i.Model)

@@ -3,9 +3,11 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"slinfer/internal/baseline"
 	"slinfer/internal/hwsim"
+	"slinfer/internal/kvcache"
 	"slinfer/internal/metrics"
 	"slinfer/internal/model"
 	"slinfer/internal/workload"
@@ -26,6 +28,11 @@ type ReplayOptions struct {
 	// CPUNodes and GPUNodes shape the testbed; both zero selects the
 	// paper's 4+4.
 	CPUNodes, GPUNodes int
+	// PrefixCache, when Enabled, overlays the tiered prefix-sharing KV
+	// store onto the resolved system (any preset, not just the registered
+	// "+prefix" variant). It only changes behavior on traces whose
+	// requests carry PrefixKeys.
+	PrefixCache kvcache.TieredConfig
 }
 
 func (o ReplayOptions) withDefaults() ReplayOptions {
@@ -56,6 +63,12 @@ func Replay(tr workload.Trace, opt ReplayOptions) (metrics.Report, error) {
 	}
 	if err := tr.Validate(); err != nil {
 		return metrics.Report{}, fmt.Errorf("experiments: invalid trace: %w", err)
+	}
+	if opt.PrefixCache.Enabled {
+		if !strings.HasSuffix(cfg.Name, "+prefix") {
+			cfg.Name = cfg.Name + "+prefix"
+		}
+		cfg.PrefixCache = opt.PrefixCache
 	}
 	models := TraceModels(tr, opt.Base)
 	rep := runSystem(cfg, hwsim.Testbed(opt.CPUNodes, opt.GPUNodes), models, tr)

@@ -32,6 +32,7 @@ import (
 	"slinfer/internal/core"
 	"slinfer/internal/hwsim"
 	"slinfer/internal/invariants"
+	"slinfer/internal/kvcache"
 	"slinfer/internal/metrics"
 	"slinfer/internal/model"
 	"slinfer/internal/par"
@@ -193,6 +194,9 @@ type shard struct {
 	suite    *invariants.Suite
 	fnSubmit func(any)
 	routed   int // total arrivals routed to this shard
+	// resScratch backs the snapshot's prefix-residency slice; safe to reuse
+	// because each barrier replaces the previous snapshot wholesale.
+	resScratch []kvcache.RootResidency
 }
 
 func newShard(cfg Config, i int) *shard {
@@ -228,6 +232,9 @@ func (sd *shard) enqueue(r workload.Request) {
 
 func (sd *shard) snapshot(i int, active bool, routedLast int) Snapshot {
 	col := sd.ctl.Collector
+	if ts := sd.ctl.PrefixStore(); ts != nil {
+		sd.resScratch = ts.AppendResidency(sd.resScratch[:0])
+	}
 	return Snapshot{
 		Shard: i, Name: sd.ctl.Cfg.Name, Active: active,
 		Now:         sd.sim.Now(),
@@ -236,6 +243,7 @@ func (sd *shard) snapshot(i int, active bool, routedLast int) Snapshot {
 		Instances:   sd.ctl.InstanceCount(),
 		Total:       col.Total, Completed: col.Completed, Dropped: col.Dropped,
 		RoutedLastEpoch: routedLast,
+		PrefixResident:  sd.resScratch,
 	}
 }
 

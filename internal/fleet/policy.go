@@ -16,6 +16,7 @@ import (
 	"hash/fnv"
 	"strconv"
 
+	"slinfer/internal/kvcache"
 	"slinfer/internal/sim"
 	"slinfer/internal/workload"
 )
@@ -40,6 +41,10 @@ type Snapshot struct {
 	Total, Completed, Dropped int64
 	// RoutedLastEpoch counts arrivals the front door sent last epoch.
 	RoutedLastEpoch int
+	// PrefixResident holds the shard's tiered prefix-store residency per
+	// leading PrefixKey segment, sorted by root (empty when the shard's
+	// system runs without prefix sharing). KVAffinity scores on it.
+	PrefixResident []kvcache.RootResidency
 }
 
 // EpochState is the front door's view while routing one epoch's arrivals:
@@ -125,10 +130,17 @@ type ModelAffinity struct{}
 func (ModelAffinity) Name() string { return "affinity" }
 
 func (ModelAffinity) Route(req workload.Request, st *EpochState) int {
+	return rendezvous(req.ModelName, st.Active)
+}
+
+// rendezvous picks the active shard with the highest-random-weight hash of
+// (key, shard): stable per key, and resizing the active set by one shard only
+// remaps the keys that hashed to the removed (or gained) shard.
+func rendezvous(key string, active int) int {
 	best, bestW := 0, uint64(0)
-	for i := 0; i < st.Active; i++ {
+	for i := 0; i < active; i++ {
 		h := fnv.New64a()
-		h.Write([]byte(req.ModelName))
+		h.Write([]byte(key))
 		h.Write([]byte("#"))
 		h.Write([]byte(strconv.Itoa(i)))
 		if w := h.Sum64(); i == 0 || w > bestW {
@@ -136,6 +148,66 @@ func (ModelAffinity) Route(req workload.Request, st *EpochState) int {
 		}
 	}
 	return best
+}
+
+// KVAffinity routes each request to the active shard expected to serve the
+// most prefix bytes from its tiered KV store: shards are scored by the
+// end-of-previous-epoch residency of the request's prefix root (its leading
+// PrefixKey segment — the template, for chat workloads). Requests routed
+// earlier in the same epoch count as residency-in-the-making, so a burst of
+// cold same-root sessions lands together instead of scattering before any
+// snapshot can see their blocks. Fully cold roots (and keyless requests)
+// fall back to rendezvous hashing — on the root so future same-root traffic
+// agrees, or on the model when there is no key.
+type KVAffinity struct {
+	epoch     int
+	rootShard map[string]int // root -> shard routed this epoch
+}
+
+func (k *KVAffinity) Name() string { return "kvaffinity" }
+
+func (k *KVAffinity) Route(req workload.Request, st *EpochState) int {
+	if req.PrefixKey == "" {
+		return rendezvous(req.ModelName, st.Active)
+	}
+	if k.rootShard == nil {
+		k.rootShard = map[string]int{}
+	} else if st.Epoch != k.epoch {
+		clear(k.rootShard)
+	}
+	k.epoch = st.Epoch
+	root := kvcache.PrefixRoot(req.PrefixKey)
+	if s, ok := k.rootShard[root]; ok && s < st.Active {
+		return s
+	}
+	best, bestBytes := -1, int64(0)
+	for i := 0; i < st.Active; i++ {
+		if b := residentBytes(st.Snaps[i].PrefixResident, root); b > bestBytes {
+			best, bestBytes = i, b
+		}
+	}
+	if best < 0 {
+		best = rendezvous(root, st.Active)
+	}
+	k.rootShard[root] = best
+	return best
+}
+
+// residentBytes finds one root's resident bytes in a sorted residency slice.
+func residentBytes(res []kvcache.RootResidency, root string) int64 {
+	lo, hi := 0, len(res)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if res[mid].Root < root {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(res) && res[lo].Root == root {
+		return res[lo].Bytes
+	}
+	return 0
 }
 
 // RoutingByName resolves a routing policy by CLI/scenario-axis name. Empty
@@ -148,8 +220,10 @@ func RoutingByName(name string) (RoutingPolicy, error) {
 		return LeastOutstanding{}, nil
 	case "affinity", "model-affinity":
 		return ModelAffinity{}, nil
+	case "kvaffinity", "kv-affinity":
+		return &KVAffinity{}, nil
 	default:
-		return nil, fmt.Errorf("fleet: unknown routing policy %q (want rr, least, or affinity)", name)
+		return nil, fmt.Errorf("fleet: unknown routing policy %q (want rr, least, affinity, or kvaffinity)", name)
 	}
 }
 

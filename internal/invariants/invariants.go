@@ -17,6 +17,11 @@
 //   - KV-cache accounting: token releases never exceed live tokens
 //     (kvcache.CacheObserver), and on every completion the cache's live
 //     token count equals the sum of the running batch's context tokens.
+//   - Tiered prefix-store conservation: on every store transition
+//     (kvcache.TierObserver), allocated bytes equal GPU-resident plus
+//     CPU-resident plus freed bytes, tiers stay within their configured
+//     capacities, and at end of run the ledger's resident counters reconcile
+//     against an independent walk of the block lists.
 //   - Request lifecycle: every submitted request is seen exactly once and
 //     terminates at most once (no request lost or duplicated); completed
 //     requests generated exactly their trace-declared output tokens.
@@ -78,6 +83,10 @@ type Suite struct {
 	submitted int64
 	completed int64
 	droppedRq int64
+
+	// tier is the watched prefix store (nil unless WatchTier was called);
+	// RunFinished reconciles its ledger against the block lists.
+	tier *kvcache.TieredStore
 }
 
 // New returns a Suite observing the simulator's event clock. Use WatchNode /
@@ -103,6 +112,9 @@ func Attach(c *core.Controller) *Suite {
 	su := New(c.Sim)
 	for _, n := range c.Cluster.Nodes {
 		su.WatchNode(n.Mem)
+	}
+	if ts := c.PrefixStore(); ts != nil {
+		su.WatchTier(ts)
 	}
 	c.Cfg.Probe = su
 	return su
@@ -292,6 +304,65 @@ func (w *cacheWatch) CacheOverRelease(c *kvcache.Cache, released int64) {
 		w.inst.ID, released, c.UsedTokens())
 }
 
+// ---- Tiered prefix-store conservation ------------------------------------------
+
+// tierWatch checks the tier ledger's conservation law on every transition.
+type tierWatch struct {
+	suite *Suite
+}
+
+// WatchTier attaches the conservation checker to a tiered prefix store,
+// replacing any previous observer, and registers the store for end-of-run
+// reconciliation. Attach wires it automatically when the controller has
+// prefix sharing enabled.
+func (s *Suite) WatchTier(ts *kvcache.TieredStore) {
+	ts.Observer = &tierWatch{suite: s}
+	s.tier = ts
+}
+
+func (w *tierWatch) TierChanged(ts *kvcache.TieredStore) {
+	led := ts.Ledger
+	if !led.Conserved() {
+		w.suite.report("tier-conservation",
+			"allocated %d != gpu %d + cpu %d + freed %d (bytes leaked or conjured)",
+			led.AllocatedBytes, led.GPUBytes, led.CPUBytes, led.FreedBytes)
+	}
+	if led.GPUBytes < 0 || led.CPUBytes < 0 || led.FreedBytes < 0 || led.AllocatedBytes < 0 {
+		w.suite.report("tier-conservation",
+			"negative accounting: alloc=%d gpu=%d cpu=%d freed=%d",
+			led.AllocatedBytes, led.GPUBytes, led.CPUBytes, led.FreedBytes)
+	}
+	cfg := ts.Config()
+	if led.GPUBytes > cfg.GPUBytes {
+		w.suite.report("tier-conservation",
+			"GPU tier %d bytes exceeds capacity %d", led.GPUBytes, cfg.GPUBytes)
+	}
+	if led.CPUBytes > cfg.CPUBytes {
+		w.suite.report("tier-conservation",
+			"CPU tier %d bytes exceeds capacity %d", led.CPUBytes, cfg.CPUBytes)
+	}
+}
+
+// checkTierResidency reconciles the ledger's resident counters against an
+// independent walk of the store's block lists (end-of-run ground truth).
+func (s *Suite) checkTierResidency() {
+	if s.tier == nil {
+		return
+	}
+	gpu, cpu := s.tier.TierUsage()
+	led := s.tier.Ledger
+	if gpu != led.GPUBytes || cpu != led.CPUBytes {
+		s.report("tier-conservation",
+			"ledger residency (gpu=%d cpu=%d) != block-list walk (gpu=%d cpu=%d) — tier leak",
+			led.GPUBytes, led.CPUBytes, gpu, cpu)
+	}
+	if !led.Conserved() {
+		s.report("tier-conservation",
+			"end of run: allocated %d != gpu %d + cpu %d + freed %d",
+			led.AllocatedBytes, led.GPUBytes, led.CPUBytes, led.FreedBytes)
+	}
+}
+
 // ---- Request lifecycle + SLO bookkeeping --------------------------------------
 
 // RequestSubmitted implements core.Probe.
@@ -424,4 +495,5 @@ func (s *Suite) RunFinished(_ *core.Controller, rep metrics.Report) {
 			"%d TTFT samples for %d completions (every completed request has a first token)",
 			len(rep.TTFTCDF), rep.Completed)
 	}
+	s.checkTierResidency()
 }

@@ -155,6 +155,73 @@ func TestKVOverReleaseCaught(t *testing.T) {
 	}
 }
 
+// TestTierConservationCleanAndCorrupted drives the tiered prefix store
+// through real traffic (clean: no violations), then corrupts its ledger —
+// the over-release and tier-leak classes — and requires the conservation
+// checker to fire on the next transition and at reconciliation.
+func TestTierConservationCleanAndCorrupted(t *testing.T) {
+	perTok := model.Llama2_7B.KVBytesPerToken()
+	newStore := func() (*Suite, *kvcache.TieredStore) {
+		suite := New(sim.New())
+		ts := kvcache.NewTieredStore(kvcache.TieredConfig{
+			Enabled: true, GPUBytes: 64 * 16 * perTok, CPUBytes: 128 * 16 * perTok,
+		})
+		suite.WatchTier(ts)
+		return suite, ts
+	}
+
+	// Clean traffic: inserts, hits, spills, evictions — all conserved.
+	suite, ts := newStore()
+	for sess := 0; sess < 12; sess++ {
+		key := "tpl0@512/sess" + string(rune('a'+sess))
+		ts.Insert("m", key, 2048, perTok)
+		ts.Lookup("m", key, 2048, perTok)
+	}
+	if err := suite.Err(); err != nil {
+		t.Fatalf("clean tier traffic flagged: %v", err)
+	}
+	if ts.Ledger.Evictions == 0 || ts.Ledger.Spills == 0 {
+		t.Fatalf("traffic did not exercise spill/evict paths: %+v", ts.Ledger)
+	}
+
+	// Over-release: FreedBytes inflated as if blocks were freed twice.
+	suite, ts = newStore()
+	ts.Insert("m", "tpl0@512/sessA", 1024, perTok)
+	ts.Ledger.FreedBytes += 10 * 16 * perTok
+	ts.Lookup("m", "tpl0@512/sessA", 1024, perTok)
+	if suite.Ok() {
+		t.Fatal("over-release corruption not caught")
+	}
+	if v := suite.Violations()[0]; v.Check != "tier-conservation" {
+		t.Fatalf("unexpected check %q", v.Check)
+	}
+
+	// Tier leak: the ledger claims fewer GPU-resident bytes than the block
+	// lists actually hold; the per-transition law breaks, and so does the
+	// end-of-run walk reconciliation.
+	suite, ts = newStore()
+	ts.Insert("m", "tpl0@512/sessB", 1024, perTok)
+	ts.Ledger.GPUBytes -= 16 * perTok
+	ts.Lookup("m", "tpl0@512/sessB", 1024, perTok)
+	if suite.Ok() {
+		t.Fatal("tier leak not caught on transition")
+	}
+	suite, ts = newStore()
+	ts.Insert("m", "tpl0@512/sessC", 1024, perTok)
+	ts.Ledger.GPUBytes -= 16 * perTok
+	ts.Ledger.AllocatedBytes -= 16 * perTok // keep the sum law intact
+	suite.checkTierResidency()
+	found := false
+	for _, v := range suite.Violations() {
+		if v.Check == "tier-conservation" && strings.Contains(v.Detail, "tier leak") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("walk reconciliation missed the leak, got %v", suite.Violations())
+	}
+}
+
 // TestClockViolationCaught feeds the clock checker a regressing timestamp.
 func TestClockViolationCaught(t *testing.T) {
 	s := sim.New()

@@ -136,9 +136,12 @@ func (w Watermark) NeedScaleUp(requireBytes, curBytes int64) bool {
 }
 
 // ShouldScaleDown reports whether a completed request should trigger a lazy
-// scale-down: only when Mrecommend*(1+w) < Mcur.
+// scale-down: only when Mrecommend < Mcur (§VII-B). The recommendation
+// already carries the (1+w) watermark, which is the entire hysteresis band:
+// scale-up fires at cur < require and scale-down at cur > require*(1+w), so
+// no resize can immediately trigger the opposite one.
 func (w Watermark) ShouldScaleDown(requireBytes, curBytes int64) bool {
-	return int64(float64(w.Recommend(requireBytes))*(1+w.W)) < curBytes
+	return w.Recommend(requireBytes) < curBytes
 }
 
 // Validate rejects nonsense watermark settings.

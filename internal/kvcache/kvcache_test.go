@@ -74,13 +74,13 @@ func TestWatermarkHysteresis(t *testing.T) {
 	if !w.NeedScaleUp(require, 99e9) {
 		t.Error("current < require should need scale-up")
 	}
-	// Lazy scale-down: only when recommend*(1+w) < current.
-	// rec*(1.25) = 156.25e9.
-	if w.ShouldScaleDown(require, 156e9) {
-		t.Error("should not scale down at 156e9")
+	// Lazy scale-down: only when recommend < current (rec = 125e9). The
+	// watermark band [require, require*(1+w)] separates the two triggers.
+	if w.ShouldScaleDown(require, 125e9) {
+		t.Error("should not scale down at 125e9")
 	}
-	if !w.ShouldScaleDown(require, 157e9) {
-		t.Error("should scale down at 157e9")
+	if !w.ShouldScaleDown(require, 126e9) {
+		t.Error("should scale down at 126e9")
 	}
 	// Zero watermark scales down eagerly (the §IX-I5 thrash mode).
 	w0 := Watermark{W: 0}

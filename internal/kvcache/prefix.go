@@ -1,0 +1,540 @@
+// Prefix-aware tiered KV cache (ROADMAP open item #1). Completed requests
+// demote their KV blocks into a shared two-tier pool (GPU-resident, then
+// host-spill) instead of dropping them; admission looks the new request's
+// prefix up by token-block hash chain and charges prefill only for the
+// uncached suffix plus a PCIe promotion cost for host-resident blocks.
+//
+// The index is a radix chain over token blocks, not tokens: block i of a
+// request hashes the previous block's hash, the owning PrefixKey segment,
+// and the block index, so two requests share exactly the leading blocks
+// whose key segments and positions agree. PrefixKeys are hierarchical —
+// "tpl3@512/sess17" pins the first 512 tokens to template 3 (shared across
+// every session using it) and the remainder to session 17 (shared across
+// that conversation's turns).
+package kvcache
+
+import (
+	"fmt"
+
+	"slinfer/internal/sim"
+)
+
+// Tier transfer cost model, calibrated the same way as ScaleTime: an
+// effective ~26 GB/s PCIe 4.0 x16 link gives 0.038 s/GB host-to-device;
+// device-to-host spills overlap worse with compute and land near 0.042.
+const (
+	promoteSecPerGB = 0.038
+	spillSecPerGB   = 0.042
+)
+
+// PromoteTime returns the host-to-device transfer cost of promoting bytes
+// from the CPU tier back into GPU memory on a prefix hit.
+func PromoteTime(bytes int64) sim.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return sim.Duration(promoteSecPerGB * float64(bytes) / 1e9)
+}
+
+// SpillTime returns the device-to-host cost of demoting bytes to the CPU
+// tier. The simulator books it as background copy overhead, not a stall.
+func SpillTime(bytes int64) sim.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return sim.Duration(spillSecPerGB * float64(bytes) / 1e9)
+}
+
+// DefaultBlockTokens is the paged-attention block granularity the prefix
+// index shares at when TieredConfig.BlockTokens is zero.
+const DefaultBlockTokens = 16
+
+// TieredConfig sizes the shared prefix pool. The zero value disables prefix
+// sharing entirely (every preset keeps its golden report byte-identical).
+type TieredConfig struct {
+	// Enabled turns the tiered prefix store on.
+	Enabled bool
+	// GPUBytes caps the GPU-resident tier.
+	GPUBytes int64
+	// CPUBytes caps the host spill tier; zero means spilled blocks are
+	// freed immediately (no second tier).
+	CPUBytes int64
+	// BlockTokens is the sharing granularity (default DefaultBlockTokens).
+	BlockTokens int
+}
+
+// WithDefaults fills zero fields with usable defaults: 4 GiB GPU tier and a
+// 4x host tier, 16-token blocks.
+func (c TieredConfig) WithDefaults() TieredConfig {
+	if !c.Enabled {
+		return c
+	}
+	if c.GPUBytes <= 0 {
+		c.GPUBytes = 4 << 30
+	}
+	if c.CPUBytes < 0 {
+		c.CPUBytes = 0
+	} else if c.CPUBytes == 0 {
+		c.CPUBytes = 4 * c.GPUBytes
+	}
+	if c.BlockTokens <= 0 {
+		c.BlockTokens = DefaultBlockTokens
+	}
+	return c
+}
+
+// Validate rejects nonsense tier configurations.
+func (c TieredConfig) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.GPUBytes <= 0 {
+		return fmt.Errorf("kvcache: prefix GPU tier %d bytes, want > 0", c.GPUBytes)
+	}
+	if c.CPUBytes < 0 {
+		return fmt.Errorf("kvcache: prefix CPU tier %d bytes, want >= 0", c.CPUBytes)
+	}
+	if c.BlockTokens <= 0 {
+		return fmt.Errorf("kvcache: prefix block %d tokens, want > 0", c.BlockTokens)
+	}
+	return nil
+}
+
+// TierLedger counts every byte that moves through the tiered store. The
+// invariants suite holds it to the conservation law
+//
+//	AllocatedBytes == GPUBytes + CPUBytes + FreedBytes
+//
+// after every transition, and reconciles the resident tiers against a walk
+// of the actual block lists at end of run.
+type TierLedger struct {
+	// AllocatedBytes is the lifetime total admitted into the store.
+	AllocatedBytes int64
+	// GPUBytes / CPUBytes are the bytes currently resident in each tier.
+	GPUBytes int64
+	CPUBytes int64
+	// FreedBytes is the lifetime total evicted out of both tiers.
+	FreedBytes int64
+
+	// Lookups counts Lookup calls; Hits counts those matching >= 1 block.
+	Lookups int64
+	Hits    int64
+	// HitBytes / MissBytes split each lookup's input bytes by whether the
+	// leading blocks were resident.
+	HitBytes  int64
+	MissBytes int64
+	// CPUHitBytes is the subset of HitBytes served from the host tier
+	// (each such byte pays PromoteTime).
+	CPUHitBytes int64
+
+	// Inserts counts blocks admitted; Spills counts GPU->CPU demotions;
+	// Evictions counts blocks freed out of the store.
+	Inserts   int64
+	Spills    int64
+	Evictions int64
+	// SpillBytes is the lifetime total demoted GPU->CPU.
+	SpillBytes int64
+}
+
+// Conserved reports whether the byte-conservation law holds.
+func (l TierLedger) Conserved() bool {
+	return l.AllocatedBytes == l.GPUBytes+l.CPUBytes+l.FreedBytes
+}
+
+// TierObserver watches a tiered store's transitions. The invariants suite
+// uses it to check the conservation law after every mutation; nil costs one
+// branch per transition.
+type TierObserver interface {
+	// TierChanged fires after any Lookup or Insert with the store in its
+	// new state.
+	TierChanged(s *TieredStore)
+}
+
+// Block tier tags.
+const (
+	tierGPU = int8(0)
+	tierCPU = int8(1)
+)
+
+// tierBlock is one resident token block. Blocks live in the hash index and
+// on exactly one tier's intrusive LRU list; evicted blocks recycle through
+// the store's free list.
+type tierBlock struct {
+	hash       uint64
+	bytes      int64
+	tier       int8
+	root       string // leading PrefixKey segment, for residency accounting
+	prev, next *tierBlock
+}
+
+// tierList is an intrusive doubly-linked LRU list: front is most recently
+// used, eviction candidates come off the back.
+type tierList struct {
+	front, back *tierBlock
+	bytes       int64
+}
+
+//slinfer:hotpath
+func (l *tierList) pushFront(b *tierBlock) {
+	b.prev = nil
+	b.next = l.front
+	if l.front != nil {
+		l.front.prev = b
+	}
+	l.front = b
+	if l.back == nil {
+		l.back = b
+	}
+	l.bytes += b.bytes
+}
+
+//slinfer:hotpath
+func (l *tierList) remove(b *tierBlock) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		l.front = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		l.back = b.prev
+	}
+	b.prev, b.next = nil, nil
+	l.bytes -= b.bytes
+}
+
+// TieredStore is the controller-wide prefix pool: a deterministic block-hash
+// index over two capacity-bounded LRU tiers. It is pure accounting plus a
+// transfer cost model — simulated time advances only through the durations
+// it returns.
+type TieredStore struct {
+	cfg    TieredConfig
+	blocks map[uint64]*tierBlock
+	gpu    tierList
+	cpu    tierList
+	// rootBytes tracks resident bytes per leading PrefixKey segment; fleet
+	// snapshots consume it for KV-affinity routing.
+	rootBytes map[string]int64
+	free      *tierBlock // recycled blocks, reused before allocating
+
+	// Ledger is the store's transition accounting. Read-only for callers;
+	// tests may corrupt it deliberately to prove the conservation checker
+	// fires.
+	Ledger TierLedger
+
+	// Observer, if set, watches transitions (see TierObserver).
+	Observer TierObserver
+}
+
+// NewTieredStore returns an empty store for the given (defaulted) config.
+func NewTieredStore(cfg TieredConfig) *TieredStore {
+	cfg = cfg.WithDefaults()
+	return &TieredStore{
+		cfg:       cfg,
+		blocks:    make(map[uint64]*tierBlock),
+		rootBytes: make(map[string]int64),
+	}
+}
+
+// Reset reinitializes a recycled store in place, equivalent to
+// NewTieredStore(cfg). Resident blocks from the previous run are dropped.
+func (s *TieredStore) Reset(cfg TieredConfig) {
+	cfg = cfg.WithDefaults()
+	*s = TieredStore{
+		cfg:       cfg,
+		blocks:    make(map[uint64]*tierBlock),
+		rootBytes: make(map[string]int64),
+	}
+}
+
+// Config returns the defaulted configuration the store runs with.
+func (s *TieredStore) Config() TieredConfig { return s.cfg }
+
+// BlockTokens returns the sharing granularity.
+func (s *TieredStore) BlockTokens() int { return s.cfg.BlockTokens }
+
+// TierUsage recomputes the resident bytes per tier by walking the block
+// lists — the ground truth the ledger is reconciled against.
+func (s *TieredStore) TierUsage() (gpuBytes, cpuBytes int64) {
+	for b := s.gpu.front; b != nil; b = b.next {
+		gpuBytes += b.bytes
+	}
+	for b := s.cpu.front; b != nil; b = b.next {
+		cpuBytes += b.bytes
+	}
+	return gpuBytes, cpuBytes
+}
+
+// PrefixRoot returns the leading segment of a hierarchical PrefixKey — the
+// granularity KV-affinity routing scores at.
+func PrefixRoot(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			return key[:i]
+		}
+	}
+	return key
+}
+
+// RootResidency is one (leading segment, resident bytes) pair from
+// AppendResidency.
+type RootResidency struct {
+	Root  string
+	Bytes int64
+}
+
+// AppendResidency appends the store's per-root resident bytes to dst,
+// sorted by root for determinism, and returns the extended slice.
+func (s *TieredStore) AppendResidency(dst []RootResidency) []RootResidency {
+	start := len(dst)
+	//slinfer:maporder collected tail is insertion-sorted by root below before anyone reads it
+	for root, bytes := range s.rootBytes {
+		if bytes > 0 {
+			dst = append(dst, RootResidency{Root: root, Bytes: bytes})
+		}
+	}
+	tail := dst[start:]
+	// Insertion sort: residency maps are small (a handful of templates and
+	// live sessions), and this avoids a sort.Slice closure allocation.
+	for i := 1; i < len(tail); i++ {
+		for j := i; j > 0 && tail[j].Root < tail[j-1].Root; j-- {
+			tail[j], tail[j-1] = tail[j-1], tail[j]
+		}
+	}
+	return dst
+}
+
+// fnv64a constants (hash/fnv is not used directly: the hot lookup path
+// hashes incrementally without allocating a hasher).
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+//slinfer:hotpath
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+//slinfer:hotpath
+func fnvByte(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fnvPrime64
+	return h
+}
+
+// chainStep advances the block-hash chain: block i's identity folds in the
+// previous block's hash, the owning key-segment path, and the position, so
+// equal leading (segment, position) sequences — and nothing else — collide.
+//
+//slinfer:hotpath
+func chainStep(prev uint64, owner string, idx int) uint64 {
+	h := fnvString(prev^fnvOffset64, owner)
+	h = fnvByte(h, '#')
+	for v := uint64(idx); ; v >>= 7 {
+		if v < 0x80 {
+			h = fnvByte(h, byte(v))
+			break
+		}
+		h = fnvByte(h, byte(v&0x7f)|0x80)
+	}
+	return h
+}
+
+// segmentOwner returns the PrefixKey prefix owning token index tok: segments
+// are '/'-separated, and a "@N" suffix pins a segment to its first N tokens;
+// the final segment owns the remainder. The returned string is a slice of
+// key — no allocation.
+//
+//slinfer:hotpath
+func segmentOwner(key string, tok int) string {
+	start, covered := 0, 0
+	for start < len(key) {
+		end := start
+		tokens := -1 // -1: open-ended (owns the rest)
+		for end < len(key) && key[end] != '/' {
+			if key[end] == '@' {
+				tokens = 0
+				for j := end + 1; j < len(key) && key[j] != '/'; j++ {
+					if d := key[j]; d >= '0' && d <= '9' {
+						tokens = tokens*10 + int(d-'0')
+					}
+				}
+			}
+			end++
+		}
+		if tokens < 0 || tok < covered+tokens || end >= len(key) {
+			return key[:end]
+		}
+		covered += tokens
+		start = end + 1
+	}
+	return key
+}
+
+// Lookup walks the leading full blocks of a request's prompt through the
+// index and returns the cached token count plus the host-to-device transfer
+// cost for blocks served from the CPU tier (promoted back to GPU as a side
+// effect). Partial trailing blocks never hit. A zero hit on a non-empty key
+// still counts a lookup, feeding the miss side of the hit-rate metric.
+//
+//slinfer:hotpath
+func (s *TieredStore) Lookup(modelName, key string, inputTokens int, kvBytesPerToken int64) (hitTokens int, xfer sim.Duration) {
+	if s == nil || key == "" || inputTokens <= 0 || kvBytesPerToken <= 0 {
+		return 0, 0
+	}
+	bt := s.cfg.BlockTokens
+	nBlocks := inputTokens / bt
+	h := fnvString(fnvOffset64, modelName)
+	var promoted int64
+	for i := 0; i < nBlocks; i++ {
+		h = chainStep(h, segmentOwner(key, i*bt), i)
+		b, ok := s.blocks[h]
+		if !ok {
+			break
+		}
+		if b.tier == tierCPU {
+			promoted += b.bytes
+			s.promote(b)
+		} else {
+			s.gpu.remove(b)
+			s.gpu.pushFront(b)
+		}
+		hitTokens += bt
+	}
+	hitBytes := int64(hitTokens) * kvBytesPerToken
+	s.Ledger.Lookups++
+	if hitTokens > 0 {
+		s.Ledger.Hits++
+	}
+	s.Ledger.HitBytes += hitBytes
+	s.Ledger.MissBytes += int64(inputTokens-hitTokens) * kvBytesPerToken
+	s.Ledger.CPUHitBytes += promoted
+	if s.Observer != nil {
+		s.Observer.TierChanged(s)
+	}
+	return hitTokens, PromoteTime(promoted)
+}
+
+// promote moves a CPU-tier block back into the GPU tier, spilling the GPU
+// tail to make room. If the block cannot fit even after spilling everything
+// else, it stays resident in the CPU tier (served over PCIe in place).
+//
+//slinfer:hotpath
+func (s *TieredStore) promote(b *tierBlock) {
+	if b.bytes > s.cfg.GPUBytes {
+		s.cpu.remove(b)
+		s.cpu.pushFront(b)
+		return
+	}
+	s.cpu.remove(b)
+	s.Ledger.CPUBytes -= b.bytes
+	s.makeGPURoom(b.bytes)
+	b.tier = tierGPU
+	s.gpu.pushFront(b)
+	s.Ledger.GPUBytes += b.bytes
+}
+
+// makeGPURoom spills LRU GPU blocks to the CPU tier (or frees them when the
+// host tier is disabled or full) until need bytes fit.
+//
+//slinfer:hotpath
+func (s *TieredStore) makeGPURoom(need int64) {
+	for s.gpu.bytes+need > s.cfg.GPUBytes && s.gpu.back != nil {
+		victim := s.gpu.back
+		s.gpu.remove(victim)
+		s.Ledger.GPUBytes -= victim.bytes
+		if s.cfg.CPUBytes > 0 && victim.bytes <= s.cfg.CPUBytes {
+			s.makeCPURoom(victim.bytes)
+			victim.tier = tierCPU
+			s.cpu.pushFront(victim)
+			s.Ledger.CPUBytes += victim.bytes
+			s.Ledger.Spills++
+			s.Ledger.SpillBytes += victim.bytes
+		} else {
+			s.freeBlock(victim)
+		}
+	}
+}
+
+// makeCPURoom frees LRU CPU blocks until need bytes fit in the host tier.
+//
+//slinfer:hotpath
+func (s *TieredStore) makeCPURoom(need int64) {
+	for s.cpu.bytes+need > s.cfg.CPUBytes && s.cpu.back != nil {
+		victim := s.cpu.back
+		s.cpu.remove(victim)
+		s.Ledger.CPUBytes -= victim.bytes
+		s.freeBlock(victim)
+	}
+}
+
+// freeBlock evicts a block out of the store entirely and recycles it.
+//
+//slinfer:hotpath
+func (s *TieredStore) freeBlock(b *tierBlock) {
+	s.Ledger.FreedBytes += b.bytes
+	s.Ledger.Evictions++
+	s.rootBytes[b.root] -= b.bytes
+	delete(s.blocks, b.hash)
+	*b = tierBlock{next: s.free}
+	s.free = b
+}
+
+// Insert demotes a completed request's context into the store: every full
+// leading block (prompt plus generated tokens — the whole KV state resident
+// at completion) is admitted to the GPU tier or refreshed if already
+// present. Returns the device-to-host spill cost incurred making room, for
+// callers that book background copy overhead.
+func (s *TieredStore) Insert(modelName, key string, contextTokens int, kvBytesPerToken int64) sim.Duration {
+	if s == nil || key == "" || contextTokens <= 0 || kvBytesPerToken <= 0 {
+		return 0
+	}
+	bt := s.cfg.BlockTokens
+	nBlocks := contextTokens / bt
+	blockBytes := int64(bt) * kvBytesPerToken
+	root := PrefixRoot(key)
+	h := fnvString(fnvOffset64, modelName)
+	spilledBefore := s.Ledger.SpillBytes
+	for i := 0; i < nBlocks; i++ {
+		h = chainStep(h, segmentOwner(key, i*bt), i)
+		if b, ok := s.blocks[h]; ok {
+			// Refresh recency in place; resident tier is untouched.
+			if b.tier == tierGPU {
+				s.gpu.remove(b)
+				s.gpu.pushFront(b)
+			} else {
+				s.cpu.remove(b)
+				s.cpu.pushFront(b)
+			}
+			continue
+		}
+		if blockBytes > s.cfg.GPUBytes {
+			continue // a single block larger than the tier can never fit
+		}
+		s.makeGPURoom(blockBytes)
+		b := s.free
+		if b != nil {
+			s.free = b.next
+			*b = tierBlock{}
+		} else {
+			b = &tierBlock{}
+		}
+		b.hash, b.bytes, b.tier, b.root = h, blockBytes, tierGPU, root
+		s.blocks[h] = b
+		s.gpu.pushFront(b)
+		s.Ledger.AllocatedBytes += blockBytes
+		s.Ledger.GPUBytes += blockBytes
+		s.Ledger.Inserts++
+		s.rootBytes[root] += blockBytes
+	}
+	if s.Observer != nil {
+		s.Observer.TierChanged(s)
+	}
+	return SpillTime(s.Ledger.SpillBytes - spilledBefore)
+}

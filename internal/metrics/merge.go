@@ -17,12 +17,14 @@ import (
 // percentiles of the pooled samples (pinned by TestMergeReportsPercentiles).
 // Node usage sums (each shard owns disjoint nodes) and decode speed is the
 // activity-weighted mean — exact, because active node-seconds reconstruct
-// from AvgNodesUsed x duration. Two fields are weighted approximations, as
-// their exact weights (iteration and lifetime totals) are not part of a
-// report: AvgBatch weights by batch-CDF length (exact below the CDF cap)
-// and MeanKVUtil/ScalingOverhead weight by completed requests. Wall-clock
-// overheads (ValidationMS, ScheduleUS) measure host time and are not
-// merged, matching their exclusion from Canonical.
+// from AvgNodesUsed x duration. The remaining means merge exactly from the
+// totals every report carries: AvgBatch weights by DecodeIters (correct
+// even past the BatchCDF cap), MeanKVUtil by KVSamples, ScalingOverhead
+// recomputes from summed ScalingBusy/InstanceLifetime, and the prefix-cache
+// hit rate from summed hit/miss bytes (all pinned by
+// TestMergeReportsExactTotals). Wall-clock overheads (ValidationMS,
+// ScheduleUS) measure host time and are not merged, matching their
+// exclusion from Canonical.
 func MergeReports(system string, duration sim.Duration, reports ...Report) Report {
 	r := Report{
 		System: system, Duration: duration,
@@ -32,8 +34,7 @@ func MergeReports(system string, duration sim.Duration, reports ...Report) Repor
 		MeanMemUtil:  map[hwsim.Kind]float64{},
 	}
 	decodeAct := map[hwsim.Kind]float64{} // active node-seconds per kind
-	var batchSum, batchN float64
-	var kvSum, kvW, scaleSum, scaleW float64
+	var batchSum, kvSum float64
 	for _, in := range reports {
 		r.Total += in.Total
 		r.Completed += in.Completed
@@ -57,16 +58,16 @@ func MergeReports(system string, duration sim.Duration, reports ...Report) Repor
 		for kind, cdf := range in.MemUtilCDF {
 			r.MemUtilCDF[kind] = append(r.MemUtilCDF[kind], cdf...)
 		}
-		if w := float64(len(in.BatchCDF)); w > 0 {
-			batchSum += in.AvgBatch * w
-			batchN += w
-		}
-		if w := float64(in.Completed); w > 0 {
-			kvSum += in.MeanKVUtil * w
-			kvW += w
-			scaleSum += in.ScalingOverhead * w
-			scaleW += w
-		}
+		batchSum += in.AvgBatch * float64(in.DecodeIters)
+		r.DecodeIters += in.DecodeIters
+		kvSum += in.MeanKVUtil * float64(in.KVSamples)
+		r.KVSamples += in.KVSamples
+		r.ScalingBusy += in.ScalingBusy
+		r.InstanceLifetime += in.InstanceLifetime
+		r.PrefixLookups += in.PrefixLookups
+		r.PrefixHits += in.PrefixHits
+		r.PrefixHitBytes += in.PrefixHitBytes
+		r.PrefixMissBytes += in.PrefixMissBytes
 	}
 	if r.Total > 0 {
 		r.SLORate = float64(r.Met) / float64(r.Total)
@@ -76,8 +77,8 @@ func MergeReports(system string, duration sim.Duration, reports ...Report) Repor
 	r.TTFTP95 = percentile(r.TTFTCDF, 0.95)
 	r.TTFTP99 = percentile(r.TTFTCDF, 0.99)
 	sort.Ints(r.BatchCDF)
-	if batchN > 0 {
-		r.AvgBatch = batchSum / batchN
+	if r.DecodeIters > 0 {
+		r.AvgBatch = batchSum / float64(r.DecodeIters)
 	}
 	for kind, act := range decodeAct {
 		if act > 0 {
@@ -90,14 +91,17 @@ func MergeReports(system string, duration sim.Duration, reports ...Report) Repor
 		sort.Float64s(cdf)
 		r.MeanMemUtil[kind] = mean(cdf)
 	}
-	if kvW > 0 {
-		r.MeanKVUtil = kvSum / kvW
+	if r.KVSamples > 0 {
+		r.MeanKVUtil = kvSum / float64(r.KVSamples)
 	}
-	if scaleW > 0 {
-		r.ScalingOverhead = scaleSum / scaleW
+	if r.InstanceLifetime > 0 {
+		r.ScalingOverhead = r.ScalingBusy.Seconds() / r.InstanceLifetime.Seconds()
 	}
 	if r.Completed > 0 {
 		r.MigrationRate = float64(r.Migrations) / float64(r.Completed)
+	}
+	if tot := r.PrefixHitBytes + r.PrefixMissBytes; tot > 0 {
+		r.PrefixHitRate = float64(r.PrefixHitBytes) / float64(tot)
 	}
 	return r
 }

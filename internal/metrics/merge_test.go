@@ -90,6 +90,79 @@ func TestMergeReportsDoesNotMutateInputs(t *testing.T) {
 	}
 }
 
+// TestMergeReportsExactTotals pins the satellite contract: AvgBatch,
+// MeanKVUtil, ScalingOverhead, and the prefix hit rate merge from the exact
+// totals each report carries — equal (to float rounding) to one collector
+// having seen everything, even when a shard's BatchCDF is truncated at its
+// 200000-sample cap.
+func TestMergeReportsExactTotals(t *testing.T) {
+	build := func(name string, decodes []int, kv []float64, busy, life sim.Duration, prefix [][2]int64) Report {
+		c := NewCollector()
+		for _, b := range decodes {
+			c.RecordDecode(hwsim.GPU, b)
+		}
+		for _, v := range kv {
+			c.SampleKVUtil(v)
+		}
+		c.ScalingBusy, c.InstanceLifetime = busy, life
+		for _, p := range prefix {
+			c.RecordPrefixLookup(p[0], p[1])
+		}
+		return c.BuildReport(name, 10*sim.Second)
+	}
+
+	// Shard a blows past the CDF cap: 200001 iterations of batch 2 plus one
+	// of batch 8 — len(BatchCDF) stops at 200000, DecodeIters does not.
+	decodesA := make([]int, 0, 200002)
+	for i := 0; i < 200001; i++ {
+		decodesA = append(decodesA, 2)
+	}
+	decodesA = append(decodesA, 8)
+	a := build("a", decodesA, []float64{0.5, 0.7}, 2*sim.Second, 10*sim.Second,
+		[][2]int64{{100, 50}, {0, 30}})
+	b := build("b", []int{4, 4, 4, 4}, []float64{0.1}, sim.Second, 30*sim.Second,
+		[][2]int64{{200, 0}})
+
+	if len(a.BatchCDF) != 200000 {
+		t.Fatalf("shard a BatchCDF len = %d, want capped 200000", len(a.BatchCDF))
+	}
+	if a.DecodeIters != 200002 {
+		t.Fatalf("shard a DecodeIters = %d, want 200002", a.DecodeIters)
+	}
+
+	merged := MergeReports("fleet", 10*sim.Second, a, b)
+
+	// Reference: one collector fed everything.
+	want := build("fleet", append(append([]int{}, decodesA...), 4, 4, 4, 4),
+		[]float64{0.5, 0.7, 0.1}, 3*sim.Second, 40*sim.Second,
+		[][2]int64{{100, 50}, {0, 30}, {200, 0}})
+
+	for _, tc := range []struct {
+		field    string
+		got, ref float64
+	}{
+		{"avgbatch", merged.AvgBatch, want.AvgBatch},
+		{"kvutil", merged.MeanKVUtil, want.MeanKVUtil},
+		{"scaling", merged.ScalingOverhead, want.ScalingOverhead},
+		{"prefixrate", merged.PrefixHitRate, want.PrefixHitRate},
+	} {
+		if math.Abs(tc.got-tc.ref) > 1e-12 {
+			t.Errorf("%s: merged %v != pooled %v", tc.field, tc.got, tc.ref)
+		}
+	}
+	if merged.DecodeIters != want.DecodeIters || merged.KVSamples != want.KVSamples {
+		t.Errorf("totals: iters=%d kv=%d, want %d, %d",
+			merged.DecodeIters, merged.KVSamples, want.DecodeIters, want.KVSamples)
+	}
+	if merged.ScalingBusy != want.ScalingBusy || merged.InstanceLifetime != want.InstanceLifetime {
+		t.Errorf("durations did not sum: %v/%v", merged.ScalingBusy, merged.InstanceLifetime)
+	}
+	if merged.PrefixLookups != 3 || merged.PrefixHits != 2 ||
+		merged.PrefixHitBytes != 300 || merged.PrefixMissBytes != 80 {
+		t.Errorf("prefix counters: %+v", merged)
+	}
+}
+
 // TestMergeReportsEmpty keeps the degenerate cases total.
 func TestMergeReportsEmpty(t *testing.T) {
 	m := MergeReports("fleet", sim.Second)

@@ -58,6 +58,12 @@ type Collector struct {
 	ScalingBusy      sim.Duration
 	InstanceLifetime sim.Duration
 
+	// Prefix-cache counters (tiered KV store; zero with sharing disabled).
+	PrefixLookups   int64
+	PrefixHits      int64
+	PrefixHitBytes  int64
+	PrefixMissBytes int64
+
 	// Wall-clock scheduling overhead (Figure 33).
 	ValidationNs    int64
 	ValidationCount int64
@@ -100,6 +106,8 @@ func (c *Collector) Reset() {
 	c.ColdStarts, c.Reclaims, c.Preemptions = 0, 0, 0
 	c.Migrations, c.Evictions, c.KVResizes = 0, 0, 0
 	c.ScalingBusy, c.InstanceLifetime = 0, 0
+	c.PrefixLookups, c.PrefixHits = 0, 0
+	c.PrefixHitBytes, c.PrefixMissBytes = 0, 0
 	c.ValidationNs, c.ValidationCount = 0, 0
 	c.ScheduleNs, c.ScheduleCount = 0, 0
 }
@@ -132,6 +140,19 @@ func (c *Collector) RecordCompletion(met bool, ttft sim.Duration, haveTTFT bool)
 
 // RecordDrop records an abandoned request.
 func (c *Collector) RecordDrop() { c.Dropped++ }
+
+// RecordPrefixLookup records one tiered-prefix-cache lookup split into hit
+// and miss bytes.
+//
+//slinfer:hotpath
+func (c *Collector) RecordPrefixLookup(hitBytes, missBytes int64) {
+	c.PrefixLookups++
+	if hitBytes > 0 {
+		c.PrefixHits++
+	}
+	c.PrefixHitBytes += hitBytes
+	c.PrefixMissBytes += missBytes
+}
 
 // RecordDecode records one decode iteration of the given batch size on a
 // device kind.
@@ -211,22 +232,40 @@ type Report struct {
 
 	// AvgBatch is the iteration-weighted mean decode batch size.
 	AvgBatch float64
-	// BatchCDF is the sorted batch-size sample distribution.
-	BatchCDF []int
+	// BatchCDF is the sorted batch-size sample distribution, capped at
+	// 200000 samples; DecodeIters is the exact uncapped iteration count
+	// (the weight that merges AvgBatch exactly).
+	BatchCDF    []int
+	DecodeIters int64
 
 	// MemUtilCDF per kind, sorted ascending.
 	MemUtilCDF map[hwsim.Kind][]float64
 	// MeanMemUtil per kind.
 	MeanMemUtil map[hwsim.Kind]float64
-	// MeanKVUtil is the mean KV allocation utilization (Figure 31).
+	// MeanKVUtil is the mean KV allocation utilization (Figure 31);
+	// KVSamples is its exact sample count (the weight that merges it).
 	MeanKVUtil float64
+	KVSamples  int64
 
-	// ScalingOverhead is ScalingBusy / InstanceLifetime (Figure 31).
-	ScalingOverhead float64
+	// ScalingOverhead is ScalingBusy / InstanceLifetime (Figure 31). The
+	// two underlying totals ride along so merges recompute the ratio from
+	// summed durations instead of approximating.
+	ScalingOverhead  float64
+	ScalingBusy      sim.Duration
+	InstanceLifetime sim.Duration
 	// MigrationRate is migrations per completed request (§IX-I5).
 	MigrationRate float64
 
 	ColdStarts, Reclaims, Preemptions, Migrations, Evictions, KVResizes int64
+
+	// Prefix-cache hit-rate counters (tiered KV store). All zero when
+	// prefix sharing is disabled; MergeReports sums the counters exactly
+	// and recomputes PrefixHitRate = HitBytes / (HitBytes + MissBytes).
+	PrefixLookups   int64
+	PrefixHits      int64
+	PrefixHitBytes  int64
+	PrefixMissBytes int64
+	PrefixHitRate   float64
 
 	// Wall-clock overheads in milliseconds per operation (Figure 33).
 	ValidationMS float64
@@ -296,6 +335,7 @@ func (c *Collector) BuildReport(system string, duration sim.Duration) Report {
 	if batchN > 0 {
 		r.AvgBatch = float64(batchSum) / float64(batchN)
 	}
+	r.DecodeIters = batchN
 
 	for kind, samples := range c.MemUtil {
 		sort.Float64s(samples)
@@ -303,12 +343,19 @@ func (c *Collector) BuildReport(system string, duration sim.Duration) Report {
 		r.MeanMemUtil[kind] = mean(samples)
 	}
 	r.MeanKVUtil = mean(c.KVUtil)
+	r.KVSamples = int64(len(c.KVUtil))
 
+	r.ScalingBusy, r.InstanceLifetime = c.ScalingBusy, c.InstanceLifetime
 	if c.InstanceLifetime > 0 {
 		r.ScalingOverhead = c.ScalingBusy.Seconds() / c.InstanceLifetime.Seconds()
 	}
 	if c.Completed > 0 {
 		r.MigrationRate = float64(c.Migrations) / float64(c.Completed)
+	}
+	r.PrefixLookups, r.PrefixHits = c.PrefixLookups, c.PrefixHits
+	r.PrefixHitBytes, r.PrefixMissBytes = c.PrefixHitBytes, c.PrefixMissBytes
+	if tot := c.PrefixHitBytes + c.PrefixMissBytes; tot > 0 {
+		r.PrefixHitRate = float64(c.PrefixHitBytes) / float64(tot)
 	}
 	if c.ValidationCount > 0 {
 		r.ValidationMS = float64(c.ValidationNs) / float64(c.ValidationCount) / 1e6
@@ -379,6 +426,12 @@ func (r Report) Canonical() string {
 	p("kvutil=%.9f scaling=%.9f migrate=%.9f\n", r.MeanKVUtil, r.ScalingOverhead, r.MigrationRate)
 	p("cold=%d reclaim=%d preempt=%d migr=%d evict=%d resize=%d\n",
 		r.ColdStarts, r.Reclaims, r.Preemptions, r.Migrations, r.Evictions, r.KVResizes)
+	// The prefix line only appears when the tiered cache saw traffic, so
+	// runs with sharing disabled render exactly as before the feature.
+	if r.PrefixLookups > 0 {
+		p("prefix lookups=%d hits=%d hitrate=%.9f hitbytes=%d missbytes=%d\n",
+			r.PrefixLookups, r.PrefixHits, r.PrefixHitRate, r.PrefixHitBytes, r.PrefixMissBytes)
+	}
 	return b.String()
 }
 

@@ -6,25 +6,28 @@ import "slinfer/internal/model"
 // short enough to run on every push. Nightly is the paper-shaped matrix for
 // deliberate deep verification runs.
 
-// Smoke returns the CI smoke matrix: 2 workloads × 2 transforms × 2
-// topologies × 3 systems × 2 SLO classes × 1 seed × 2 fleet shapes = 96
+// Smoke returns the CI smoke matrix: 3 workloads × 2 transforms × 2
+// topologies × 4 systems × 2 SLO classes × 1 seed × 2 fleet shapes = 192
 // cells, each a two-minute trace, so the whole grid clears in seconds on a
 // parallel pool. The fleet axis crosses every cell with a 2-shard
 // round-robin fleet, so the front-door layer faces the same workload ×
-// system × SLO surface the single-controller path does.
+// system × SLO surface the single-controller path does. The chat workload ×
+// SLINFER+prefix cells drive the tiered prefix store (and its conservation
+// invariant) on every push.
 func Smoke() Grid {
 	return Grid{
 		Name: "smoke",
 		Workloads: []Workload{
 			{Name: "azure8x7b", Base: model.Llama2_7B, Models: 8, Minutes: 2},
 			{Name: "burst6x3b", Base: model.Llama32_3B, Models: 6, Minutes: 2, Generator: "burstgpt", RPS: 1.5},
+			{Name: "chat4x7b", Base: model.Llama2_7B, Models: 4, Minutes: 2, Generator: "chat"},
 		},
 		Transforms: []Transform{Identity(), TimeCompressed(2)},
 		Topologies: []Topology{
 			{Name: "2c2g", CPU: 2, GPU: 2},
 			{Name: "1c3g", CPU: 1, GPU: 3},
 		},
-		Systems: []string{"SLINFER", "sllm+c", "sllm+c+s"},
+		Systems: []string{"SLINFER", "sllm+c", "sllm+c+s", "SLINFER+prefix"},
 		SLOs:    []SLOClass{DefaultSLO(), TightSLO(0.15)},
 		Seeds:   []uint64{1},
 		Fleets: []FleetAxis{

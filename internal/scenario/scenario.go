@@ -44,7 +44,9 @@ type Workload struct {
 	Models int
 	// Minutes is the trace length.
 	Minutes float64
-	// Generator selects the trace process: "azure" (default) or "burstgpt".
+	// Generator selects the trace process: "azure" (default), "burstgpt",
+	// or "chat" (multi-turn sessions with shared template prefixes — the
+	// workload shape prefix-aware KV caching pays on).
 	Generator string
 	// RPS is the aggregate request rate (burstgpt only).
 	RPS float64
@@ -73,8 +75,13 @@ func (w Workload) Trace(seed uint64) ([]model.Model, workload.Trace, error) {
 			ModelNames: names, Duration: dur, RPS: w.RPS, Dataset: w.Dataset,
 			Seed: seed, MaxInput: w.Base.MaxContext,
 		}), nil
+	case "chat":
+		return models, workload.GenerateChat(workload.ChatConfig{
+			ModelNames: names, Duration: dur, Dataset: w.Dataset,
+			Seed: seed, MaxInput: w.Base.MaxContext,
+		}), nil
 	default:
-		return nil, workload.Trace{}, fmt.Errorf("scenario: workload %s: unknown generator %q (want azure or burstgpt)", w.Name, w.Generator)
+		return nil, workload.Trace{}, fmt.Errorf("scenario: workload %s: unknown generator %q (want azure, burstgpt, or chat)", w.Name, w.Generator)
 	}
 }
 

@@ -119,6 +119,55 @@ func TestTightSLOIsHarder(t *testing.T) {
 	}
 }
 
+// TestChatPrefixSharingPays is the acceptance gate for the tiered prefix
+// store: on the multi-turn chat workload, enabling prefix sharing must serve
+// more than half the prompt bytes from cache, and the recompute savings must
+// show up end to end as lower median TTFT without costing throughput.
+func TestChatPrefixSharingPays(t *testing.T) {
+	g := Smoke()
+	var chat Workload
+	for _, w := range g.Workloads {
+		if w.Generator == "chat" {
+			chat = w
+		}
+	}
+	if chat.Generator != "chat" {
+		t.Fatal("smoke grid has no chat workload")
+	}
+	base := Cell{
+		Workload: chat, Transform: Identity(),
+		Topology: g.Topologies[0], System: "SLINFER",
+		SLO: DefaultSLO(), Seed: 1,
+	}
+	shared := base
+	shared.System = "SLINFER+prefix"
+
+	rb, rs := RunCell(base), RunCell(shared)
+	if rb.Err != nil || rs.Err != nil {
+		t.Fatalf("cells failed: %v / %v", rb.Err, rs.Err)
+	}
+	if !rb.Ok() || !rs.Ok() {
+		t.Fatalf("invariant violations: base=%v shared=%v", rb.Violations, rs.Violations)
+	}
+	if rb.Report.PrefixLookups != 0 {
+		t.Fatalf("baseline cell performed %d prefix lookups with sharing disabled", rb.Report.PrefixLookups)
+	}
+	if rs.Report.PrefixLookups == 0 {
+		t.Fatal("shared cell performed no prefix lookups — chat trace carries no PrefixKeys")
+	}
+	if rs.Report.PrefixHitRate <= 0.5 {
+		t.Fatalf("prefix hit rate %.3f, want > 0.5", rs.Report.PrefixHitRate)
+	}
+	if rs.Report.TTFTP50 >= rb.Report.TTFTP50 {
+		t.Fatalf("prefix sharing did not improve median TTFT: %.6f vs %.6f",
+			rs.Report.TTFTP50, rb.Report.TTFTP50)
+	}
+	if rs.Report.Completed < rb.Report.Completed {
+		t.Fatalf("prefix sharing lost throughput: completed %d vs %d",
+			rs.Report.Completed, rb.Report.Completed)
+	}
+}
+
 // TestProperties checks every metamorphic property over a reduced grid (the
 // full smoke grid's property pass runs in CI).
 func TestProperties(t *testing.T) {

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"slinfer/internal/sim"
+)
+
+// ChatConfig parameterizes a chat-style multi-turn trace: conversations
+// whose turn k prompt is the full accumulated context of turns 0..k-1 plus
+// a fresh user message, all sharing one of a few system-prompt templates.
+// This is the workload shape where prefix-aware KV caching pays: every turn
+// re-prefills context that a tiered prefix store can serve from cache.
+type ChatConfig struct {
+	// ModelNames are the hosted models; sessions pick one with Zipf skew.
+	ModelNames []string
+	// Duration is the trace length (default 30 minutes).
+	Duration sim.Duration
+	// Sessions is the number of conversations (default 3 per model, min 16).
+	Sessions int
+	// Templates is the number of distinct system-prompt templates shared
+	// across sessions (default 4).
+	Templates int
+	// TemplateTokens is the length of each template prefix (default 512);
+	// these tokens are shareable across every session on the same template.
+	TemplateTokens int
+	// TurnsMean is the mean number of turns per session (default 4,
+	// geometric).
+	TurnsMean float64
+	// ThinkMeanSec is the mean user think time between turns (default 45 s,
+	// exponential) on top of an estimated response latency.
+	ThinkMeanSec float64
+	// Dataset sizes user messages and responses (default AzureConv; user
+	// messages use a quarter of the dataset's input scale since the
+	// template and accumulated context carry the bulk).
+	Dataset Dataset
+	// ZipfS is the model-popularity skew (default 1.0, as in Generate).
+	ZipfS float64
+	// Seed makes the trace deterministic.
+	Seed uint64
+	// MaxInput optionally caps input lengths (e.g. a model's context
+	// limit); a session stops growing once a turn would exceed it.
+	MaxInput int
+}
+
+func (c *ChatConfig) defaults() {
+	if c.Duration <= 0 {
+		c.Duration = 30 * sim.Minute
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 3 * len(c.ModelNames)
+		if c.Sessions < 16 {
+			c.Sessions = 16
+		}
+	}
+	if c.Templates <= 0 {
+		c.Templates = 4
+	}
+	if c.TemplateTokens <= 0 {
+		c.TemplateTokens = 512
+	}
+	if c.TurnsMean < 1 {
+		c.TurnsMean = 4
+	}
+	if c.ThinkMeanSec <= 0 {
+		c.ThinkMeanSec = 45
+	}
+	if c.Dataset.Name == "" {
+		c.Dataset = AzureConv
+	}
+	if c.ZipfS <= 0 {
+		c.ZipfS = 1.0
+	}
+}
+
+// GenerateChat builds a deterministic multi-turn chat trace. Each request
+// carries a PrefixKey "tpl<t>@<tokens>/sess<s>": the template segment is
+// shared across sessions, the session segment across that conversation's
+// turns. Turn k+1's prompt is turn k's prompt plus turn k's output plus a
+// new user message, so consecutive turns share their entire leading
+// context.
+func GenerateChat(cfg ChatConfig) Trace {
+	cfg.defaults()
+	n := len(cfg.ModelNames)
+	if n == 0 {
+		return Trace{RPM: map[string]float64{}}
+	}
+	rng := sim.NewRNG(cfg.Seed^0xc4a7, cfg.Seed+11)
+	popRNG := rng.Derive("popularity")
+	sessRNG := rng.Derive("sessions")
+	lenRNG := rng.Derive("lengths")
+
+	// Zipf model popularity over a random permutation, as in Generate.
+	weights := make([]float64, n)
+	var sum float64
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -cfg.ZipfS)
+		sum += weights[i]
+	}
+	perm := popRNG.Perm(n)
+
+	dur := cfg.Duration.Seconds()
+	var reqs []Request
+	counts := make(map[string]float64, n)
+	var id int64
+	for s := 0; s < cfg.Sessions; s++ {
+		// Pick the session's model by popularity weight.
+		u := sessRNG.Float64() * sum
+		rank := 0
+		for acc := weights[0]; acc < u && rank < n-1; {
+			rank++
+			acc += weights[rank]
+		}
+		name := cfg.ModelNames[perm[rank]]
+		tpl := sessRNG.IntN(cfg.Templates)
+		key := fmt.Sprintf("tpl%d@%d/sess%d", tpl, cfg.TemplateTokens, s)
+
+		// Sessions start spread over the first two thirds of the trace so
+		// later turns still land inside it.
+		at := sessRNG.Float64() * dur * 2 / 3
+		context := cfg.TemplateTokens
+		turns := 1
+		for sessRNG.Float64() < 1-1/cfg.TurnsMean && turns < 16 {
+			turns++
+		}
+		for turn := 0; turn < turns; turn++ {
+			user := cfg.Dataset.SampleInput(lenRNG)/4 + 16
+			in := context + user
+			if cfg.MaxInput > 0 && in > cfg.MaxInput {
+				break
+			}
+			out := cfg.Dataset.SampleOutput(lenRNG)
+			if at >= dur {
+				break
+			}
+			reqs = append(reqs, Request{
+				ID: id, ModelName: name, Arrival: sim.Time(at),
+				InputLen: in, OutputLen: out, PrefixKey: key,
+			})
+			counts[name]++
+			id++
+			context = in + out
+			// Next turn waits for an estimated response plus think time.
+			resp := 1 + 0.04*float64(out)
+			at += resp + sessRNG.Exp(cfg.ThinkMeanSec)
+		}
+	}
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].Arrival != reqs[j].Arrival {
+			return reqs[i].Arrival < reqs[j].Arrival
+		}
+		return reqs[i].ID < reqs[j].ID
+	})
+	rpm := make(map[string]float64, len(counts))
+	for name, c := range counts {
+		rpm[name] = c / (dur / 60)
+	}
+	return Trace{Requests: reqs, RPM: rpm, Duration: cfg.Duration}
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"slinfer/internal/sim"
+)
+
+func TestGenerateChatValidDeterministic(t *testing.T) {
+	cfg := ChatConfig{
+		ModelNames: []string{"m0", "m1", "m2", "m3"},
+		Duration:   10 * sim.Minute,
+		Seed:       7,
+		MaxInput:   4096,
+	}
+	tr := GenerateChat(cfg)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) == 0 {
+		t.Fatal("empty chat trace")
+	}
+	tr2 := GenerateChat(cfg)
+	if len(tr2.Requests) != len(tr.Requests) {
+		t.Fatalf("non-deterministic: %d vs %d requests", len(tr.Requests), len(tr2.Requests))
+	}
+	for i := range tr.Requests {
+		if tr.Requests[i] != tr2.Requests[i] {
+			t.Fatalf("request %d differs between identical seeds", i)
+		}
+	}
+
+	// Every request carries a hierarchical template/session prefix key, and
+	// turns of one session grow monotonically and share model + key.
+	type sess struct {
+		model   string
+		lastIn  int
+		lastAt  sim.Time
+		turns   int
+		started bool
+	}
+	sessions := map[string]*sess{}
+	for _, r := range tr.Requests {
+		if !strings.HasPrefix(r.PrefixKey, "tpl") || !strings.Contains(r.PrefixKey, "/sess") {
+			t.Fatalf("bad prefix key %q", r.PrefixKey)
+		}
+		s := sessions[r.PrefixKey]
+		if s == nil {
+			s = &sess{model: r.ModelName}
+			sessions[r.PrefixKey] = s
+		}
+		if r.ModelName != s.model {
+			t.Fatalf("session %q switched model", r.PrefixKey)
+		}
+		if s.started && (r.InputLen <= s.lastIn || r.Arrival <= s.lastAt) {
+			t.Fatalf("session %q turn did not grow: in %d->%d at %v->%v",
+				r.PrefixKey, s.lastIn, r.InputLen, s.lastAt, r.Arrival)
+		}
+		s.lastIn, s.lastAt, s.started = r.InputLen, r.Arrival, true
+		s.turns++
+	}
+	multi := 0
+	for _, s := range sessions {
+		if s.turns > 1 {
+			multi++
+		}
+	}
+	if multi < len(sessions)/3 {
+		t.Fatalf("only %d/%d sessions are multi-turn", multi, len(sessions))
+	}
+}

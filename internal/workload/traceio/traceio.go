@@ -61,13 +61,15 @@ type header struct {
 	RPM       map[string]float64 `json:"rpm,omitempty"`
 }
 
-// record is one request line.
+// record is one request line. Prefix is omitted when empty so traces
+// without prefix sharing keep their byte-identical legacy encoding.
 type record struct {
-	ID    int64   `json:"id"`
-	Model string  `json:"model"`
-	At    float64 `json:"at"`
-	In    int     `json:"in"`
-	Out   int     `json:"out"`
+	ID     int64   `json:"id"`
+	Model  string  `json:"model"`
+	At     float64 `json:"at"`
+	In     int     `json:"in"`
+	Out    int     `json:"out"`
+	Prefix string  `json:"prefix,omitempty"`
 }
 
 // maxLine bounds a single request line (the header, which grows with the
@@ -94,7 +96,7 @@ func Save(w io.Writer, tr workload.Trace, meta Meta) error {
 	}
 	for i := range tr.Requests {
 		r := &tr.Requests[i]
-		rec := record{ID: r.ID, Model: r.ModelName, At: float64(r.Arrival), In: r.InputLen, Out: r.OutputLen}
+		rec := record{ID: r.ID, Model: r.ModelName, At: float64(r.Arrival), In: r.InputLen, Out: r.OutputLen, Prefix: r.PrefixKey}
 		if err := writeLine(bw, rec); err != nil {
 			return err
 		}
@@ -201,7 +203,7 @@ func (r *Reader) Next() (req workload.Request, ok bool, err error) {
 	}
 	return workload.Request{
 		ID: rec.ID, ModelName: rec.Model, Arrival: sim.Time(rec.At),
-		InputLen: rec.In, OutputLen: rec.Out,
+		InputLen: rec.In, OutputLen: rec.Out, PrefixKey: rec.Prefix,
 	}, true, nil
 }
 

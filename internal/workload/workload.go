@@ -32,6 +32,12 @@ type Request struct {
 	// OutputLen is the (ground-truth) number of tokens the request will
 	// generate; the serving system does not know it in advance.
 	OutputLen int
+	// PrefixKey, when non-empty, identifies the request's shareable prompt
+	// prefix for the tiered KV cache (kvcache.TieredStore). It is
+	// hierarchical: "tpl3@512/sess17" pins the first 512 tokens to template
+	// 3 and the remainder to session 17 (see kvcache.segmentOwner). Empty
+	// means no cross-request sharing.
+	PrefixKey string
 }
 
 // Dataset is a parametric token-length distribution: log-normal input and

@@ -26,11 +26,13 @@
 package slinfer
 
 import (
+	"slinfer/internal/baseline"
 	"slinfer/internal/core"
 	"slinfer/internal/experiments"
 	"slinfer/internal/fleet"
 	"slinfer/internal/hwsim"
 	"slinfer/internal/invariants"
+	"slinfer/internal/kvcache"
 	"slinfer/internal/metrics"
 	"slinfer/internal/model"
 	"slinfer/internal/policy"
@@ -63,6 +65,12 @@ type (
 	TraceMeta = traceio.Meta
 	// ReplayOptions configures Replay/ReplayFile.
 	ReplayOptions = experiments.ReplayOptions
+	// TieredPrefixConfig sizes the tiered prefix-sharing KV store
+	// (Config.PrefixCache): a GPU tier backed by a CPU spill tier, indexed
+	// by token-block hash chains. The zero value disables it; Enabled with
+	// zero sizes selects the defaults (4 GiB GPU, 4x host). Only requests
+	// carrying a PrefixKey participate. See examples/prefixcache.
+	TieredPrefixConfig = kvcache.TieredConfig
 )
 
 // Policy layer: a serving scheme is a composition of three policies over
@@ -196,6 +204,32 @@ func BurstGPTTrace(models []Model, minutes, rps float64, seed uint64) Trace {
 // CustomTrace generates a trace with full control over the workload.
 func CustomTrace(cfg workload.TraceConfig) Trace { return workload.Generate(cfg) }
 
+// ChatTrace generates a multi-turn chat trace: sessions grow a shared
+// system-prompt template plus their own conversation history turn by turn,
+// and every request carries the PrefixKey that lets the tiered prefix store
+// (Config.PrefixCache) serve the recurring prefix from cache.
+func ChatTrace(models []Model, minutes float64, seed uint64) Trace {
+	names := make([]string, len(models))
+	maxCtx := 0
+	for i, m := range models {
+		names[i] = m.Name
+		if m.MaxContext > maxCtx {
+			maxCtx = m.MaxContext
+		}
+	}
+	return workload.GenerateChat(workload.ChatConfig{
+		ModelNames: names,
+		Duration:   sim.Duration(minutes) * sim.Minute,
+		Seed:       seed,
+		MaxInput:   maxCtx,
+	})
+}
+
+// WithPrefixCache returns a system variant with the tiered prefix-sharing
+// KV store enabled at its default sizing; set Config.PrefixCache directly
+// for custom tier capacities.
+func WithPrefixCache(cfg Config) Config { return baseline.WithPrefixCache(cfg) }
+
 // Trace I/O and replay: a recorded trace is a first-class simulator input.
 // SaveTrace persists the request sequence as versioned JSONL; LoadTrace
 // streams it back; the transformers derive scenario families from one
@@ -267,7 +301,7 @@ type (
 	ControllerProbe = core.Probe
 )
 
-// SmokeGrid returns the CI smoke matrix (96 two-minute cells, fleet axis
+// SmokeGrid returns the CI smoke matrix (192 two-minute cells, fleet axis
 // included).
 func SmokeGrid() ScenarioGrid { return scenario.Smoke() }
 
@@ -352,6 +386,12 @@ func LeastOutstandingRouting() FleetRoutingPolicy { return fleet.LeastOutstandin
 
 // ModelAffinityRouting pins each model to a shard by rendezvous hashing.
 func ModelAffinityRouting() FleetRoutingPolicy { return fleet.ModelAffinity{} }
+
+// KVAffinityRouting routes prefix-keyed requests to the shard holding the
+// most resident bytes for their prefix root (end-of-epoch snapshots), with
+// rendezvous hashing as the cold-prefix and keyless fallback. Pair with a
+// prefix-enabled system (WithPrefixCache) and a chat-style trace.
+func KVAffinityRouting() FleetRoutingPolicy { return &fleet.KVAffinity{} }
 
 // AcceptAllAdmission admits every arrival.
 func AcceptAllAdmission() FleetAdmissionPolicy { return fleet.AcceptAll{} }
