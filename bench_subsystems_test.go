@@ -14,6 +14,7 @@ import (
 
 	"slinfer/internal/core"
 	"slinfer/internal/experiments"
+	"slinfer/internal/faults"
 	"slinfer/internal/fleet"
 	"slinfer/internal/kvcache"
 	"slinfer/internal/memctl"
@@ -281,6 +282,59 @@ func BenchmarkSub_FleetEpochWide(b *testing.B) {
 				}
 				if len(res.Violations) > 0 {
 					b.Fatalf("fleet violations: %v", res.Violations)
+				}
+				events += res.EventsFired
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkSub_FaultEpoch measures the fault-injection machinery on a
+// 4-shard fleet. The "empty" case runs with no fault plan — identical
+// workload and shape to BenchmarkSub_FleetEpoch/4shard — so its delta
+// against that benchmark is the cost of merely having the chaos hooks in
+// the epoch loop (which must be ~nothing: all of it is gated on a
+// non-empty plan). The "crash" case injects one crash/recover cycle and
+// pays for the pull, re-drive, and segment merge.
+func BenchmarkSub_FaultEpoch(b *testing.B) {
+	models := model.Replicas(model.Llama2_7B, 24)
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	tr := workload.GenerateBurstGPT(workload.BurstGPTConfig{
+		ModelNames: names, Duration: 4 * sim.Minute, RPS: 4, Seed: 17,
+		Dataset: workload.AzureConv,
+	})
+	crash := &faults.Plan{Events: []faults.Event{
+		{At: sim.Time(0).Add(tr.Duration / 3), Kind: faults.ShardCrash, Shard: 1},
+		{At: sim.Time(0).Add(2 * tr.Duration / 3), Kind: faults.ShardRecover, Shard: 1},
+	}}
+	for _, bc := range []struct {
+		name string
+		plan *faults.Plan
+	}{{"empty", nil}, {"crash", crash}} {
+		b.Run(bc.name, func(b *testing.B) {
+			var events uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := fleet.Run(fleet.Config{
+					System: core.SLINFER(),
+					Shards: fleet.UniformShards(4, 1, 1),
+					Models: models,
+					Seed:   17,
+					Faults: bc.plan,
+				}, tr)
+				if len(res.Violations) > 0 {
+					b.Fatalf("fleet violations: %v", res.Violations)
+				}
+				if bc.plan == nil && res.Accepted != int64(len(tr.Requests)) {
+					b.Fatalf("fault-free fleet shed %d requests", int64(len(tr.Requests))-res.Accepted)
+				}
+				if bc.plan != nil && res.Report.FaultEvents != 2 {
+					b.Fatalf("crash plan applied %d events, want 2", res.Report.FaultEvents)
 				}
 				events += res.EventsFired
 			}

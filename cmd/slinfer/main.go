@@ -35,6 +35,18 @@
 // -prefix-cpu-mb, token-block granularity by -prefix-block; zero keeps the
 // defaults). It only changes behavior on traces whose requests carry
 // prefix keys — record one with slinfer-trace -gen chat.
+//
+// Fault injection (fleet replay only): -chaos <preset> schedules a seeded
+// fault plan (crash, rolling-restart, straggler, kvdegrade — seeded from
+// the trace seed, so reruns are byte-identical), -faults <plan.jsonl>
+// replays an explicit plan (record one with faults.Save), and
+// -retry-budget bounds how many times a request pulled off a crashed shard
+// is re-driven before it lands in the rejection ledger as retry-exhausted.
+//
+// Flag combinations are validated up front: contradictions (-routing
+// kvaffinity without -prefix, fleet-only flags without -shards > 1, -chaos
+// together with -faults, prefix sizing without -prefix) exit 2 with usage
+// before any simulation work starts.
 package main
 
 import (
@@ -47,6 +59,7 @@ import (
 
 	"slinfer/internal/baseline"
 	"slinfer/internal/experiments"
+	"slinfer/internal/faults"
 	"slinfer/internal/fleet"
 	"slinfer/internal/kvcache"
 	"slinfer/internal/model"
@@ -73,7 +86,11 @@ func main() {
 	prefixGPU := flag.Int64("prefix-gpu-mb", 0, "prefix store GPU tier capacity in MiB (0 = default 4096)")
 	prefixCPU := flag.Int64("prefix-cpu-mb", 0, "prefix store host spill tier capacity in MiB (0 = default 4x GPU, negative disables the host tier)")
 	prefixBlock := flag.Int("prefix-block", 0, "prefix store token-block granularity (0 = default 16)")
+	faultsPath := flag.String("faults", "", "fleet replay: JSONL fault plan to inject on the run's timeline")
+	chaos := flag.String("chaos", "", "fleet replay: seeded fault preset: "+strings.Join(faults.PresetNames, "|"))
+	retryBudget := flag.Int("retry-budget", -1, "fleet replay: max re-drives per request pulled off a crashed shard (-1 = default 2)")
 	flag.Parse()
+	validateFlags()
 
 	pcache := kvcache.TieredConfig{
 		Enabled:     *prefix,
@@ -86,11 +103,13 @@ func main() {
 	}
 
 	if *shards > 1 {
-		if *trace == "" {
-			fmt.Fprintln(os.Stderr, "-shards needs -trace (record one with slinfer-trace -o)")
-			os.Exit(2)
-		}
-		runFleet(*trace, *system, *baseName, *cpus, *gpus, *shards, *routing, *admitLimit, *epoch, *par, pcache)
+		runFleet(fleetOptions{
+			trace: *trace, system: *system, base: *baseName,
+			cpus: *cpus, gpus: *gpus, shards: *shards,
+			routing: *routing, admitLimit: *admitLimit, epochSec: *epoch,
+			workers: *par, pcache: pcache,
+			faultsPath: *faultsPath, chaos: *chaos, retryBudget: *retryBudget,
+		})
 		return
 	}
 
@@ -155,51 +174,147 @@ func main() {
 		len(results), time.Since(start).Round(time.Millisecond), *par)
 }
 
+// validateFlags rejects contradictory flag combinations up front — before
+// any trace is loaded or simulation work starts — printing every problem
+// and the usage text, then exiting 2.
+func validateFlags() {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	get := func(name string) any { return flag.Lookup(name).Value.(flag.Getter).Get() }
+	shards := get("shards").(int)
+	fleetMode := shards > 1
+
+	var problems []string
+	bad := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	if shards < 1 {
+		bad("-shards must be >= 1, got %d", shards)
+	}
+	if fleetMode && get("trace").(string) == "" {
+		bad("-shards needs -trace (record one with slinfer-trace -o)")
+	}
+	if set["exp"] && set["trace"] {
+		bad("-exp and -trace are mutually exclusive (experiments generate their own traces)")
+	}
+	for _, name := range []string{"routing", "admit-limit", "epoch", "faults", "chaos", "retry-budget"} {
+		if set[name] && !fleetMode {
+			bad("-%s only applies to a fleet replay; add -shards > 1", name)
+		}
+	}
+	if routing := get("routing").(string); set["routing"] {
+		if _, err := fleet.RoutingByName(routing); err != nil {
+			bad("%v", err)
+		} else if routing == "kvaffinity" && !get("prefix").(bool) {
+			bad("-routing kvaffinity routes on prefix-cache residency; it needs -prefix")
+		}
+	}
+	if v := get("admit-limit").(int); v < 0 {
+		bad("-admit-limit must be >= 0, got %d", v)
+	}
+	if v := get("epoch").(float64); v < 0 {
+		bad("-epoch must be >= 0 seconds, got %g", v)
+	}
+	if set["faults"] && set["chaos"] {
+		bad("-faults and -chaos are mutually exclusive (an explicit plan or a preset, not both)")
+	}
+	if name := get("chaos").(string); name != "" && faults.Preset(name, 2, sim.Minute, 0) == nil {
+		bad("unknown -chaos preset %q (have %s)", name, strings.Join(faults.PresetNames, ", "))
+	}
+	if set["retry-budget"] && get("retry-budget").(int) < 0 {
+		bad("-retry-budget must be >= 0, got %d", get("retry-budget").(int))
+	}
+	for _, name := range []string{"prefix-gpu-mb", "prefix-cpu-mb", "prefix-block"} {
+		if set[name] && !get("prefix").(bool) {
+			bad("-%s sizes the prefix store; it needs -prefix", name)
+		}
+	}
+	if len(problems) == 0 {
+		return
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "slinfer:", p)
+	}
+	fmt.Fprintln(os.Stderr)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// fleetOptions carries the fleet-replay parameters from flag parsing.
+type fleetOptions struct {
+	trace, system, base string
+	cpus, gpus, shards  int
+	routing             string
+	admitLimit          int
+	epochSec            float64
+	workers             int
+	pcache              kvcache.TieredConfig
+	faultsPath, chaos   string
+	retryBudget         int
+}
+
 // runFleet replays a saved trace through an N-shard fleet and prints the
 // merged canonical report plus a per-shard breakdown.
-func runFleet(path, system, baseName string, cpus, gpus, shards int, routing string, admitLimit int, epochSec float64, workers int, pcache kvcache.TieredConfig) {
-	tr, meta, err := traceio.LoadFile(path)
+func runFleet(o fleetOptions) {
+	tr, meta, err := traceio.LoadFile(o.trace)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
 	}
 	if len(tr.Requests) == 0 {
-		fmt.Fprintf(os.Stderr, "trace %s has no requests; nothing to route\n", path)
+		fmt.Fprintf(os.Stderr, "trace %s has no requests; nothing to route\n", o.trace)
 		os.Exit(1)
 	}
-	base, err := experiments.ReplayBase(meta, baseName)
+	base, err := experiments.ReplayBase(meta, o.base)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(2)
 	}
-	cfg, ok := baseline.ByName(system)
+	cfg, ok := baseline.ByName(o.system)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown system %q\n", system)
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", o.system)
 		os.Exit(2)
 	}
-	if pcache.Enabled {
+	if o.pcache.Enabled {
 		if !strings.HasSuffix(cfg.Name, "+prefix") {
 			cfg.Name = cfg.Name + "+prefix"
 		}
-		cfg.PrefixCache = pcache
+		cfg.PrefixCache = o.pcache
 	}
-	route, err := fleet.RoutingByName(routing)
+	route, err := fleet.RoutingByName(o.routing)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(2)
 	}
+	var plan *faults.Plan
+	switch {
+	case o.faultsPath != "":
+		plan, err = faults.LoadFile(o.faultsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+	case o.chaos != "":
+		// Seeded from the trace like everything else, so a chaos replay of
+		// the same file is byte-identical run to run.
+		plan = faults.Preset(o.chaos, o.shards, tr.Duration, int64(meta.Seed))
+	}
 	fcfg := fleet.Config{
 		System:           cfg,
-		Shards:           fleet.UniformShards(shards, cpus, gpus),
+		Shards:           fleet.UniformShards(o.shards, o.cpus, o.gpus),
 		Models:           experiments.TraceModels(tr, base),
 		Routing:          route,
-		Epoch:            sim.Duration(epochSec) * sim.Second,
-		Workers:          workers,
+		Epoch:            sim.Duration(o.epochSec) * sim.Second,
+		Workers:          o.workers,
 		Seed:             meta.Seed,
 		AttachInvariants: true,
+		Faults:           plan,
 	}
-	if admitLimit > 0 {
-		fcfg.Admission = fleet.MaxOutstanding{PerShard: admitLimit}
+	if o.admitLimit > 0 {
+		fcfg.Admission = fleet.MaxOutstanding{PerShard: o.admitLimit}
+	}
+	if o.retryBudget >= 0 {
+		fcfg.Retry = fleet.BudgetedRetry{Budget: o.retryBudget, Backoff: 1}
 	}
 	res := fleet.Run(fcfg, tr)
 	fmt.Print(res.Report.Canonical())
@@ -209,6 +324,10 @@ func runFleet(path, system, baseName string, cpus, gpus, shards int, routing str
 	}
 	fmt.Printf("offered=%d accepted=%d rejected=%d epochs=%d\n",
 		res.Offered, res.Accepted, len(res.Rejections), len(res.ActiveByEpoch))
+	if res.Report.FaultEvents > 0 {
+		fmt.Printf("faults=%d redriven=%d retry-exhausted=%d\n",
+			res.Report.FaultEvents, res.Redriven, res.RetryExhausted)
+	}
 	if !res.Ok() {
 		for _, v := range res.Violations {
 			fmt.Fprintf(os.Stderr, "fleet violation: %s\n", v)

@@ -70,3 +70,28 @@ type NoReason struct {
 }
 
 func (n *NoReason) Reset() {}
+
+// Stateful decision-point structs (routing policies and friends) fall
+// under the same rule: the moment a policy grows a Reset method, every
+// piece of cross-run state must be re-zeroed there. CursorPolicy mirrors
+// the round-robin cursor + affinity-memo shape.
+type CursorPolicy struct {
+	next  int
+	memo  map[string]int
+	epoch int
+}
+
+func (p *CursorPolicy) Reset() {
+	p.next = 0
+	p.epoch = 0
+	clear(p.memo) // passed to a builtin: counts as handled
+}
+
+// LeakyPolicy keeps its memo across runs — the cross-run nondeterminism
+// bug the RoutingPolicy.Reset hook exists to prevent.
+type LeakyPolicy struct {
+	next int
+	memo map[string]int // want `field LeakyPolicy\.memo is not reset`
+}
+
+func (p *LeakyPolicy) Reset() { p.next = 0 }

@@ -101,6 +101,9 @@ func (e *Executor) Kick() {
 	if e.Noise != nil {
 		dur *= sim.Duration(e.Noise())
 	}
+	if s := e.Node.Slow; s > 0 {
+		dur *= sim.Duration(s)
+	}
 	if dur <= 0 {
 		dur = sim.Millisecond
 	}
@@ -144,6 +147,11 @@ type Node struct {
 	// SpeedFactor derates all executors on this node (harvested-core
 	// pseudo-nodes run at cores/32 of a full CPU node, §IX-I3).
 	SpeedFactor float64
+	// Slow is a transient straggler multiplier on iteration durations
+	// (fault injection). 0 means none; values > 1 stretch every iteration
+	// started while set. Unlike SpeedFactor it applies at Kick time, so it
+	// can change mid-run without re-carving executors.
+	Slow float64
 	// ReservedBy marks the node as the TP partner of an instance (its ID);
 	// 0 means unreserved.
 	ReservedBy int
@@ -269,6 +277,7 @@ func (n *Node) reset(i int, spec hwsim.NodeSpec) {
 	if spec.SpeedFactor > 0 {
 		n.SpeedFactor = spec.SpeedFactor
 	}
+	n.Slow = 0
 	n.ReservedBy = 0
 }
 
@@ -289,6 +298,15 @@ func (c *Cluster) NodesOfKind(k hwsim.Kind) []*Node {
 		}
 	}
 	return out
+}
+
+// SetSlow applies a straggler multiplier to every node (0 clears it).
+// Iterations already in flight keep their original duration; the next
+// Kick on each executor picks up the new factor.
+func (c *Cluster) SetSlow(f float64) {
+	for _, n := range c.Nodes {
+		n.Slow = f
+	}
 }
 
 // KickAll kicks every executor (used after global state changes).

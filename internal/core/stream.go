@@ -41,6 +41,19 @@ func (c *Controller) EndStream(duration sim.Duration) metrics.Report {
 	return rep
 }
 
+// SetSlowdown applies a straggler multiplier to every node in the
+// controller's cluster: iterations started while it is set run factor
+// times longer. factor <= 1 clears it. In-flight iterations keep their
+// original duration — the factor takes effect at the next executor Kick,
+// which keeps the change safe to apply at an epoch barrier.
+func (c *Controller) SetSlowdown(factor float64) {
+	if factor <= 1 {
+		c.Cluster.SetSlow(0)
+		return
+	}
+	c.Cluster.SetSlow(factor)
+}
+
 // InstanceCount returns the number of live instances across all models
 // (cheap controller state for fleet snapshots).
 func (c *Controller) InstanceCount() int {

@@ -1,0 +1,112 @@
+package faults
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"slinfer/internal/sim"
+)
+
+func samplePlan() *Plan {
+	return &Plan{Events: []Event{
+		{At: 10, Kind: ShardCrash, Shard: 1},
+		{At: 20, Kind: ShardRecover, Shard: 1},
+		{At: 5, Kind: Slowdown, Shard: 0, Factor: 2.5, Duration: 7},
+		{At: 8, Kind: KVTierDegrade, Shard: 2, Factor: 0.25, Duration: 4},
+		{At: 12, Kind: ShardDrain, Shard: 3},
+	}}
+}
+
+// TestPlanRoundTrip pins the JSONL wire format: Save then Load yields the
+// same events, sorted into the canonical (At, Shard, Kind) order.
+func TestPlanRoundTrip(t *testing.T) {
+	p := samplePlan()
+	var buf bytes.Buffer
+	if err := Save(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(strings.NewReader(buf.String() + "\n\n")) // blank lines skipped
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := samplePlan()
+	want.Sort()
+	if len(got.Events) != len(want.Events) {
+		t.Fatalf("round trip kept %d events, want %d", len(got.Events), len(want.Events))
+	}
+	for i, ev := range got.Events {
+		if ev != want.Events[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, ev, want.Events[i])
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	for name, in := range map[string]string{
+		"not-json":     "crash at noon\n",
+		"unknown-kind": `{"at":1,"kind":"meteor","shard":0}` + "\n",
+	} {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Load accepted %q", name, in)
+		}
+	}
+}
+
+// TestValidate covers the malformed-plan space: each case must fail
+// against a 4-shard, 100 s horizon.
+func TestValidate(t *testing.T) {
+	if err := samplePlan().Validate(4, 100); err != nil {
+		t.Fatalf("sample plan invalid: %v", err)
+	}
+	for name, ev := range map[string]Event{
+		"shard-high":       {At: 1, Kind: ShardCrash, Shard: 4},
+		"shard-negative":   {At: 1, Kind: ShardCrash, Shard: -1},
+		"time-negative":    {At: -1, Kind: ShardCrash, Shard: 0},
+		"time-past-end":    {At: 101, Kind: ShardCrash, Shard: 0},
+		"crash-factor":     {At: 1, Kind: ShardCrash, Shard: 0, Factor: 2},
+		"slow-no-factor":   {At: 1, Kind: Slowdown, Shard: 0, Duration: 5},
+		"slow-factor-low":  {At: 1, Kind: Slowdown, Shard: 0, Factor: 1, Duration: 5},
+		"slow-no-duration": {At: 1, Kind: Slowdown, Shard: 0, Factor: 2},
+		"degrade-factor-1": {At: 1, Kind: KVTierDegrade, Shard: 0, Factor: 1, Duration: 5},
+		"degrade-factor-0": {At: 1, Kind: KVTierDegrade, Shard: 0, Factor: 0, Duration: 5},
+	} {
+		p := &Plan{Events: []Event{ev}}
+		if err := p.Validate(4, 100); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, ev)
+		}
+	}
+}
+
+// TestPresetsPureAndValid: every preset is a pure function of
+// (shards, duration, seed) — identical on repeated calls, different
+// across seeds where the preset draws randomness — and always validates
+// against its own parameters.
+func TestPresetsPureAndValid(t *testing.T) {
+	const shards, dur = 4, sim.Duration(240)
+	for _, name := range PresetNames {
+		a := Preset(name, shards, dur, 17)
+		b := Preset(name, shards, dur, 17)
+		if len(a.Events) == 0 {
+			t.Fatalf("preset %q produced an empty plan", name)
+		}
+		if len(a.Events) != len(b.Events) {
+			t.Fatalf("preset %q not pure: %d vs %d events", name, len(a.Events), len(b.Events))
+		}
+		for i := range a.Events {
+			if a.Events[i] != b.Events[i] {
+				t.Fatalf("preset %q not pure at event %d: %+v vs %+v",
+					name, i, a.Events[i], b.Events[i])
+			}
+		}
+		if err := a.Validate(shards, dur); err != nil {
+			t.Fatalf("preset %q invalid against its own parameters: %v", name, err)
+		}
+	}
+	if Preset("crash", 1, dur, 17).Empty() != true {
+		t.Fatal("crash preset on a 1-shard fleet must be empty (nothing to fail over to)")
+	}
+	if Preset("no-such-preset", shards, dur, 17) != nil {
+		t.Fatal("unknown preset name must return nil")
+	}
+}

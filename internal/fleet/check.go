@@ -66,13 +66,22 @@ func (c *checker) epochBarrier(epoch int, end sim.Time, snaps []Snapshot) {
 	}
 }
 
-// runDone reconciles the finished run's accounting.
-func (c *checker) runDone(res *Result, shards []*shard) {
-	if got := res.Accepted + int64(len(res.Rejections)); got != res.Offered {
+// runDone reconciles the finished run's accounting. On fault-free runs
+// the identities collapse to the classic offered == accepted + rejected;
+// chaos runs extend them across crashes: re-drives count on every shard
+// that saw the request (totals sum to accepted + redriven), pulled
+// requests that exhausted their budget sit in the ledger but were once
+// accepted (so they are excluded from the front-door shed count), and
+// every accepted request is accounted for exactly once as completed,
+// dropped, retry-exhausted, or still live at run end.
+func (c *checker) runDone(res *Result, shards []*shard, chaos bool) {
+	frontShed := int64(len(res.Rejections)) - res.RetryExhausted
+	if got := res.Accepted + frontShed; got != res.Offered {
 		c.report("fleet-conservation", c.lastEpoch,
-			"accepted %d + rejected %d = %d, offered %d",
-			res.Accepted, len(res.Rejections), got, res.Offered)
+			"accepted %d + front-door rejected %d = %d, offered %d",
+			res.Accepted, frontShed, got, res.Offered)
 	}
+	wantRouted := res.Accepted + res.Redriven
 	var routedSum, totalSum int64
 	for i, sd := range shards {
 		routedSum += int64(sd.routed)
@@ -82,22 +91,38 @@ func (c *checker) runDone(res *Result, shards []*shard) {
 				"shard %d submitted %d requests, front door routed %d (request lost or duplicated)",
 				i, res.Shards[i].Total, sd.routed)
 		}
-		if sliced := int64(len(res.ShardTraces[i].Requests)); sliced != int64(sd.routed) {
+		if sliced := int64(len(res.ShardTraces[i].Requests)); sliced != int64(sd.sliceCount) {
 			c.report("fleet-conservation", c.lastEpoch,
-				"shard %d trace slice holds %d requests, front door routed %d",
-				i, sliced, sd.routed)
+				"shard %d trace slice holds %d requests, front door placed %d",
+				i, sliced, sd.sliceCount)
 		}
 	}
-	if routedSum != res.Accepted {
+	if routedSum != wantRouted {
 		c.report("fleet-conservation", c.lastEpoch,
-			"per-shard routed counts sum to %d, accepted %d", routedSum, res.Accepted)
+			"per-shard routed counts sum to %d, accepted %d + redriven %d = %d",
+			routedSum, res.Accepted, res.Redriven, wantRouted)
 	}
-	if totalSum != res.Accepted {
+	if totalSum != wantRouted {
 		c.report("fleet-conservation", c.lastEpoch,
-			"shard report totals sum to %d, accepted %d", totalSum, res.Accepted)
+			"shard report totals sum to %d, accepted %d + redriven %d = %d",
+			totalSum, res.Accepted, res.Redriven, wantRouted)
 	}
 	if res.Report.Total != totalSum {
 		c.report("fleet-conservation", c.lastEpoch,
 			"merged report total %d, shard totals sum to %d", res.Report.Total, totalSum)
+	}
+	if chaos {
+		var completedSum, droppedSum, liveEnd int64
+		for i, sd := range shards {
+			completedSum += res.Shards[i].Completed
+			droppedSum += res.Shards[i].Dropped
+			liveEnd += int64(len(sd.inflight))
+		}
+		got := completedSum + droppedSum + res.RetryExhausted + liveEnd
+		if got != res.Accepted {
+			c.report("fleet-conservation", c.lastEpoch,
+				"request lost or duplicated across a crash: completed %d + dropped %d + retry-exhausted %d + live %d = %d, accepted %d",
+				completedSum, droppedSum, res.RetryExhausted, liveEnd, got, res.Accepted)
+		}
 	}
 }

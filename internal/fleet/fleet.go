@@ -23,6 +23,12 @@
 // (traceio.Partition), and always-on fleet invariants (request
 // conservation, routing-range, epoch clock monotonicity) ride on the
 // Result. See DESIGN.md "Fleet layer".
+//
+// Fault injection (Config.Faults, internal/faults) threads through the
+// same serial front-door section: fault actions fire at the top of an
+// epoch, crashes pull the shard's in-flight set for budgeted re-drive
+// (Config.Retry), and request conservation extends across the crash. See
+// DESIGN.md "Fault injection & recovery".
 package fleet
 
 import (
@@ -30,6 +36,7 @@ import (
 	"runtime"
 
 	"slinfer/internal/core"
+	"slinfer/internal/faults"
 	"slinfer/internal/hwsim"
 	"slinfer/internal/invariants"
 	"slinfer/internal/kvcache"
@@ -99,6 +106,13 @@ type Config struct {
 	// AttachInvariants wires the internal/invariants suite into every
 	// shard controller; violations land in Result.ShardViolations.
 	AttachInvariants bool
+	// Faults schedules deterministic fault injection on the fleet's
+	// virtual timeline (internal/faults); nil or empty runs fault-free,
+	// byte-identical to a config without the field.
+	Faults *faults.Plan
+	// Retry governs re-drive of requests pulled off crashed shards; nil
+	// selects BudgetedRetry{Budget: 2, Backoff: 1}.
+	Retry RetryPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +127,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Epoch <= 0 {
 		c.Epoch = 5 * sim.Second
+	}
+	if c.Retry == nil {
+		c.Retry = BudgetedRetry{Budget: 2, Backoff: 1}
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
@@ -134,14 +151,19 @@ func ShardSeed(seed uint64, i int) uint64 {
 	return seed ^ (0x9E3779B97F4A7C15 * uint64(i+1))
 }
 
-// Rejection is one ledger entry for a request shed at the front door.
+// Rejection is one ledger entry for a request terminally rejected by the
+// fleet: shed at the front door, or pulled off a crashed shard and not
+// re-driven.
 type Rejection struct {
 	// ID and Model identify the trace request.
 	ID    int64
 	Model string
-	// At is the request's arrival time.
+	// At is the time of the rejection decision: the arrival time for
+	// front-door sheds, the pull/give-up epoch boundary for re-drives.
 	At sim.Time
-	// Reason is the admission policy's label (e.g. "fleet-overload").
+	// Reason labels the decision — one of the Reason* constants for
+	// everything the fleet itself emits (see RejectionReasons), or a
+	// custom admission policy's own label.
 	Reason string
 }
 
@@ -161,6 +183,11 @@ type Result struct {
 	ActiveByEpoch []int
 	// Offered counts trace arrivals; Accepted those that reached a shard.
 	Offered, Accepted int64
+	// Redriven counts re-submissions of requests pulled off crashed
+	// shards; RetryExhausted counts pulled requests terminally rejected
+	// (retry budget exhausted, or no shard left to take them). Both zero
+	// on fault-free runs.
+	Redriven, RetryExhausted int64
 	// EventsFired totals DES events executed across all shards.
 	EventsFired uint64
 	// Violations are fleet-level invariant breaches (front-door
@@ -193,13 +220,41 @@ type shard struct {
 	ctl      *core.Controller
 	suite    *invariants.Suite
 	fnSubmit func(any)
-	routed   int // total arrivals routed to this shard
+	routed   int // total submissions to this shard (arrivals + re-drives)
+	// sliceCount tracks how many trace requests the shard's final
+	// partition slice holds: +1 per routed arrival or re-drive, -1 per
+	// crash pull. Equals routed on fault-free runs.
+	sliceCount int
 	// resScratch backs the snapshot's prefix-residency slice; safe to reuse
 	// because each barrier replaces the previous snapshot wholesale.
 	resScratch []kvcache.RootResidency
+
+	// Fault state (only exercised when the run has a non-empty plan).
+	specs   []hwsim.NodeSpec // construction parameters, kept for crash-reset
+	models  []model.Model
+	sys     core.Config
+	attach  bool
+	up      bool    // false between crash and recover
+	healthy bool    // receives new arrivals (up and not draining)
+	slow    float64 // active straggler factor (0 = none)
+	gpuFull int64   // saved GPU tier capacity while degraded (0 = none)
+	// inflight tracks accepted-but-not-terminal requests on the shard
+	// (maintained by shardProbe); what a crash pulls for re-drive.
+	inflight map[int64]inflightRec
+	idxByID  map[int64]int // trace request ID -> arrival index (shared)
+	// segments holds the stream segments finalized by crashes; segStart
+	// is the current segment's begin time. firedBefore accumulates DES
+	// event counts lost to simulator resets.
+	segments    []metrics.Report
+	segStart    sim.Time
+	segViol     []invariants.Violation
+	firedBefore uint64
+	// completedEpoch counts completions since the last barrier (the
+	// goodput series behind the recovery metrics).
+	completedEpoch int64
 }
 
-func newShard(cfg Config, i int) *shard {
+func newShard(cfg Config, i int, chaos bool) *shard {
 	spec := cfg.Shards[i]
 	sys := cfg.System
 	if spec.System != nil {
@@ -212,9 +267,17 @@ func newShard(cfg Config, i int) *shard {
 	sys.Name = fmt.Sprintf("%s/%s", sys.Name, name)
 	sys.Seed = ShardSeed(cfg.Seed^sys.Seed, i)
 	a := core.AcquireArena()
-	sd := &shard{arena: a, sim: a.Sim(), ctl: a.NewController(spec.Specs, cfg.Models, sys)}
+	sd := &shard{
+		arena: a, sim: a.Sim(), ctl: a.NewController(spec.Specs, cfg.Models, sys),
+		specs: spec.Specs, models: cfg.Models, sys: sys,
+		attach: cfg.AttachInvariants, up: true, healthy: true,
+	}
 	if cfg.AttachInvariants {
 		sd.suite = invariants.Attach(sd.ctl)
+	}
+	if chaos {
+		sd.inflight = map[int64]inflightRec{}
+		sd.ctl.Cfg.Probe = &shardProbe{sd: sd, next: sd.ctl.Cfg.Probe}
 	}
 	sd.fnSubmit = func(a any) { sd.ctl.Submit(*(a.(*workload.Request))) }
 	return sd
@@ -225,6 +288,7 @@ func newShard(cfg Config, i int) *shard {
 //slinfer:hotpath
 func (sd *shard) enqueue(r workload.Request) {
 	sd.routed++
+	sd.sliceCount++
 	arg := new(workload.Request)
 	*arg = r
 	sd.sim.AtFunc(r.Arrival, sd.fnSubmit, arg)
@@ -235,8 +299,13 @@ func (sd *shard) snapshot(i int, active bool, routedLast int) Snapshot {
 	if ts := sd.ctl.PrefixStore(); ts != nil {
 		sd.resScratch = ts.AppendResidency(sd.resScratch[:0])
 	}
+	slow := sd.slow
+	if slow <= 0 {
+		slow = 1
+	}
 	return Snapshot{
 		Shard: i, Name: sd.ctl.Cfg.Name, Active: active,
+		Healthy: sd.healthy, SlowFactor: slow,
 		Now:         sd.sim.Now(),
 		Outstanding: col.Total - col.Completed - col.Dropped,
 		Queued:      sd.ctl.PendingCount(),
@@ -247,9 +316,57 @@ func (sd *shard) snapshot(i int, active bool, routedLast int) Snapshot {
 	}
 }
 
+// crash tears the shard down at an epoch top: the current stream segment
+// is finalized into sd.segments, the in-flight set is pulled for the
+// caller to re-drive, and the controller is rebuilt from its original
+// construction parameters — the simulator reset drops every pending
+// event, and the rebuild loses all warm state (queues, instances, KV,
+// prefix tiers), which is exactly the crash semantics.
+func (sd *shard) crash(now sim.Time, ck *checker) []inflightRec {
+	// Cross-check the fleet's in-flight bookkeeping against the invariant
+	// suite's independently tracked live set before pulling.
+	if sd.suite != nil && sd.suite.LiveCount() != len(sd.inflight) {
+		ck.report("fleet-conservation", now,
+			"crash on %s: fleet tracks %d in-flight requests, invariant suite tracks %d",
+			sd.ctl.Cfg.Name, len(sd.inflight), sd.suite.LiveCount())
+	}
+	sd.segments = append(sd.segments, sd.ctl.EndStream(now.Sub(sd.segStart)))
+	if sd.suite != nil {
+		sd.segViol = append(sd.segViol, sd.suite.Violations()...)
+		sd.suite = nil
+	}
+	pulled := sd.pullInflight()
+	sd.sliceCount -= len(pulled) // pulled requests leave this shard's slice
+	sd.firedBefore += sd.sim.Fired()
+	sd.ctl = sd.arena.NewController(sd.specs, sd.models, sd.sys)
+	sd.up, sd.healthy = false, false
+	sd.slow, sd.gpuFull = 0, 0
+	return pulled
+}
+
+// recover brings a crashed shard back cold (or just reopens a drained
+// one): the invariant suite and fleet probe are re-attached to the
+// rebuilt controller and a new stream segment begins at now. The sampler
+// self-stops past traceEnd, so recoveries in extension epochs only serve
+// re-drives.
+func (sd *shard) recover(now, traceEnd sim.Time, expected int) {
+	if sd.up {
+		sd.healthy = true
+		return
+	}
+	if sd.attach {
+		sd.suite = invariants.Attach(sd.ctl)
+	}
+	sd.ctl.Cfg.Probe = &shardProbe{sd: sd, next: sd.ctl.Cfg.Probe}
+	sd.ctl.BeginStream(traceEnd, expected)
+	sd.segStart = now
+	sd.up, sd.healthy = true, true
+}
+
 // Run executes the fleet over a trace. It panics on an invalid
-// configuration (no shards, no models) and records an invalid trace or a
-// misbehaving policy as fleet violations rather than crashing mid-run.
+// configuration (no shards, no models) and records an invalid trace, an
+// invalid fault plan, or a misbehaving policy as fleet violations rather
+// than crashing mid-run.
 func Run(cfg Config, tr workload.Trace) Result {
 	if len(cfg.Shards) == 0 {
 		panic("fleet: config has no shards")
@@ -258,19 +375,44 @@ func Run(cfg Config, tr workload.Trace) Result {
 		panic("fleet: config hosts no models")
 	}
 	cfg = cfg.withDefaults()
+	cfg.Routing.Reset()
 	n := len(cfg.Shards)
 	ck := newChecker()
 	if err := tr.Validate(); err != nil {
 		ck.report("fleet-trace", 0, "invalid trace: %v", err)
 	}
 
+	// A non-empty, valid fault plan turns the chaos machinery on; an
+	// empty one leaves the run on exactly the fault-free code path.
+	chaos := !cfg.Faults.Empty()
+	var actions []faultAction
+	if chaos {
+		if err := cfg.Faults.Validate(n, tr.Duration); err != nil {
+			ck.report("fleet-faults", 0, "invalid fault plan: %v", err)
+			chaos = false
+		} else {
+			actions = compilePlan(cfg.Faults, cfg.Epoch)
+			chaos = len(actions) > 0
+		}
+	}
+
 	shards := make([]*shard, n)
 	for i := range shards {
-		shards[i] = newShard(cfg, i)
+		shards[i] = newShard(cfg, i, chaos)
+	}
+	if chaos {
+		idxByID := make(map[int64]int, len(tr.Requests))
+		for i, r := range tr.Requests {
+			idxByID[r.ID] = i
+		}
+		for _, sd := range shards {
+			sd.idxByID = idxByID
+		}
 	}
 	traceEnd := sim.Time(0).Add(tr.Duration)
+	expected := len(tr.Requests)/n + 1
 	for _, sd := range shards {
-		sd.ctl.BeginStream(traceEnd, len(tr.Requests)/n+1)
+		sd.ctl.BeginStream(traceEnd, expected)
 	}
 
 	res := Result{ShardViolations: make([][]invariants.Violation, n)}
@@ -285,17 +427,207 @@ func Run(cfg Config, tr workload.Trace) Result {
 	}
 	active := n
 	idx := 0
-	for epoch, start := 0, sim.Time(0); start < traceEnd; epoch++ {
+	actionCursor := 0
+	lastActionEpoch := -1
+	if len(actions) > 0 {
+		lastActionEpoch = actions[len(actions)-1].epoch
+	}
+	var (
+		retryq      []retryEntry
+		attempts    map[int64]int
+		completions []int64 // fleet completions per epoch (goodput series)
+		firedCount  int64   // applied fault actions
+		firstFault  = -1    // epoch of the first applied action
+	)
+	if chaos {
+		attempts = map[int64]int{}
+	}
+	horizon := traceEnd
+	epoch := 0
+	start := sim.Time(0)
+	// The loop covers the trace window, then — on chaos runs only —
+	// extension epochs until every pending fault action has fired and the
+	// retry queue has drained (each entry is eventually re-driven or
+	// ledgered, so the extension is bounded by the plan and the backoff).
+	for start < traceEnd || (chaos && (len(retryq) > 0 || actionCursor < len(actions))) {
 		end := sim.Time(0).Add(sim.Duration(epoch+1) * cfg.Epoch)
-		if end > traceEnd {
+		if end > traceEnd && start < traceEnd {
 			end = traceEnd
 		}
-		active = clamp(cfg.Autoscale.Scale(active, snaps), 1, n)
+		if end > horizon {
+			horizon = end
+		}
+		ext := start >= traceEnd // extension epoch: no arrivals, frozen active set
+
+		// Fault actions fire at the top of the epoch, before any routing
+		// decision, and patch the stale snapshots' health fields in place
+		// so this epoch's decisions already route around the change.
+		var pulled []inflightRec
+		for actionCursor < len(actions) && actions[actionCursor].epoch <= epoch {
+			a := actions[actionCursor]
+			actionCursor++
+			sd := shards[a.shard]
+			applied := false
+			switch a.op {
+			case opCrash:
+				if sd.up {
+					pulled = append(pulled, sd.crash(start, ck)...)
+					snaps[a.shard].Healthy, snaps[a.shard].SlowFactor = false, 1
+					applied = true
+				}
+			case opRecover:
+				if !sd.up || !sd.healthy {
+					sd.recover(start, traceEnd, expected)
+					snaps[a.shard].Healthy = true
+					applied = true
+				}
+			case opDrain:
+				if sd.up && sd.healthy {
+					sd.healthy = false
+					snaps[a.shard].Healthy = false
+					applied = true
+				}
+			case opSlowStart:
+				if sd.up {
+					sd.slow = a.factor
+					sd.ctl.SetSlowdown(a.factor)
+					snaps[a.shard].SlowFactor = a.factor
+					applied = true
+				}
+			case opSlowEnd:
+				if sd.up && sd.slow > 0 {
+					sd.slow = 0
+					sd.ctl.SetSlowdown(0)
+					snaps[a.shard].SlowFactor = 1
+					applied = true
+				}
+			case opDegradeStart:
+				if ts := sd.ctl.PrefixStore(); sd.up && sd.gpuFull == 0 && ts != nil {
+					full := ts.Config().GPUBytes
+					if degraded := int64(a.factor * float64(full)); degraded > 0 {
+						sd.gpuFull = full
+						ts.SetGPUCapacity(degraded)
+						applied = true
+					}
+				}
+			case opDegradeEnd:
+				if sd.up && sd.gpuFull > 0 {
+					if ts := sd.ctl.PrefixStore(); ts != nil {
+						ts.SetGPUCapacity(sd.gpuFull)
+					}
+					sd.gpuFull = 0
+					applied = true
+				}
+			}
+			if applied {
+				firedCount++
+				if firstFault < 0 {
+					firstFault = epoch
+				}
+			}
+		}
+		// Pulled requests meet the retry decision point immediately: the
+		// budget decides at pull time whether they wait out a backoff in
+		// the retry queue or go to the ledger.
+		for _, rec := range pulled {
+			if rec.idx >= 0 {
+				assigned[rec.idx] = -1
+			}
+			att := attempts[rec.req.ID]
+			attempts[rec.req.ID] = att + 1
+			if ok, delay := cfg.Retry.Retry(rec.req, att); ok {
+				if delay < 0 {
+					delay = 0
+				}
+				retryq = append(retryq, retryEntry{rec: rec, ready: epoch + delay})
+			} else {
+				res.Rejections = append(res.Rejections, Rejection{
+					ID: rec.req.ID, Model: rec.req.ModelName,
+					At: start, Reason: ReasonRetryExhausted,
+				})
+				res.RetryExhausted++
+			}
+		}
+
+		if !ext {
+			active = clamp(cfg.Autoscale.Scale(active, snaps), 1, n)
+		}
 		res.ActiveByEpoch = append(res.ActiveByEpoch, active)
 		st := &EpochState{Epoch: epoch, Active: active, Snaps: snaps, Routed: make([]int, n)}
+		healthyActive := false
+		for i := 0; i < active; i++ {
+			if snaps[i].Healthy {
+				healthyActive = true
+				break
+			}
+		}
+		// routeChecked guards every policy decision: out-of-range picks
+		// are clamped and unhealthy picks re-routed, both as violations.
+		routeChecked := func(r workload.Request) int {
+			s := cfg.Routing.Route(r, st)
+			if s < 0 || s >= active {
+				ck.report("fleet-routing", r.Arrival,
+					"policy %s routed request %d to shard %d, active set is [0, %d)",
+					cfg.Routing.Name(), r.ID, s, active)
+				s = clamp(s, 0, active-1)
+			}
+			if !snaps[s].Healthy {
+				for i := 0; i < active; i++ {
+					if snaps[i].Healthy {
+						ck.report("fleet-routing", r.Arrival,
+							"policy %s routed request %d to unhealthy shard %d, re-routed to %d",
+							cfg.Routing.Name(), r.ID, s, i)
+						s = i
+						break
+					}
+				}
+			}
+			return s
+		}
+
+		// Re-drives route before this epoch's arrivals, through the same
+		// policy; skipped (without burning budget) while no healthy shard
+		// exists, and force-ledgered once the plan can no longer produce
+		// one.
+		if chaos && len(retryq) > 0 {
+			keep := retryq[:0]
+			for _, e := range retryq {
+				switch {
+				case !healthyActive && epoch > lastActionEpoch:
+					res.Rejections = append(res.Rejections, Rejection{
+						ID: e.rec.req.ID, Model: e.rec.req.ModelName,
+						At: start, Reason: ReasonNoHealthyShard,
+					})
+					res.RetryExhausted++
+				case !healthyActive || e.ready > epoch:
+					keep = append(keep, e)
+				default:
+					r := e.rec.req
+					r.Arrival = start
+					s := routeChecked(r)
+					if e.rec.idx >= 0 {
+						assigned[e.rec.idx] = s
+					}
+					st.Routed[s]++
+					st.Accepted++
+					res.Redriven++
+					shards[s].enqueue(r)
+				}
+			}
+			retryq = keep
+		}
+
 		for idx < len(tr.Requests) && tr.Requests[idx].Arrival < end {
 			r := tr.Requests[idx]
 			res.Offered++
+			if chaos && !healthyActive {
+				assigned[idx] = -1
+				res.Rejections = append(res.Rejections, Rejection{
+					ID: r.ID, Model: r.ModelName, At: r.Arrival, Reason: ReasonNoHealthyShard,
+				})
+				idx++
+				continue
+			}
 			if ok, reason := cfg.Admission.Admit(r, st); !ok {
 				assigned[idx] = -1
 				res.Rejections = append(res.Rejections, Rejection{
@@ -304,13 +636,7 @@ func Run(cfg Config, tr workload.Trace) Result {
 				idx++
 				continue
 			}
-			s := cfg.Routing.Route(r, st)
-			if s < 0 || s >= active {
-				ck.report("fleet-routing", r.Arrival,
-					"policy %s routed request %d to shard %d, active set is [0, %d)",
-					cfg.Routing.Name(), r.ID, s, active)
-				s = clamp(s, 0, active-1)
-			}
+			s := routeChecked(r)
 			assigned[idx] = s
 			st.Routed[s]++
 			st.Accepted++
@@ -327,37 +653,68 @@ func Run(cfg Config, tr workload.Trace) Result {
 			snaps[i] = sd.snapshot(i, i < active, st.Routed[i])
 		}
 		ck.epochBarrier(epoch, end, snaps)
+		if chaos {
+			var done int64
+			for _, sd := range shards {
+				done += sd.completedEpoch
+				sd.completedEpoch = 0
+			}
+			completions = append(completions, done)
+		}
 		start = end
+		epoch++
 	}
 
 	// Drain: no more arrivals; every shard runs out its grace window.
 	par.Do(sem, n, func(i int) struct{} {
-		shards[i].sim.RunUntil(traceEnd.Add(shards[i].ctl.Cfg.DrainGrace))
+		shards[i].sim.RunUntil(horizon.Add(shards[i].ctl.Cfg.DrainGrace))
 		return struct{}{}
 	})
 
 	var maxGrace sim.Duration
 	res.Shards = make([]metrics.Report, n)
 	for i, sd := range shards {
-		res.Shards[i] = sd.ctl.EndStream(tr.Duration + sd.ctl.Cfg.DrainGrace)
-		if sd.ctl.Cfg.DrainGrace > maxGrace {
-			maxGrace = sd.ctl.Cfg.DrainGrace
+		grace := sd.ctl.Cfg.DrainGrace
+		if grace > maxGrace {
+			maxGrace = grace
 		}
-		res.EventsFired += sd.sim.Fired()
+		total := sim.Duration(horizon) + grace
+		switch {
+		case sd.up && len(sd.segments) == 0:
+			// The common case — and the only one on fault-free runs:
+			// exactly the pre-fault single-segment report.
+			res.Shards[i] = sd.ctl.EndStream(total)
+		case sd.up:
+			segs := append(sd.segments, sd.ctl.EndStream(horizon.Add(grace).Sub(sd.segStart)))
+			res.Shards[i] = mergeSegments(sd.ctl.Cfg.Name, total, segs)
+		default:
+			// Down at run end: the crash already finalized every segment.
+			res.Shards[i] = mergeSegments(sd.ctl.Cfg.Name, total, sd.segments)
+		}
+		res.EventsFired += sd.firedBefore + sd.sim.Fired()
 		if sd.suite != nil {
-			res.ShardViolations[i] = sd.suite.Violations()
+			sd.segViol = append(sd.segViol, sd.suite.Violations()...)
 		}
+		res.ShardViolations[i] = sd.segViol
 	}
-	res.Report = metrics.MergeReports(cfg.Name, tr.Duration+maxGrace, res.Shards...)
+	res.Report = metrics.MergeReports(cfg.Name, sim.Duration(horizon)+maxGrace, res.Shards...)
+	if chaos && firedCount > 0 {
+		res.Report.FaultEvents = firedCount
+		res.Report.Redriven = res.Redriven
+		res.Report.RetryExhausted = res.RetryExhausted
+		res.Report.GoodputDip, res.Report.RecoverEpochs = recoveryStats(completions, firstFault)
+	}
 	// Partition visits tr.Requests in index order, so a position cursor
-	// replays the front door's routing decisions exactly (shed = -1).
+	// replays the front door's final placement exactly (shed, exhausted,
+	// and crash-lost requests = -1; re-driven requests land on the shard
+	// that finally served them).
 	pos := 0
 	res.ShardTraces = traceio.Partition(tr, n, func(workload.Request) int {
 		s := assigned[pos]
 		pos++
 		return s
 	})
-	ck.runDone(&res, shards)
+	ck.runDone(&res, shards, chaos)
 	res.Violations = ck.violations
 	// Everything read out of the shards (reports, violations, checker state)
 	// has been extracted; the arenas can go back to the pool.

@@ -139,6 +139,7 @@ func TestFleetCheckerCatchesBadRouting(t *testing.T) {
 type badRouting struct{}
 
 func (badRouting) Name() string                            { return "bad" }
+func (badRouting) Reset()                                  {}
 func (badRouting) Route(workload.Request, *EpochState) int { return 99 }
 
 // TestModelAffinityPinsModels: under affinity routing with a fixed active

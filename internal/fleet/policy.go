@@ -7,8 +7,9 @@
 // interiors advance in parallel between epoch barriers, so no decision may
 // read live shard state.
 //
-// Policies may be stateful (RoundRobin keeps a cursor); a policy instance
-// belongs to one Run and must not be shared across concurrent fleets.
+// Policies may be stateful (RoundRobin keeps a cursor); Run resets the
+// routing policy up front, so one instance can be reused across
+// sequential runs, but never across concurrent fleets.
 package fleet
 
 import (
@@ -29,6 +30,16 @@ type Snapshot struct {
 	Name  string
 	// Active reports whether the shard was in the routable set last epoch.
 	Active bool
+	// Healthy reports whether the shard can take new arrivals: false for
+	// crashed and draining shards (fault injection). The front door
+	// updates it in place when a fault action fires at the top of an
+	// epoch, so policies never route into a shard the fleet just lost.
+	// Always true on fault-free runs.
+	Healthy bool
+	// SlowFactor is the shard's active straggler multiplier (1 when
+	// healthy-fast; >1 while a Slowdown fault is in effect). Load-aware
+	// policies weight by it.
+	SlowFactor float64
 	// Now is the shard's virtual clock (== the epoch boundary).
 	Now sim.Time
 	// Outstanding is submitted minus terminal requests on the shard.
@@ -58,18 +69,27 @@ type EpochState struct {
 	Active int
 	// Snaps holds every shard's end-of-previous-epoch snapshot.
 	Snaps []Snapshot
-	// Routed counts arrivals already routed to each shard this epoch.
+	// Routed counts arrivals already routed to each shard this epoch
+	// (crash re-drives included).
 	Routed []int
-	// Accepted counts arrivals accepted this epoch so far.
+	// Accepted counts requests routed this epoch so far — front-door
+	// acceptances plus crash re-drives, so admission sees re-driven load.
 	Accepted int
 }
 
 // RoutingPolicy picks the shard an accepted request lands on. Route must
-// return an index in [0, st.Active); the front door treats anything else as
-// a policy bug and fails the run's fleet invariants.
+// return an index in [0, st.Active) — and should prefer a Healthy one;
+// the front door treats an out-of-range pick as a policy bug and fails
+// the run's fleet invariants, and re-routes an unhealthy pick to the
+// first healthy shard with a violation. Reset returns any internal state
+// (cursors, per-epoch memos) to the zero value: the front door calls it
+// at the start of every Run, so one policy instance can be shared across
+// sequential runs (scenario cells, sweep iterations) without the
+// previous run's state leaking into the next.
 type RoutingPolicy interface {
 	Name() string
 	Route(req workload.Request, st *EpochState) int
+	Reset()
 }
 
 // AdmissionPolicy decides whether a request enters the fleet at all. A
@@ -91,31 +111,53 @@ type AutoscalePolicy interface {
 
 // ---- Routing stock ---------------------------------------------------------
 
-// RoundRobin cycles arrivals across the active shards.
+// RoundRobin cycles arrivals across the active shards, skipping unhealthy
+// ones.
 type RoundRobin struct{ next int }
 
 func (r *RoundRobin) Name() string { return "rr" }
 
+func (r *RoundRobin) Reset() { r.next = 0 }
+
 func (r *RoundRobin) Route(_ workload.Request, st *EpochState) int {
-	i := r.next % st.Active
-	r.next++
-	return i
+	for tries := 0; tries < st.Active; tries++ {
+		i := r.next % st.Active
+		r.next++
+		if st.Snaps[i].Healthy {
+			return i
+		}
+	}
+	// No healthy shard; the front door rejects before calling Route, so
+	// this is only reachable from a direct call.
+	return 0
 }
 
-// LeastOutstanding routes to the active shard with the fewest outstanding
-// requests, counting both the previous-epoch snapshot and what the front
-// door already routed there this epoch; ties break to the lowest index.
+// LeastOutstanding routes to the healthy active shard with the lowest
+// effective load — outstanding requests (previous-epoch snapshot plus
+// what the front door already routed there this epoch) weighted by the
+// shard's straggler factor, so a 3x-slow shard looks 3x as loaded; ties
+// break to the lowest index. The weighting is exact arithmetic on
+// fault-free runs: integer loads convert to float64 losslessly and
+// multiply by exactly 1.
 type LeastOutstanding struct{}
 
 func (LeastOutstanding) Name() string { return "least" }
 
+func (LeastOutstanding) Reset() {}
+
 func (LeastOutstanding) Route(_ workload.Request, st *EpochState) int {
-	best, bestLoad := 0, int64(-1)
+	best, bestLoad := -1, 0.0
 	for i := 0; i < st.Active; i++ {
-		load := st.Snaps[i].Outstanding + int64(st.Routed[i])
-		if bestLoad < 0 || load < bestLoad {
+		if !st.Snaps[i].Healthy {
+			continue
+		}
+		load := float64(st.Snaps[i].Outstanding+int64(st.Routed[i])) * st.Snaps[i].SlowFactor
+		if best < 0 || load < bestLoad {
 			best, bestLoad = i, load
 		}
+	}
+	if best < 0 {
+		return 0
 	}
 	return best
 }
@@ -129,8 +171,10 @@ type ModelAffinity struct{}
 
 func (ModelAffinity) Name() string { return "affinity" }
 
+func (ModelAffinity) Reset() {}
+
 func (ModelAffinity) Route(req workload.Request, st *EpochState) int {
-	return rendezvous(req.ModelName, st.Active)
+	return rendezvousHealthy(req.ModelName, st)
 }
 
 // rendezvous picks the active shard with the highest-random-weight hash of
@@ -139,13 +183,41 @@ func (ModelAffinity) Route(req workload.Request, st *EpochState) int {
 func rendezvous(key string, active int) int {
 	best, bestW := 0, uint64(0)
 	for i := 0; i < active; i++ {
-		h := fnv.New64a()
-		h.Write([]byte(key))
-		h.Write([]byte("#"))
-		h.Write([]byte(strconv.Itoa(i)))
-		if w := h.Sum64(); i == 0 || w > bestW {
+		if w := rendezvousWeight(key, i); i == 0 || w > bestW {
 			best, bestW = i, w
 		}
+	}
+	return best
+}
+
+// rendezvousWeight is the per-(key, shard) highest-random-weight hash.
+func rendezvousWeight(key string, shard int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte("#"))
+	h.Write([]byte(strconv.Itoa(shard)))
+	return h.Sum64()
+}
+
+// rendezvousHealthy is rendezvous restricted to the healthy subset of the
+// active set. Restricting the candidate set preserves the
+// minimal-disruption property: losing shard s only remaps the keys whose
+// argmax weight was s — every other key's winner is unchanged
+// (TestRendezvousMinimalDisruption). With every shard healthy it equals
+// rendezvous exactly; with none it returns 0 (the front door rejects
+// before routing in that case).
+func rendezvousHealthy(key string, st *EpochState) int {
+	best, bestW := -1, uint64(0)
+	for i := 0; i < st.Active; i++ {
+		if !st.Snaps[i].Healthy {
+			continue
+		}
+		if w := rendezvousWeight(key, i); best < 0 || w > bestW {
+			best, bestW = i, w
+		}
+	}
+	if best < 0 {
+		return 0
 	}
 	return best
 }
@@ -166,9 +238,14 @@ type KVAffinity struct {
 
 func (k *KVAffinity) Name() string { return "kvaffinity" }
 
+func (k *KVAffinity) Reset() {
+	k.epoch = 0
+	clear(k.rootShard)
+}
+
 func (k *KVAffinity) Route(req workload.Request, st *EpochState) int {
 	if req.PrefixKey == "" {
-		return rendezvous(req.ModelName, st.Active)
+		return rendezvousHealthy(req.ModelName, st)
 	}
 	if k.rootShard == nil {
 		k.rootShard = map[string]int{}
@@ -177,17 +254,20 @@ func (k *KVAffinity) Route(req workload.Request, st *EpochState) int {
 	}
 	k.epoch = st.Epoch
 	root := kvcache.PrefixRoot(req.PrefixKey)
-	if s, ok := k.rootShard[root]; ok && s < st.Active {
+	if s, ok := k.rootShard[root]; ok && s < st.Active && st.Snaps[s].Healthy {
 		return s
 	}
 	best, bestBytes := -1, int64(0)
 	for i := 0; i < st.Active; i++ {
+		if !st.Snaps[i].Healthy {
+			continue
+		}
 		if b := residentBytes(st.Snaps[i].PrefixResident, root); b > bestBytes {
 			best, bestBytes = i, b
 		}
 	}
 	if best < 0 {
-		best = rendezvous(root, st.Active)
+		best = rendezvousHealthy(root, st)
 	}
 	k.rootShard[root] = best
 	return best
@@ -253,7 +333,7 @@ func (m MaxOutstanding) Admit(_ workload.Request, st *EpochState) (bool, string)
 		out += st.Snaps[i].Outstanding
 	}
 	if out >= int64(m.PerShard*st.Active) {
-		return false, "fleet-overload"
+		return false, ReasonFleetOverload
 	}
 	return true, ""
 }

@@ -1,0 +1,168 @@
+package fleet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRendezvousMinimalDisruption is the satellite property test for the
+// rendezvous (HRW) hash the affinity policies route through: shrinking the
+// active set from n to n-1 shards may only move keys that were on the
+// removed shard — every key mapped to a surviving shard stays put. This is
+// the property that keeps affinity caches warm across autoscaler steps and
+// crash-induced health changes.
+func TestRendezvousMinimalDisruption(t *testing.T) {
+	const keys = 2000
+	for n := 2; n <= 8; n++ {
+		moved, onVictim := 0, 0
+		for k := 0; k < keys; k++ {
+			key := fmt.Sprintf("model-%d/prefix-%d", k%37, k)
+			before := rendezvous(key, n)
+			after := rendezvous(key, n-1)
+			if before == n-1 {
+				onVictim++
+				continue // had to move; any surviving shard is fine
+			}
+			if after != before {
+				moved++
+				t.Errorf("n=%d key %q moved %d -> %d without its shard being removed",
+					n, key, before, after)
+			}
+		}
+		if t.Failed() {
+			t.Fatalf("n=%d: %d/%d keys moved unnecessarily", n, moved, keys)
+		}
+		if onVictim == 0 {
+			t.Fatalf("n=%d: no key mapped to the removed shard; test has no power", n)
+		}
+	}
+}
+
+// TestRendezvousHealthySubset extends the property to the health-aware
+// variant: marking one shard unhealthy moves only its keys, and when every
+// shard is unhealthy the router falls back to shard 0 instead of panicking.
+func TestRendezvousHealthySubset(t *testing.T) {
+	const n, keys = 5, 1000
+	st := func(down int) *EpochState {
+		snaps := make([]Snapshot, n)
+		for i := range snaps {
+			snaps[i] = Snapshot{Shard: i, Healthy: i != down, SlowFactor: 1}
+		}
+		return &EpochState{Active: n, Snaps: snaps}
+	}
+	allUp := st(-1)
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		before := rendezvousHealthy(key, allUp)
+		if got := rendezvous(key, n); got != before {
+			t.Fatalf("key %q: healthy-subset with all up picked %d, plain rendezvous %d", key, before, got)
+		}
+		for down := 0; down < n; down++ {
+			after := rendezvousHealthy(key, st(down))
+			if before != down && after != before {
+				t.Fatalf("key %q: marking shard %d unhealthy moved it %d -> %d", key, down, before, after)
+			}
+			if before == down && after == down {
+				t.Fatalf("key %q: routed to unhealthy shard %d", key, down)
+			}
+		}
+	}
+	allDown := st(-1)
+	for i := range allDown.Snaps {
+		allDown.Snaps[i].Healthy = false
+	}
+	if got := rendezvousHealthy("any", allDown); got != 0 {
+		t.Fatalf("all-unhealthy fallback picked %d, want 0", got)
+	}
+}
+
+// TestRejectionReasonsClosedSet is the satellite-4 enum lock, in two
+// halves. The static half scans the fleet's non-test sources for Rejection
+// composite literals and requires every Reason to be one of the Reason*
+// identifiers — no inline string may mint a new reason. The dynamic half
+// checks the declared set itself is duplicate-free and matches the
+// constants.
+func TestRejectionReasonsClosedSet(t *testing.T) {
+	declared := map[string]bool{}
+	for _, r := range RejectionReasons {
+		if declared[r] {
+			t.Fatalf("RejectionReasons lists %q twice", r)
+		}
+		declared[r] = true
+	}
+	for _, want := range []string{ReasonFleetOverload, ReasonRetryExhausted, ReasonNoHealthyShard} {
+		if !declared[want] {
+			t.Fatalf("constant %q missing from RejectionReasons", want)
+		}
+	}
+
+	fset := token.NewFileSet()
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawLiteral := false
+	for _, path := range files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			id, ok := cl.Type.(*ast.Ident)
+			if !ok || id.Name != "Rejection" {
+				return true
+			}
+			for _, elt := range cl.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || key.Name != "Reason" {
+					continue
+				}
+				sawLiteral = true
+				switch v := kv.Value.(type) {
+				case *ast.Ident:
+					if !strings.HasPrefix(v.Name, "Reason") && v.Name != "reason" {
+						t.Errorf("%s: Rejection.Reason set from %q, want a Reason* constant or a policy's returned reason",
+							fset.Position(kv.Pos()), v.Name)
+					}
+				case *ast.BasicLit:
+					t.Errorf("%s: Rejection.Reason inlines string %s; add a Reason* constant and list it in RejectionReasons",
+						fset.Position(kv.Pos()), v.Value)
+				}
+			}
+			return true
+		})
+	}
+	if !sawLiteral {
+		t.Fatal("no Rejection literal with a Reason key found; scan is dead")
+	}
+
+	// The runtime half: every reason the fleet emits in the chaos and
+	// overload tests must come from the closed set (custom admission
+	// policies aside, which this config does not use).
+	tr := testTrace(t, testModels(8), 2, 41)
+	cfg := testConfig(2, 2)
+	cfg.Admission = MaxOutstanding{PerShard: 2}
+	cfg.Faults = chaosPlan(tr.Duration)
+	res := Run(cfg, tr)
+	for _, rj := range res.Rejections {
+		if !declared[rj.Reason] {
+			t.Fatalf("fleet emitted reason %q outside RejectionReasons %v", rj.Reason, RejectionReasons)
+		}
+	}
+}

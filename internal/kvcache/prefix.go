@@ -251,6 +251,19 @@ func (s *TieredStore) Reset(cfg TieredConfig) {
 // Config returns the defaulted configuration the store runs with.
 func (s *TieredStore) Config() TieredConfig { return s.cfg }
 
+// SetGPUCapacity changes the GPU tier's capacity in place (fault
+// injection: KVTierDegrade shrinks it, recovery restores it). Shrinking
+// below current residency spills LRU blocks to the CPU tier immediately,
+// so the capacity invariant (WatchTier reads Config at check time) holds
+// through the transition. No-op on a nil/zero-capacity store.
+func (s *TieredStore) SetGPUCapacity(bytes int64) {
+	if s == nil || bytes <= 0 || bytes == s.cfg.GPUBytes {
+		return
+	}
+	s.cfg.GPUBytes = bytes
+	s.makeGPURoom(0)
+}
+
 // BlockTokens returns the sharing granularity.
 func (s *TieredStore) BlockTokens() int { return s.cfg.BlockTokens }
 

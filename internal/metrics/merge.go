@@ -68,6 +68,12 @@ func MergeReports(system string, duration sim.Duration, reports ...Report) Repor
 		r.PrefixHits += in.PrefixHits
 		r.PrefixHitBytes += in.PrefixHitBytes
 		r.PrefixMissBytes += in.PrefixMissBytes
+		// Fault counters sum; the fleet-level recovery statistics
+		// (GoodputDip, RecoverEpochs) are whole-run properties the fleet
+		// sets on the merged report afterwards, not per-shard sums.
+		r.FaultEvents += in.FaultEvents
+		r.Redriven += in.Redriven
+		r.RetryExhausted += in.RetryExhausted
 	}
 	if r.Total > 0 {
 		r.SLORate = float64(r.Met) / float64(r.Total)

@@ -267,6 +267,21 @@ type Report struct {
 	PrefixMissBytes int64
 	PrefixHitRate   float64
 
+	// Fault-injection and recovery accounting (internal/faults via the
+	// fleet front door; all zero on fault-free runs, and the canonical
+	// report only prints them when FaultEvents > 0). FaultEvents counts
+	// applied fault actions; Redriven counts re-submissions of requests
+	// pulled off crashed shards; RetryExhausted counts requests whose
+	// retry budget ran out (they also appear in the rejection ledger).
+	// GoodputDip is the deepest relative per-epoch completion shortfall
+	// against the pre-fault baseline, and RecoverEpochs is how many epochs
+	// after the dip goodput took to re-attain the baseline.
+	FaultEvents    int64
+	Redriven       int64
+	RetryExhausted int64
+	GoodputDip     float64
+	RecoverEpochs  int64
+
 	// Wall-clock overheads in milliseconds per operation (Figure 33).
 	ValidationMS float64
 	ScheduleUS   float64
@@ -431,6 +446,12 @@ func (r Report) Canonical() string {
 	if r.PrefixLookups > 0 {
 		p("prefix lookups=%d hits=%d hitrate=%.9f hitbytes=%d missbytes=%d\n",
 			r.PrefixLookups, r.PrefixHits, r.PrefixHitRate, r.PrefixHitBytes, r.PrefixMissBytes)
+	}
+	// Same gating for the fault line: a run with an empty fault plan (or
+	// no plan at all) renders exactly as before fault injection existed.
+	if r.FaultEvents > 0 {
+		p("faults events=%d redriven=%d exhausted=%d dip=%.9f recover_epochs=%d\n",
+			r.FaultEvents, r.Redriven, r.RetryExhausted, r.GoodputDip, r.RecoverEpochs)
 	}
 	return b.String()
 }

@@ -7,13 +7,15 @@ import "slinfer/internal/model"
 // deliberate deep verification runs.
 
 // Smoke returns the CI smoke matrix: 3 workloads × 2 transforms × 2
-// topologies × 4 systems × 2 SLO classes × 1 seed × 2 fleet shapes = 192
+// topologies × 4 systems × 2 SLO classes × 1 seed × 4 fleet shapes = 384
 // cells, each a two-minute trace, so the whole grid clears in seconds on a
 // parallel pool. The fleet axis crosses every cell with a 2-shard
 // round-robin fleet, so the front-door layer faces the same workload ×
-// system × SLO surface the single-controller path does. The chat workload ×
-// SLINFER+prefix cells drive the tiered prefix store (and its conservation
-// invariant) on every push.
+// system × SLO surface the single-controller path does, plus two chaos
+// shapes — a crash/recover cycle and a straggler — so fault injection,
+// re-drive, and the extended conservation identity gate every push. The
+// chat workload × SLINFER+prefix cells drive the tiered prefix store (and
+// its conservation invariant) on every push.
 func Smoke() Grid {
 	return Grid{
 		Name: "smoke",
@@ -33,6 +35,8 @@ func Smoke() Grid {
 		Fleets: []FleetAxis{
 			{},
 			{Name: "f2rr", Shards: 2, Routing: "rr"},
+			{Name: "f2crash", Shards: 2, Routing: "rr", Chaos: "crash"},
+			{Name: "f2slow", Shards: 2, Routing: "least", Chaos: "straggler"},
 		},
 	}
 }
@@ -40,7 +44,8 @@ func Smoke() Grid {
 // Nightly returns the deep matrix: longer traces, the full system roster
 // (including the sllm and NEO+ baselines), load scaling in both directions,
 // multiple seeds, and deeper fleets (4-shard least-outstanding and
-// model-affinity routing) — 2 × 3 × 2 × 5 × 2 × 2 × 3 = 720 cells.
+// model-affinity routing, plus a 4-shard rolling-restart chaos shape) —
+// 2 × 3 × 2 × 5 × 2 × 2 × 4 = 960 cells.
 func Nightly() Grid {
 	return Grid{
 		Name: "nightly",
@@ -60,6 +65,7 @@ func Nightly() Grid {
 			{},
 			{Name: "f4least", Shards: 4, Routing: "least"},
 			{Name: "f4aff", Shards: 4, Routing: "affinity"},
+			{Name: "f4roll", Shards: 4, Routing: "least", Chaos: "rolling-restart"},
 		},
 	}
 }

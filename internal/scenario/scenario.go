@@ -22,6 +22,7 @@ import (
 	"slinfer/internal/baseline"
 	"slinfer/internal/core"
 	"slinfer/internal/experiments"
+	"slinfer/internal/faults"
 	"slinfer/internal/fleet"
 	"slinfer/internal/hwsim"
 	"slinfer/internal/invariants"
@@ -155,6 +156,10 @@ type FleetAxis struct {
 	Shards int
 	// Routing names a fleet.RoutingByName policy; empty is round-robin.
 	Routing string
+	// Chaos names a faults.Preset injected on the cell's timeline, seeded
+	// from the cell seed; empty runs fault-free. Ignored on single-shard
+	// cells (presets are empty below 2 shards).
+	Chaos string
 }
 
 func (f FleetAxis) name() string {
@@ -169,6 +174,9 @@ func (f FleetAxis) name() string {
 	r := f.Routing
 	if r == "" {
 		r = "rr"
+	}
+	if f.Chaos != "" {
+		return fmt.Sprintf("f%d%s+%s", f.Shards, r, f.Chaos)
 	}
 	return fmt.Sprintf("f%d%s", f.Shards, r)
 }
@@ -307,6 +315,14 @@ func runFleetCell(c Cell, cfg core.Config, models []model.Model, tr workload.Tra
 	if err != nil {
 		return CellResult{Cell: c, Err: fmt.Errorf("scenario: %s: %w", c.Name(), err)}
 	}
+	var plan *faults.Plan
+	if c.Fleet.Chaos != "" {
+		plan = faults.Preset(c.Fleet.Chaos, c.Fleet.Shards, tr.Duration, int64(c.Seed))
+		if plan == nil {
+			return CellResult{Cell: c, Err: fmt.Errorf("scenario: %s: unknown chaos preset %q (have %v)",
+				c.Name(), c.Fleet.Chaos, faults.PresetNames)}
+		}
+	}
 	res := fleet.Run(fleet.Config{
 		System:           cfg,
 		Shards:           fleet.UniformShards(c.Fleet.Shards, c.Topology.CPU, c.Topology.GPU),
@@ -315,6 +331,7 @@ func runFleetCell(c Cell, cfg core.Config, models []model.Model, tr workload.Tra
 		Workers:          1,
 		Seed:             c.Seed,
 		AttachInvariants: true,
+		Faults:           plan,
 	}, tr)
 	viol := append([]invariants.Violation(nil), res.Violations...)
 	for _, vs := range res.ShardViolations {

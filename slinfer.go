@@ -26,9 +26,12 @@
 package slinfer
 
 import (
+	"io"
+
 	"slinfer/internal/baseline"
 	"slinfer/internal/core"
 	"slinfer/internal/experiments"
+	"slinfer/internal/faults"
 	"slinfer/internal/fleet"
 	"slinfer/internal/hwsim"
 	"slinfer/internal/invariants"
@@ -301,11 +304,11 @@ type (
 	ControllerProbe = core.Probe
 )
 
-// SmokeGrid returns the CI smoke matrix (192 two-minute cells, fleet axis
-// included).
+// SmokeGrid returns the CI smoke matrix (384 two-minute cells; fleet and
+// chaos axes included).
 func SmokeGrid() ScenarioGrid { return scenario.Smoke() }
 
-// NightlyGrid returns the deep verification matrix (720 cells).
+// NightlyGrid returns the deep verification matrix (960 cells).
 func NightlyGrid() ScenarioGrid { return scenario.Nightly() }
 
 // RunScenarios evaluates every cell of a grid with invariants attached,
@@ -410,6 +413,64 @@ func FixedFleetScale() FleetAutoscalePolicy { return fleet.FixedFleet{} }
 // shrink).
 func LoadThresholdScale(low, high, min int) FleetAutoscalePolicy {
 	return fleet.LoadThreshold{High: high, Low: low, Min: min}
+}
+
+// Fault injection: a FaultPlan schedules typed events — shard crash,
+// recover, drain, slowdown, KV-tier degrade — on the fleet's virtual
+// timeline (FleetConfig.Faults). Plans are JSONL-serializable, pure
+// functions of their inputs, and quantized onto the epoch grid, so a chaos
+// run is byte-identical across repeats and worker counts. See DESIGN.md
+// "Fault injection & recovery" and examples/chaos.
+type (
+	// FaultPlan is a deterministic schedule of fault events.
+	FaultPlan = faults.Plan
+	// FaultEvent is one typed fault on the fleet timeline.
+	FaultEvent = faults.Event
+	// FaultKind enumerates the fault event types.
+	FaultKind = faults.Kind
+	// FleetRetryPolicy decides the fate of requests pulled off crashed
+	// shards (FleetConfig.Retry).
+	FleetRetryPolicy = fleet.RetryPolicy
+)
+
+// Fault event kinds.
+const (
+	FaultShardCrash    = faults.ShardCrash
+	FaultShardRecover  = faults.ShardRecover
+	FaultShardDrain    = faults.ShardDrain
+	FaultSlowdown      = faults.Slowdown
+	FaultKVTierDegrade = faults.KVTierDegrade
+)
+
+// Rejection-ledger reasons the fleet itself emits (FleetRejection.Reason).
+const (
+	RejectionFleetOverload  = fleet.ReasonFleetOverload
+	RejectionRetryExhausted = fleet.ReasonRetryExhausted
+	RejectionNoHealthyShard = fleet.ReasonNoHealthyShard
+)
+
+// FaultPresetNames lists the seeded chaos presets FaultPreset accepts.
+func FaultPresetNames() []string { return faults.PresetNames }
+
+// FaultPreset builds a seeded fault plan ("crash", "rolling-restart",
+// "straggler", "kvdegrade") for a fleet of the given shape — a pure
+// function of its arguments. Unknown names return nil.
+func FaultPreset(name string, shards int, dur sim.Duration, seed int64) *FaultPlan {
+	return faults.Preset(name, shards, dur, seed)
+}
+
+// LoadFaultPlan reads a JSONL fault plan from disk.
+func LoadFaultPlan(path string) (*FaultPlan, error) { return faults.LoadFile(path) }
+
+// SaveFaultPlan writes a fault plan as JSONL.
+func SaveFaultPlan(w io.Writer, p *FaultPlan) error { return faults.Save(w, p) }
+
+// BudgetedRetryPolicy re-drives each request pulled off a crashed shard up
+// to budget times with a linear backoff of backoff epochs per prior
+// attempt; past the budget the request lands in the rejection ledger as
+// retry-exhausted.
+func BudgetedRetryPolicy(budget, backoff int) FleetRetryPolicy {
+	return fleet.BudgetedRetry{Budget: budget, Backoff: backoff}
 }
 
 // Run executes one serving system over a cluster and trace, returning the
