@@ -21,6 +21,7 @@ import (
 	"slinfer/internal/model"
 	"slinfer/internal/scenario"
 	"slinfer/internal/sim"
+	"slinfer/internal/telemetry"
 	"slinfer/internal/workload"
 	"slinfer/internal/workload/traceio"
 )
@@ -202,6 +203,56 @@ func BenchmarkSub_PrefixLookup(b *testing.B) {
 	}
 	b.ReportMetric(float64(lookups)/b.Elapsed().Seconds(), "lookups/s")
 	b.ReportMetric(float64(hitTok)/float64(totTok), "hitrate")
+}
+
+// BenchmarkSub_TelemetrySpans measures the telemetry layer on an
+// end-to-end replay. The "enabled" case arms all three pillars and reports
+// recording throughput in spans/s; "disabled" is the identical run with no
+// recorder wired — its delta against BenchmarkSub_ReplayThroughput is the
+// cost of merely having the hooks in the controller, which the layer's
+// contract caps at one nil check per hook (≤2%, zero extra allocs).
+func BenchmarkSub_TelemetrySpans(b *testing.B) {
+	_, tr := benchTrace()
+	for _, bc := range []struct {
+		name string
+		on   bool
+	}{{"enabled", true}, {"disabled", false}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var spans int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opt := experiments.ReplayOptions{
+					System: "SLINFER", CPUNodes: 2, GPUNodes: 2,
+				}
+				var telem *telemetry.Trace
+				if bc.on {
+					telem = telemetry.New(telemetry.Options{
+						Spans: true, Series: true,
+						FlightRing: telemetry.DefaultFlightRing,
+					})
+					opt.Telemetry = telem.Recorder(0)
+				}
+				rep, err := experiments.Replay(tr, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Total == 0 {
+					b.Fatal("empty replay")
+				}
+				if bc.on {
+					n := telem.EventCount()
+					if n == 0 {
+						b.Fatal("enabled run recorded no spans")
+					}
+					spans += int64(n)
+				}
+			}
+			if bc.on {
+				b.ReportMetric(float64(spans)/b.Elapsed().Seconds(), "spans/s")
+			}
+		})
+	}
 }
 
 // BenchmarkSub_FleetEpoch measures epoch-synchronized co-simulation

@@ -11,6 +11,17 @@
 // -model and -device accept comma-separated lists (or "all" for the whole
 // catalog); each (model, device) cell is profiled independently and the
 // sweep fans out over -parallel workers, printing in stable input order.
+//
+// -overhead switches to the §VI-C simulator-overhead mode: it drives a
+// short generated workload through a measured controller
+// (core.Config.MeasureOverhead) and emits the telemetry metric stream as
+// CSV — the schedule_ns/validation_ns columns carry the cumulative
+// wall-clock cost of the scheduler and validators at each sampler tick.
+// Those two columns are real host time, so the CSV is NOT run-to-run
+// byte-identical; every other column is.
+//
+// Flag errors (out-of-range -share, -series without -overhead, unknown
+// model/device names) exit 2 before any work starts.
 package main
 
 import (
@@ -20,19 +31,44 @@ import (
 	"runtime"
 	"strings"
 
+	"slinfer/internal/baseline"
+	"slinfer/internal/core"
 	"slinfer/internal/hwsim"
 	"slinfer/internal/model"
 	"slinfer/internal/par"
 	"slinfer/internal/perfmodel"
+	"slinfer/internal/sim"
 	"slinfer/internal/slo"
+	"slinfer/internal/telemetry"
+	"slinfer/internal/workload"
 )
 
 func main() {
 	names := flag.String("model", "llama-2-7b", "catalog model name(s, comma-separated) or 'all'")
 	devices := flag.String("device", "cpu", "device(s, comma-separated): cpu | cpu-gen3 | gpu, or 'all'")
-	share := flag.Float64("share", 1.0, "node share (static partitioning)")
+	share := flag.Float64("share", 1.0, "node share (static partitioning), in (0, 1]")
 	workers := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent profile cells (1 = serial)")
+	overhead := flag.Bool("overhead", false, "run a measured replay and print its telemetry metric stream (schedule_ns/validation_ns populated)")
+	series := flag.String("series", "", "with -overhead: write the CSV to this file instead of stdout")
+	minutes := flag.Float64("minutes", 2, "with -overhead: measured workload length in minutes")
 	flag.Parse()
+
+	if *share <= 0 || *share > 1 {
+		fmt.Fprintf(os.Stderr, "-share must be in (0, 1], got %g\n", *share)
+		os.Exit(2)
+	}
+	if *series != "" && !*overhead {
+		fmt.Fprintln(os.Stderr, "-series captures the measured replay; it needs -overhead")
+		os.Exit(2)
+	}
+	if *minutes <= 0 {
+		fmt.Fprintf(os.Stderr, "-minutes must be > 0, got %g\n", *minutes)
+		os.Exit(2)
+	}
+	if *overhead {
+		runOverhead(*minutes, *series)
+		return
+	}
 
 	models, err := resolveModels(*names)
 	if err != nil {
@@ -64,6 +100,51 @@ func main() {
 	for _, s := range out {
 		fmt.Print(s)
 	}
+}
+
+// runOverhead drives the paper testbed through a short generated workload
+// with MeasureOverhead on and telemetry's series pillar recording, then
+// writes the metric stream — the sampler-tick rows carry the scheduler and
+// validation wall-clock counters the overhead figures are built from.
+func runOverhead(minutes float64, out string) {
+	cfg, _ := baseline.ByName("SLINFER")
+	cfg.MeasureOverhead = true
+	telem := telemetry.New(telemetry.Options{Series: true})
+	cfg.Telemetry = telem.Recorder(0)
+
+	models := model.Replicas(model.Llama2_7B, 8)
+	mnames := make([]string, len(models))
+	for i, m := range models {
+		mnames[i] = m.Name
+	}
+	tr := workload.Generate(workload.TraceConfig{
+		ModelNames: mnames,
+		Duration:   sim.Duration(minutes) * sim.Minute,
+		Seed:       17,
+		MaxInput:   model.Llama2_7B.MaxContext,
+	})
+
+	a := core.AcquireArena()
+	defer a.Release()
+	ctl := a.NewController(hwsim.Testbed(4, 4), models, cfg)
+	rep := ctl.Run(tr)
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := telem.SeriesCSV(w); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "measured %d requests over %gm: schedule=%dns validation=%dns across %d samples\n",
+		rep.Total, minutes, ctl.Collector.ScheduleNs, ctl.Collector.ValidationNs, telem.SampleCount())
 }
 
 func resolveModels(arg string) ([]model.Model, error) {

@@ -11,6 +11,12 @@
 //	slinfer-verify -grid nightly -v      # deep matrix, per-cell lines
 //	slinfer-verify -grid smoke -props=false   # invariants only
 //	slinfer-verify -grid smoke -parallel 4    # bound concurrent cells
+//	slinfer-verify -timeline out.trace.json   # validate a telemetry export
+//
+// -timeline validates a Chrome trace-event JSON file exported by
+// `slinfer -timeline` against the minimal trace-event schema
+// (internal/telemetry.ValidateChrome) and exits without running a grid —
+// the CI telemetry smoke step's checker.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 
 	"slinfer/internal/experiments"
 	"slinfer/internal/scenario"
+	"slinfer/internal/telemetry"
 )
 
 func main() {
@@ -30,7 +37,22 @@ func main() {
 	props := flag.Bool("props", true, "also check the metamorphic cross-cell properties")
 	par := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent simulation cells (1 = serial)")
 	verbose := flag.Bool("v", false, "print one line per cell, not just failures")
+	timeline := flag.String("timeline", "", "validate this Chrome trace-event JSON telemetry export and exit")
 	flag.Parse()
+
+	if *timeline != "" {
+		f, err := os.Open(*timeline)
+		if err == nil {
+			err = telemetry.ValidateChrome(f)
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "timeline %s: %v\n", *timeline, err)
+			os.Exit(1)
+		}
+		fmt.Printf("timeline %s: valid trace-event JSON\n", *timeline)
+		return
+	}
 
 	if *list {
 		fmt.Println("Named grids:")

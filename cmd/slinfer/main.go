@@ -43,10 +43,21 @@
 // -retry-budget bounds how many times a request pulled off a crashed shard
 // is re-driven before it lands in the rejection ledger as retry-exhausted.
 //
+// Telemetry (replay modes only): -timeline <file> writes a Chrome
+// trace-event JSON span timeline of the replay (load it in Perfetto or
+// chrome://tracing: shards render as process rows, instances as thread
+// rows), -series <file> writes the sim-time metric stream as CSV (queue
+// depth, active batch, KV tier bytes, per-shard goodput, retry backlog),
+// and -flightrec arms a fixed-size flight recorder whose tail is dumped to
+// stderr when a fleet replay ends with invariant violations. All three are
+// deterministic: the exported bytes are identical across reruns and
+// -parallel/fleet worker settings, and a replay without them is
+// byte-identical to one before the flags existed.
+//
 // Flag combinations are validated up front: contradictions (-routing
 // kvaffinity without -prefix, fleet-only flags without -shards > 1, -chaos
-// together with -faults, prefix sizing without -prefix) exit 2 with usage
-// before any simulation work starts.
+// together with -faults, prefix sizing without -prefix, telemetry flags
+// without -trace) exit 2 with usage before any simulation work starts.
 package main
 
 import (
@@ -64,6 +75,7 @@ import (
 	"slinfer/internal/kvcache"
 	"slinfer/internal/model"
 	"slinfer/internal/sim"
+	"slinfer/internal/telemetry"
 	"slinfer/internal/workload/traceio"
 )
 
@@ -89,8 +101,20 @@ func main() {
 	faultsPath := flag.String("faults", "", "fleet replay: JSONL fault plan to inject on the run's timeline")
 	chaos := flag.String("chaos", "", "fleet replay: seeded fault preset: "+strings.Join(faults.PresetNames, "|"))
 	retryBudget := flag.Int("retry-budget", -1, "fleet replay: max re-drives per request pulled off a crashed shard (-1 = default 2)")
+	timeline := flag.String("timeline", "", "replay: write the span timeline as Chrome trace-event JSON to this file")
+	series := flag.String("series", "", "replay: write the sim-time metric stream as CSV to this file")
+	flightrec := flag.Bool("flightrec", false, "replay: arm the telemetry flight recorder (violating fleet shards dump their last events to stderr)")
 	flag.Parse()
 	validateFlags()
+
+	var telem *telemetry.Trace
+	if *timeline != "" || *series != "" || *flightrec {
+		opts := telemetry.Options{Spans: *timeline != "", Series: *series != ""}
+		if *flightrec {
+			opts.FlightRing = telemetry.DefaultFlightRing
+		}
+		telem = telemetry.New(opts)
+	}
 
 	pcache := kvcache.TieredConfig{
 		Enabled:     *prefix,
@@ -109,12 +133,16 @@ func main() {
 			routing: *routing, admitLimit: *admitLimit, epochSec: *epoch,
 			workers: *par, pcache: pcache,
 			faultsPath: *faultsPath, chaos: *chaos, retryBudget: *retryBudget,
+			telem: telem, timeline: *timeline, series: *series,
 		})
 		return
 	}
 
 	if *trace != "" {
 		opt := experiments.ReplayOptions{System: *system, CPUNodes: *cpus, GPUNodes: *gpus, PrefixCache: pcache}
+		if telem != nil {
+			opt.Telemetry = telem.Recorder(0)
+		}
 		if *baseName != "" {
 			base, ok := model.ByName(*baseName)
 			if !ok {
@@ -129,6 +157,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(rep.Canonical())
+		writeTelemetry(telem, *timeline, *series)
 		return
 	}
 
@@ -229,6 +258,16 @@ func validateFlags() {
 			bad("-%s sizes the prefix store; it needs -prefix", name)
 		}
 	}
+	for _, name := range []string{"timeline", "series", "flightrec"} {
+		if set[name] && get("trace").(string) == "" {
+			bad("-%s records a replay; it needs -trace", name)
+		}
+	}
+	for _, name := range []string{"timeline", "series"} {
+		if set[name] && get(name).(string) == "" {
+			bad("-%s needs an output path", name)
+		}
+	}
 	if len(problems) == 0 {
 		return
 	}
@@ -251,6 +290,37 @@ type fleetOptions struct {
 	pcache              kvcache.TieredConfig
 	faultsPath, chaos   string
 	retryBudget         int
+	telem               *telemetry.Trace
+	timeline, series    string
+}
+
+// writeTelemetry exports the run's telemetry (Chrome timeline JSON, series
+// CSV) and prints the canonical-style summary lines. Export failures are
+// fatal: a truncated trace file is worse than none.
+func writeTelemetry(telem *telemetry.Trace, timeline, series string) {
+	if telem == nil {
+		return
+	}
+	write := func(path string, export func(w *os.File) error) {
+		f, err := os.Create(path)
+		if err == nil {
+			err = export(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+	}
+	if timeline != "" {
+		write(timeline, func(f *os.File) error { return telem.ExportChrome(f) })
+	}
+	if series != "" {
+		write(series, func(f *os.File) error { return telem.SeriesCSV(f) })
+	}
+	fmt.Print(telem.Summary())
 }
 
 // runFleet replays a saved trace through an N-shard fleet and prints the
@@ -309,6 +379,7 @@ func runFleet(o fleetOptions) {
 		Seed:             meta.Seed,
 		AttachInvariants: true,
 		Faults:           plan,
+		Telemetry:        o.telem,
 	}
 	if o.admitLimit > 0 {
 		fcfg.Admission = fleet.MaxOutstanding{PerShard: o.admitLimit}
@@ -328,6 +399,7 @@ func runFleet(o fleetOptions) {
 		fmt.Printf("faults=%d redriven=%d retry-exhausted=%d\n",
 			res.Report.FaultEvents, res.Redriven, res.RetryExhausted)
 	}
+	writeTelemetry(o.telem, o.timeline, o.series)
 	if !res.Ok() {
 		for _, v := range res.Violations {
 			fmt.Fprintf(os.Stderr, "fleet violation: %s\n", v)
@@ -335,6 +407,11 @@ func runFleet(o fleetOptions) {
 		for i, vs := range res.ShardViolations {
 			for _, v := range vs {
 				fmt.Fprintf(os.Stderr, "shard %d violation: %s\n", i, v)
+			}
+		}
+		for i, dump := range res.FlightDumps {
+			if dump != "" {
+				fmt.Fprintf(os.Stderr, "shard %d %s", i, dump)
 			}
 		}
 		os.Exit(1)

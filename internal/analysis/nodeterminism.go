@@ -41,6 +41,10 @@ var semanticPackages = map[string]bool{
 	"slinfer/internal/kvcache":  true,
 	"slinfer/internal/fleet":    true,
 	"slinfer/internal/scenario": true,
+	// telemetry records on the simulation hot path and its exports must be
+	// byte-identical across runs: wall clock, global rand, and unordered
+	// map walks are all export-order hazards.
+	"slinfer/internal/telemetry": true,
 }
 
 func runNoDeterminism(pass *Pass) error {

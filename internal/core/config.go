@@ -18,6 +18,7 @@ import (
 	"slinfer/internal/policy"
 	"slinfer/internal/sim"
 	"slinfer/internal/slo"
+	"slinfer/internal/telemetry"
 )
 
 // SharingMode selects how node compute is divided among instances. It
@@ -107,6 +108,17 @@ type Config struct {
 	// Probe observes lifecycle events for verification (see Probe); nil
 	// disables observation.
 	Probe Probe
+	// Telemetry, when non-nil, records request span events and sim-time
+	// metric samples into the given recorder (internal/telemetry). Like
+	// Probe, a nil recorder costs one branch per hook site and the
+	// controller never allocates on behalf of an absent recorder. Unlike
+	// Probe — which invariants.Attach replaces and fleet chaos chains —
+	// this field is never rewritten by the verification machinery, so
+	// telemetry and invariant probes coexist without perturbing each
+	// other. The recorder survives Controller.reset (config replacement
+	// carries the same pointer), which is how fleet crash/rebuild cycles
+	// keep one continuous per-shard timeline.
+	Telemetry *telemetry.Recorder
 	// MeasureOverhead samples host wall-clock time around every scheduling
 	// pick and shadow validation to feed the Figure 33 overhead study
 	// (Report.ValidationMS / ScheduleUS). Off by default: the clock reads

@@ -146,6 +146,7 @@ func New(s *sim.Simulator, specs []hwsim.NodeSpec, models []model.Model, cfg Con
 	if cfg.PrefixCache.Enabled {
 		c.prefix = kvcache.NewTieredStore(cfg.PrefixCache)
 	}
+	c.wireTelemetry()
 	c.finishSetup(models)
 	return c
 }
@@ -250,6 +251,7 @@ func (c *Controller) reset(specs []hwsim.NodeSpec, models []model.Model, cfg Con
 	default:
 		c.prefix.Reset(cfg.PrefixCache)
 	}
+	c.wireTelemetry()
 	c.finishSetup(models)
 }
 
@@ -393,8 +395,10 @@ func (c *Controller) Submit(w workload.Request) {
 		req.PrefixXfer = xfer
 		c.Collector.RecordPrefixLookup(int64(hitTokens)*perTok,
 			int64(w.InputLen-hitTokens)*perTok)
+		c.telemPrefixLookup(req, hitTokens)
 	}
 	c.Collector.RecordArrival()
+	c.telemAdmit(req)
 	c.probeSubmitted(req)
 	if !c.tryPlace(req) {
 		c.enqueue(req)
@@ -671,6 +675,7 @@ func (c *Controller) place(req *engine.Request, inst *engine.Instance) {
 	}
 	c.removePending(req)
 	inst.Admit(req)
+	c.telemPlace(req, inst)
 	if inst.State == engine.Loading {
 		// Cold-start grace equal to the load duration (§IX-A).
 		req.Tracker.AddGrace(c.specOf(inst).LoadTime(inst.Model))
@@ -687,6 +692,7 @@ func (c *Controller) place(req *engine.Request, inst *engine.Instance) {
 // the TTFT SLO).
 func (c *Controller) enqueue(req *engine.Request) {
 	c.pending = append(c.pending, req)
+	c.telemEnqueue(req)
 	deadline := req.Tracker.NextDeadline()
 	if deadline <= c.Sim.Now() {
 		c.drop(req)
@@ -704,6 +710,7 @@ func (c *Controller) drop(req *engine.Request) {
 	delete(c.dropEvents, req)
 	c.removePending(req)
 	c.Collector.RecordDrop()
+	c.telemDrop(req)
 	c.probeDropped(req)
 }
 

@@ -66,6 +66,7 @@ func (c *Controller) onIterationDone(ex *cluster.Executor, w engine.Work, dur si
 			return
 		}
 		c.Collector.DecodeTokens[kind]++ // the first output token
+		c.telemFirstToken(req, inst)
 		switch req.State {
 		case engine.Done:
 			c.completeRequest(req, inst)
@@ -80,6 +81,7 @@ func (c *Controller) onIterationDone(ex *cluster.Executor, w engine.Work, dur si
 			return
 		}
 		c.Collector.RecordDecode(kind, batch)
+		c.telemDecodeIter(inst, batch, dur)
 		for _, req := range finished {
 			c.completeRequest(req, inst)
 		}
@@ -101,6 +103,7 @@ func (c *Controller) completeRequest(req *engine.Request, inst *engine.Instance)
 	}
 	ttft, haveTTFT := req.Tracker.TTFT()
 	c.Collector.RecordCompletion(req.Tracker.Met(), ttft, haveTTFT)
+	c.telemComplete(req, inst)
 	c.probeCompleted(req, inst)
 	c.recheckKV(inst)
 	if inst.Idle() && inst.State == engine.Active {
@@ -292,6 +295,7 @@ func (c *Controller) migrate(req *engine.Request, from *engine.Instance) {
 	req.Inst = nil
 	req.Migrations++
 	c.Collector.Migrations++
+	c.telemPreempt(req, from)
 	if !c.tryPlaceAvoiding(req, from) {
 		c.enqueue(req)
 	}
@@ -440,6 +444,7 @@ func (c *Controller) createInstance(m model.Model, nodes []*cluster.Node, share 
 	}
 	c.instances[m.Name] = append(c.instances[m.Name], inst)
 	c.Collector.ColdStarts++
+	c.telemInstanceUp(inst)
 	c.probeInstanceCreated(inst)
 	if dynamicKV && kvInit > 0 {
 		c.issueResize(inst, kvInit)
@@ -507,6 +512,7 @@ func (c *Controller) reclaim(inst *engine.Instance) {
 // countLifetime records instance lifetime stats (skipped for PD helpers).
 func (c *Controller) removeInstance(inst *engine.Instance, countLifetime bool) {
 	inst.State = engine.Unloading
+	c.telemInstanceDown(inst)
 	c.probeInstanceRemoved(inst)
 	c.cancelKeepAlive(inst)
 	if countLifetime {
@@ -723,6 +729,7 @@ func (c *Controller) samplerTick() {
 			}
 		}
 	}
+	c.telemSample()
 	c.samplerEv = c.Sim.AfterFunc(c.samplerPeriod, c.fnSampler, nil)
 }
 

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"slinfer/internal/engine"
+	"slinfer/internal/sim"
+	"slinfer/internal/telemetry"
+)
+
+// Telemetry hook helpers, following probe.go's discipline exactly: a nil
+// Config.Telemetry costs one branch per hook site, the controller never
+// allocates on behalf of an absent recorder, and every argument is scalar
+// or pointer-shaped so the `//slinfer:hotpath` callers (onIterationDone,
+// completeRequest, samplerTick) never box. Telemetry is strictly
+// observational — no hook may influence scheduling, timing, or the
+// invariant probes riding Config.Probe.
+
+func (c *Controller) telemAdmit(req *engine.Request) {
+	if t := c.Cfg.Telemetry; t != nil {
+		t.Record(c.Sim.Now(), telemetry.KindAdmit, -1, req.W.ID,
+			int64(req.W.InputLen), int64(req.CachedPrefixTokens))
+	}
+}
+
+// telemPrefixLookup records the admission-time tiered-store lookup as a
+// hit or miss child event of the request's span.
+func (c *Controller) telemPrefixLookup(req *engine.Request, hitTokens int) {
+	if t := c.Cfg.Telemetry; t != nil {
+		kind := telemetry.KindPrefixMiss
+		if hitTokens > 0 {
+			kind = telemetry.KindPrefixHit
+		}
+		t.Record(c.Sim.Now(), kind, -1, req.W.ID, int64(hitTokens), int64(req.W.InputLen))
+	}
+}
+
+func (c *Controller) telemEnqueue(req *engine.Request) {
+	if t := c.Cfg.Telemetry; t != nil {
+		t.Record(c.Sim.Now(), telemetry.KindEnqueue, -1, req.W.ID, 0, 0)
+	}
+}
+
+func (c *Controller) telemPlace(req *engine.Request, inst *engine.Instance) {
+	if t := c.Cfg.Telemetry; t != nil {
+		t.Record(c.Sim.Now(), telemetry.KindPlace, int32(inst.ID), req.W.ID, 0, 0)
+	}
+}
+
+func (c *Controller) telemFirstToken(req *engine.Request, inst *engine.Instance) {
+	if t := c.Cfg.Telemetry; t != nil {
+		t.Record(c.Sim.Now(), telemetry.KindFirstToken, int32(inst.ID), req.W.ID, 0, 0)
+	}
+}
+
+func (c *Controller) telemDecodeIter(inst *engine.Instance, batch int, dur sim.Duration) {
+	if t := c.Cfg.Telemetry; t != nil {
+		t.Record(c.Sim.Now(), telemetry.KindDecodeIter, int32(inst.ID), -1,
+			int64(batch), int64(float64(dur)*1e9))
+	}
+}
+
+func (c *Controller) telemComplete(req *engine.Request, inst *engine.Instance) {
+	if t := c.Cfg.Telemetry; t != nil {
+		t.Record(c.Sim.Now(), telemetry.KindComplete, int32(inst.ID), req.W.ID,
+			int64(req.Generated), 0)
+	}
+}
+
+func (c *Controller) telemDrop(req *engine.Request) {
+	if t := c.Cfg.Telemetry; t != nil {
+		t.Record(c.Sim.Now(), telemetry.KindDrop, -1, req.W.ID, 0, 0)
+	}
+}
+
+func (c *Controller) telemPreempt(req *engine.Request, from *engine.Instance) {
+	if t := c.Cfg.Telemetry; t != nil {
+		t.Record(c.Sim.Now(), telemetry.KindPreempt, int32(from.ID), req.W.ID,
+			int64(req.Migrations), 0)
+	}
+}
+
+func (c *Controller) telemInstanceUp(inst *engine.Instance) {
+	if t := c.Cfg.Telemetry; t != nil {
+		t.Record(c.Sim.Now(), telemetry.KindInstanceUp, int32(inst.ID), -1, 0, 0)
+	}
+}
+
+func (c *Controller) telemInstanceDown(inst *engine.Instance) {
+	if t := c.Cfg.Telemetry; t != nil {
+		t.Record(c.Sim.Now(), telemetry.KindInstanceDown, int32(inst.ID), -1, 0, 0)
+	}
+}
+
+// telemSample records one sim-time metric row on the sampler tick.
+func (c *Controller) telemSample() {
+	t := c.Cfg.Telemetry
+	if t == nil || !t.SeriesEnabled() {
+		return
+	}
+	queue := len(c.pending)
+	outstanding := c.Collector.Total - c.Collector.Completed - c.Collector.Dropped
+	active := outstanding - int64(queue)
+	if active < 0 {
+		active = 0
+	}
+	var kvGPU, kvCPU int64
+	if c.prefix != nil {
+		kvGPU, kvCPU = c.prefix.Ledger.GPUBytes, c.prefix.Ledger.CPUBytes
+	}
+	var schedNs, valNs int64
+	if c.Cfg.MeasureOverhead {
+		schedNs, valNs = c.Collector.ScheduleNs, c.Collector.ValidationNs
+	}
+	t.Sample(telemetry.Sample{
+		T: c.Sim.Now(), Kind: telemetry.SampleTick,
+		Queue: int32(queue), Active: int32(active),
+		KVGPU: kvGPU, KVCPU: kvCPU,
+		Outstanding: outstanding,
+		ScheduleNs:  schedNs, ValidationNs: valNs,
+	})
+}
+
+// tierTelem adapts the tiered prefix store's transition hooks onto the
+// controller's recorder, stamping virtual time at the call site. Wired at
+// construction/reset (never on a hot path); the store's nil check is its
+// whole disabled-path cost.
+type tierTelem struct{ c *Controller }
+
+func (t tierTelem) TierPromoted(bytes int64) {
+	t.c.telemTier(telemetry.KindTierPromote, bytes)
+}
+func (t tierTelem) TierSpilled(bytes int64) {
+	t.c.telemTier(telemetry.KindTierSpill, bytes)
+}
+func (t tierTelem) TierEvicted(bytes int64) {
+	t.c.telemTier(telemetry.KindTierEvict, bytes)
+}
+
+func (c *Controller) telemTier(kind telemetry.Kind, bytes int64) {
+	if t := c.Cfg.Telemetry; t != nil {
+		t.Record(c.Sim.Now(), kind, -1, -1, bytes, 0)
+	}
+}
+
+// wireTelemetry attaches the tier-transition adapter to the prefix store
+// when both features are on. Called from New and reset after the store
+// exists.
+func (c *Controller) wireTelemetry() {
+	if c.prefix != nil {
+		if c.Cfg.Telemetry != nil {
+			c.prefix.Trace = tierTelem{c}
+		} else {
+			c.prefix.Trace = nil
+		}
+	}
+}
+
+// FlightDump renders the telemetry flight-recorder ring (empty when
+// telemetry is off or no ring is configured). The invariants suite wires
+// this into its violation funnel so the first failed check dumps the
+// events that led to it.
+func (c *Controller) FlightDump() string {
+	if t := c.Cfg.Telemetry; t != nil {
+		return t.DumpTail()
+	}
+	return ""
+}

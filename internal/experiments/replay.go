@@ -10,6 +10,7 @@ import (
 	"slinfer/internal/kvcache"
 	"slinfer/internal/metrics"
 	"slinfer/internal/model"
+	"slinfer/internal/telemetry"
 	"slinfer/internal/workload"
 	"slinfer/internal/workload/traceio"
 )
@@ -33,6 +34,10 @@ type ReplayOptions struct {
 	// "+prefix" variant). It only changes behavior on traces whose
 	// requests carry PrefixKeys.
 	PrefixCache kvcache.TieredConfig
+	// Telemetry, when non-nil, receives the replayed controller's span
+	// events and sampler-tick metric rows (internal/telemetry). Strictly
+	// observational — the replayed report is byte-identical either way.
+	Telemetry *telemetry.Recorder
 }
 
 func (o ReplayOptions) withDefaults() ReplayOptions {
@@ -70,6 +75,7 @@ func Replay(tr workload.Trace, opt ReplayOptions) (metrics.Report, error) {
 		}
 		cfg.PrefixCache = opt.PrefixCache
 	}
+	cfg.Telemetry = opt.Telemetry
 	models := TraceModels(tr, opt.Base)
 	rep := runSystem(cfg, hwsim.Testbed(opt.CPUNodes, opt.GPUNodes), models, tr)
 	return rep, nil

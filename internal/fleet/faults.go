@@ -185,6 +185,7 @@ type inflightRec struct {
 type retryEntry struct {
 	rec   inflightRec
 	ready int // epoch index at which the re-drive may route
+	from  int // shard the request was pulled off (telemetry provenance)
 }
 
 // shardProbe is the fleet's per-shard lifecycle witness on chaos runs: it

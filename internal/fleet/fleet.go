@@ -44,6 +44,7 @@ import (
 	"slinfer/internal/model"
 	"slinfer/internal/par"
 	"slinfer/internal/sim"
+	"slinfer/internal/telemetry"
 	"slinfer/internal/workload"
 	"slinfer/internal/workload/traceio"
 )
@@ -113,6 +114,15 @@ type Config struct {
 	// Retry governs re-drive of requests pulled off crashed shards; nil
 	// selects BudgetedRetry{Budget: 2, Backoff: 1}.
 	Retry RetryPolicy
+	// Telemetry, when non-nil, records the fleet's observability streams:
+	// shard i's controller writes Telemetry.Recorder(i) (its recorder rides
+	// the shard config across crash rebuilds, so a shard's timeline is
+	// continuous through faults), the serial front-door section writes
+	// Telemetry.Fleet() (fault applications, re-drives, retry exhaustion),
+	// and every epoch barrier appends one SampleEpoch row per shard.
+	// Strictly observational: nil runs are byte-identical to before the
+	// field existed.
+	Telemetry *telemetry.Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -196,6 +206,10 @@ type Result struct {
 	// ShardViolations hold each shard's invariant-suite findings when
 	// Config.AttachInvariants is set (nil suites leave empty slices).
 	ShardViolations [][]invariants.Violation
+	// FlightDumps holds, per shard, the telemetry flight-recorder dump
+	// captured at that shard's first invariant violation ("" when the shard
+	// stayed clean, telemetry was off, or no flight ring was armed).
+	FlightDumps []string
 }
 
 // Ok reports whether the run finished with no violation anywhere.
@@ -252,6 +266,10 @@ type shard struct {
 	// completedEpoch counts completions since the last barrier (the
 	// goodput series behind the recovery metrics).
 	completedEpoch int64
+	// flight keeps the first flight-recorder dump any of the shard's
+	// invariant suites produced (suites are finalized at crashes and run
+	// end; the first violation wins).
+	flight string
 }
 
 func newShard(cfg Config, i int, chaos bool) *shard {
@@ -266,6 +284,9 @@ func newShard(cfg Config, i int, chaos bool) *shard {
 	}
 	sys.Name = fmt.Sprintf("%s/%s", sys.Name, name)
 	sys.Seed = ShardSeed(cfg.Seed^sys.Seed, i)
+	if cfg.Telemetry != nil {
+		sys.Telemetry = cfg.Telemetry.Recorder(i)
+	}
 	a := core.AcquireArena()
 	sd := &shard{
 		arena: a, sim: a.Sim(), ctl: a.NewController(spec.Specs, cfg.Models, sys),
@@ -333,6 +354,9 @@ func (sd *shard) crash(now sim.Time, ck *checker) []inflightRec {
 	sd.segments = append(sd.segments, sd.ctl.EndStream(now.Sub(sd.segStart)))
 	if sd.suite != nil {
 		sd.segViol = append(sd.segViol, sd.suite.Violations()...)
+		if sd.flight == "" {
+			sd.flight = sd.suite.FlightDump()
+		}
 		sd.suite = nil
 	}
 	pulled := sd.pullInflight()
@@ -415,7 +439,10 @@ func Run(cfg Config, tr workload.Trace) Result {
 		sd.ctl.BeginStream(traceEnd, expected)
 	}
 
-	res := Result{ShardViolations: make([][]invariants.Violation, n)}
+	res := Result{
+		ShardViolations: make([][]invariants.Violation, n),
+		FlightDumps:     make([]string, n),
+	}
 	sem := par.NewSem(cfg.Workers)
 	snaps := make([]Snapshot, n)
 	for i, sd := range shards {
@@ -442,6 +469,14 @@ func Run(cfg Config, tr workload.Trace) Result {
 	if chaos {
 		attempts = map[int64]int{}
 	}
+	// Telemetry front door: written only inside the serial section, so the
+	// fleet's event stream is ordered no matter the worker count.
+	var front *telemetry.Recorder
+	var prevCompleted []int64 // per-shard completions at the last barrier
+	if cfg.Telemetry != nil {
+		front = cfg.Telemetry.Fleet()
+		prevCompleted = make([]int64, n)
+	}
 	horizon := traceEnd
 	epoch := 0
 	start := sim.Time(0)
@@ -463,6 +498,7 @@ func Run(cfg Config, tr workload.Trace) Result {
 		// decision, and patch the stale snapshots' health fields in place
 		// so this epoch's decisions already route around the change.
 		var pulled []inflightRec
+		var pulledFrom []int // origin shard per pulled record
 		for actionCursor < len(actions) && actions[actionCursor].epoch <= epoch {
 			a := actions[actionCursor]
 			actionCursor++
@@ -471,7 +507,11 @@ func Run(cfg Config, tr workload.Trace) Result {
 			switch a.op {
 			case opCrash:
 				if sd.up {
-					pulled = append(pulled, sd.crash(start, ck)...)
+					recs := sd.crash(start, ck)
+					pulled = append(pulled, recs...)
+					for range recs {
+						pulledFrom = append(pulledFrom, a.shard)
+					}
 					snaps[a.shard].Healthy, snaps[a.shard].SlowFactor = false, 1
 					applied = true
 				}
@@ -520,6 +560,10 @@ func Run(cfg Config, tr workload.Trace) Result {
 				}
 			}
 			if applied {
+				if front != nil {
+					front.Record(start, telemetry.KindFault, -1, -1,
+						int64(a.shard), int64(a.op))
+				}
 				firedCount++
 				if firstFault < 0 {
 					firstFault = epoch
@@ -529,7 +573,7 @@ func Run(cfg Config, tr workload.Trace) Result {
 		// Pulled requests meet the retry decision point immediately: the
 		// budget decides at pull time whether they wait out a backoff in
 		// the retry queue or go to the ledger.
-		for _, rec := range pulled {
+		for pi, rec := range pulled {
 			if rec.idx >= 0 {
 				assigned[rec.idx] = -1
 			}
@@ -539,8 +583,14 @@ func Run(cfg Config, tr workload.Trace) Result {
 				if delay < 0 {
 					delay = 0
 				}
-				retryq = append(retryq, retryEntry{rec: rec, ready: epoch + delay})
+				retryq = append(retryq, retryEntry{
+					rec: rec, ready: epoch + delay, from: pulledFrom[pi],
+				})
 			} else {
+				if front != nil {
+					front.Record(start, telemetry.KindRetryExhausted, -1,
+						rec.req.ID, int64(pulledFrom[pi]), 0)
+				}
 				res.Rejections = append(res.Rejections, Rejection{
 					ID: rec.req.ID, Model: rec.req.ModelName,
 					At: start, Reason: ReasonRetryExhausted,
@@ -594,6 +644,10 @@ func Run(cfg Config, tr workload.Trace) Result {
 			for _, e := range retryq {
 				switch {
 				case !healthyActive && epoch > lastActionEpoch:
+					if front != nil {
+						front.Record(start, telemetry.KindRetryExhausted, -1,
+							e.rec.req.ID, int64(e.from), 0)
+					}
 					res.Rejections = append(res.Rejections, Rejection{
 						ID: e.rec.req.ID, Model: e.rec.req.ModelName,
 						At: start, Reason: ReasonNoHealthyShard,
@@ -605,6 +659,10 @@ func Run(cfg Config, tr workload.Trace) Result {
 					r := e.rec.req
 					r.Arrival = start
 					s := routeChecked(r)
+					if front != nil {
+						front.Record(start, telemetry.KindRedrive, -1, r.ID,
+							int64(e.from), int64(s))
+					}
 					if e.rec.idx >= 0 {
 						assigned[e.rec.idx] = s
 					}
@@ -653,6 +711,36 @@ func Run(cfg Config, tr workload.Trace) Result {
 			snaps[i] = sd.snapshot(i, i < active, st.Routed[i])
 		}
 		ck.epochBarrier(epoch, end, snaps)
+		if cfg.Telemetry != nil {
+			// One SampleEpoch row per shard at the barrier, in shard order
+			// (serial section — the shard simulators are quiescent).
+			for i, sd := range shards {
+				var kvGPU, kvCPU int64
+				if ts := sd.ctl.PrefixStore(); ts != nil {
+					kvGPU, kvCPU = ts.Ledger.GPUBytes, ts.Ledger.CPUBytes
+				}
+				goodput := snaps[i].Completed - prevCompleted[i]
+				if chaos {
+					goodput = sd.completedEpoch // segment-aware across crashes
+				}
+				if goodput < 0 {
+					goodput = 0 // a crash reset the shard's collector
+				}
+				prevCompleted[i] = snaps[i].Completed
+				act := snaps[i].Outstanding - int64(snaps[i].Queued)
+				if act < 0 {
+					act = 0
+				}
+				cfg.Telemetry.Recorder(i).Sample(telemetry.Sample{
+					T: end, Kind: telemetry.SampleEpoch,
+					Queue: int32(snaps[i].Queued), Active: int32(act),
+					KVGPU: kvGPU, KVCPU: kvCPU,
+					Outstanding:  snaps[i].Outstanding,
+					Goodput:      goodput,
+					RetryBacklog: int32(len(retryq)),
+				})
+			}
+		}
 		if chaos {
 			var done int64
 			for _, sd := range shards {
@@ -694,8 +782,12 @@ func Run(cfg Config, tr workload.Trace) Result {
 		res.EventsFired += sd.firedBefore + sd.sim.Fired()
 		if sd.suite != nil {
 			sd.segViol = append(sd.segViol, sd.suite.Violations()...)
+			if sd.flight == "" {
+				sd.flight = sd.suite.FlightDump()
+			}
 		}
 		res.ShardViolations[i] = sd.segViol
+		res.FlightDumps[i] = sd.flight
 	}
 	res.Report = metrics.MergeReports(cfg.Name, sim.Duration(horizon)+maxGrace, res.Shards...)
 	if chaos && firedCount > 0 {

@@ -87,6 +87,20 @@ type Suite struct {
 	// tier is the watched prefix store (nil unless WatchTier was called);
 	// RunFinished reconciles its ledger against the block lists.
 	tier *kvcache.TieredStore
+
+	// dump is the flight-recorder hook (see SetDumper): invoked once, on
+	// the first recorded violation, to capture the telemetry event log that
+	// led there. dumpText holds its output. An interface rather than a
+	// func() string so wiring a *Controller boxes a pointer instead of
+	// allocating a method-value closure per Attach.
+	dump     FlightDumper
+	dumpText string
+}
+
+// FlightDumper is anything that can render a post-mortem event log —
+// core.Controller implements it over the telemetry flight ring.
+type FlightDumper interface {
+	FlightDump() string
 }
 
 // New returns a Suite observing the simulator's event clock. Use WatchNode /
@@ -116,11 +130,27 @@ func Attach(c *core.Controller) *Suite {
 	if ts := c.PrefixStore(); ts != nil {
 		su.WatchTier(ts)
 	}
+	// Telemetry's flight recorder, when the controller runs one, dumps on
+	// the first violation — strictly read-only, so the probe semantics are
+	// unchanged whether or not telemetry is attached.
+	su.SetDumper(c)
 	c.Cfg.Probe = su
 	return su
 }
 
-// report records one violation.
+// SetDumper installs the flight-recorder hook: d.FlightDump runs once, at
+// the first recorded violation, and its output is kept for FlightDump. A
+// dumper returning "" (telemetry off, empty ring) is remembered as such;
+// a nil dumper clears the hook.
+func (s *Suite) SetDumper(d FlightDumper) { s.dump = d }
+
+// FlightDump returns the flight-recorder capture taken at the first
+// violation, or "" when no violation occurred or no dump hook was set.
+func (s *Suite) FlightDump() string { return s.dumpText }
+
+// report records one violation. The first one also triggers the flight
+// recorder: the dump hook captures the telemetry event ring as it stood
+// at the moment of detection, before the run moves on.
 func (s *Suite) report(check, format string, args ...any) {
 	if len(s.violations) >= maxViolations {
 		s.dropped++
@@ -129,6 +159,9 @@ func (s *Suite) report(check, format string, args ...any) {
 	var at sim.Time
 	if s.sim != nil {
 		at = s.sim.Now()
+	}
+	if len(s.violations) == 0 && s.dump != nil {
+		s.dumpText = s.dump.FlightDump()
 	}
 	s.violations = append(s.violations, Violation{
 		Check: check, Detail: fmt.Sprintf(format, args...), At: at,

@@ -150,6 +150,18 @@ type TierObserver interface {
 	TierChanged(s *TieredStore)
 }
 
+// TierTrace receives per-transition telemetry from a tiered store: bytes
+// promoted back to GPU on a hit, spilled to the host tier to make room,
+// and evicted out of the store entirely. The core controller adapts it
+// onto its telemetry recorder (internal/telemetry), stamping virtual time
+// at the call site; nil costs one branch per transition. Purely
+// observational — implementations must not touch the store.
+type TierTrace interface {
+	TierPromoted(bytes int64)
+	TierSpilled(bytes int64)
+	TierEvicted(bytes int64)
+}
+
 // Block tier tags.
 const (
 	tierGPU = int8(0)
@@ -225,6 +237,10 @@ type TieredStore struct {
 
 	// Observer, if set, watches transitions (see TierObserver).
 	Observer TierObserver
+
+	// Trace, if set, receives per-transition telemetry (see TierTrace).
+	// Reset clears it; the controller rewires it per run.
+	Trace TierTrace
 }
 
 // NewTieredStore returns an empty store for the given (defaulted) config.
@@ -451,6 +467,9 @@ func (s *TieredStore) promote(b *tierBlock) {
 	b.tier = tierGPU
 	s.gpu.pushFront(b)
 	s.Ledger.GPUBytes += b.bytes
+	if s.Trace != nil {
+		s.Trace.TierPromoted(b.bytes)
+	}
 }
 
 // makeGPURoom spills LRU GPU blocks to the CPU tier (or frees them when the
@@ -469,6 +488,9 @@ func (s *TieredStore) makeGPURoom(need int64) {
 			s.Ledger.CPUBytes += victim.bytes
 			s.Ledger.Spills++
 			s.Ledger.SpillBytes += victim.bytes
+			if s.Trace != nil {
+				s.Trace.TierSpilled(victim.bytes)
+			}
 		} else {
 			s.freeBlock(victim)
 		}
@@ -493,6 +515,9 @@ func (s *TieredStore) makeCPURoom(need int64) {
 func (s *TieredStore) freeBlock(b *tierBlock) {
 	s.Ledger.FreedBytes += b.bytes
 	s.Ledger.Evictions++
+	if s.Trace != nil {
+		s.Trace.TierEvicted(b.bytes)
+	}
 	s.rootBytes[b.root] -= b.bytes
 	delete(s.blocks, b.hash)
 	*b = tierBlock{next: s.free}

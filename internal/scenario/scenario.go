@@ -30,6 +30,7 @@ import (
 	"slinfer/internal/model"
 	"slinfer/internal/sim"
 	"slinfer/internal/slo"
+	"slinfer/internal/telemetry"
 	"slinfer/internal/workload"
 	"slinfer/internal/workload/traceio"
 )
@@ -247,6 +248,14 @@ type Cell struct {
 	SLO       SLOClass
 	Seed      uint64
 	Fleet     FleetAxis
+	// Telemetry, when non-nil, is this cell's observability sink
+	// (internal/telemetry): single-shard cells record on Recorder(0),
+	// fleet cells thread the whole Trace through fleet.Config.Telemetry.
+	// Not an axis — it never appears in Name() and never changes the
+	// cell's report. Each opted-in cell needs its own Trace: cells fan
+	// out across the worker pool, and a Trace is single-writer per
+	// recorder.
+	Telemetry *telemetry.Trace
 }
 
 // Name renders the cell's coordinates: one value per axis, slash-separated.
@@ -302,6 +311,9 @@ func RunCell(c Cell) CellResult {
 	if c.Fleet.Shards > 1 {
 		return runFleetCell(c, cfg, models, tr)
 	}
+	if c.Telemetry != nil {
+		cfg.Telemetry = c.Telemetry.Recorder(0)
+	}
 	rep, viol := runTrace(cfg, c.Topology, models, tr)
 	return CellResult{Cell: c, Report: rep, Violations: viol}
 }
@@ -332,6 +344,7 @@ func runFleetCell(c Cell, cfg core.Config, models []model.Model, tr workload.Tra
 		Seed:             c.Seed,
 		AttachInvariants: true,
 		Faults:           plan,
+		Telemetry:        c.Telemetry,
 	}, tr)
 	viol := append([]invariants.Violation(nil), res.Violations...)
 	for _, vs := range res.ShardViolations {

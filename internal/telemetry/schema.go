@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ValidateChrome checks a Chrome trace-event JSON document against the
+// minimal schema Perfetto and chrome://tracing require to load it: a
+// top-level object with a "traceEvents" array (a bare array is also
+// accepted), where every event has a string "name", a known "ph" phase,
+// numeric "pid"/"tid", a non-negative numeric "ts" on timed phases, and a
+// non-negative "dur" on complete ("X") events. CI runs it over the export
+// the smoke step just produced, so a formatting regression fails before
+// anyone opens a viewer.
+func ValidateChrome(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	var doc any
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("telemetry: trace JSON: %w", err)
+	}
+	var events []any
+	switch v := doc.(type) {
+	case []any:
+		events = v
+	case map[string]any:
+		raw, ok := v["traceEvents"]
+		if !ok {
+			return fmt.Errorf("telemetry: trace JSON object has no traceEvents array")
+		}
+		events, ok = raw.([]any)
+		if !ok {
+			return fmt.Errorf("telemetry: traceEvents is %T, want array", raw)
+		}
+	default:
+		return fmt.Errorf("telemetry: trace JSON top level is %T, want object or array", doc)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("telemetry: trace has no events")
+	}
+	for i, raw := range events {
+		ev, ok := raw.(map[string]any)
+		if !ok {
+			return fmt.Errorf("telemetry: event %d is %T, want object", i, raw)
+		}
+		if err := validateEvent(ev); err != nil {
+			return fmt.Errorf("telemetry: event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+var validPhases = map[string]bool{
+	"B": true, "E": true, "X": true, "i": true, "I": true, "M": true,
+	"C": true, "b": true, "e": true, "n": true, "s": true, "t": true, "f": true,
+}
+
+func validateEvent(ev map[string]any) error {
+	name, ok := ev["name"].(string)
+	if !ok || name == "" {
+		return fmt.Errorf("missing or non-string name")
+	}
+	ph, ok := ev["ph"].(string)
+	if !ok || !validPhases[ph] {
+		return fmt.Errorf("%q: missing or unknown phase %v", name, ev["ph"])
+	}
+	for _, key := range []string{"pid", "tid"} {
+		if _, ok := ev[key].(float64); !ok {
+			return fmt.Errorf("%q: missing or non-numeric %s", name, key)
+		}
+	}
+	if ph == "M" {
+		return nil // metadata events carry no timestamp
+	}
+	ts, ok := ev["ts"].(float64)
+	if !ok {
+		return fmt.Errorf("%q: missing or non-numeric ts", name)
+	}
+	if ts < 0 {
+		return fmt.Errorf("%q: negative ts %v", name, ts)
+	}
+	if ph == "X" {
+		dur, ok := ev["dur"].(float64)
+		if !ok {
+			return fmt.Errorf("%q: complete event missing dur", name)
+		}
+		if dur < 0 {
+			return fmt.Errorf("%q: negative dur %v", name, dur)
+		}
+	}
+	return nil
+}

@@ -41,6 +41,7 @@ import (
 	"slinfer/internal/policy"
 	"slinfer/internal/scenario"
 	"slinfer/internal/sim"
+	"slinfer/internal/telemetry"
 	"slinfer/internal/workload"
 	"slinfer/internal/workload/traceio"
 )
@@ -232,6 +233,43 @@ func ChatTrace(models []Model, minutes float64, seed uint64) Trace {
 // KV store enabled at its default sizing; set Config.PrefixCache directly
 // for custom tier capacities.
 func WithPrefixCache(cfg Config) Config { return baseline.WithPrefixCache(cfg) }
+
+// Telemetry layer (internal/telemetry): deterministic request span traces,
+// sim-time metric streams, and a flight recorder, recorded as a pure
+// function of (config, trace, seed) — exports are byte-identical across
+// reruns, worker counts, and arena reuse. See DESIGN.md "Telemetry" and
+// examples/timeline.
+type (
+	// Telemetry is one run's observability sink: a recorder per shard plus
+	// a fleet front-door recorder. Thread it through Config.Telemetry
+	// (WithTelemetry), ReplayOptions.Telemetry, FleetConfig.Telemetry, or
+	// ScenarioCell.Telemetry, then export after the run.
+	Telemetry = telemetry.Trace
+	// TelemetryRecorder is one shard's event/sample buffer.
+	TelemetryRecorder = telemetry.Recorder
+	// TelemetryOptions selects the pillars: Spans, Series, FlightRing.
+	TelemetryOptions = telemetry.Options
+)
+
+// NewTelemetry returns an empty telemetry sink recording per opts.
+func NewTelemetry(opts TelemetryOptions) *Telemetry { return telemetry.New(opts) }
+
+// WithTelemetry returns a system variant whose controller records onto rec
+// (typically t.Recorder(0) for single-controller runs). Telemetry is
+// strictly observational: the run's Report is byte-identical either way.
+func WithTelemetry(cfg Config, rec *TelemetryRecorder) Config {
+	cfg.Telemetry = rec
+	return cfg
+}
+
+// SpanExportChrome writes t's span trace as Chrome trace-event JSON,
+// loadable in Perfetto or chrome://tracing (shards are process rows,
+// instances thread rows).
+func SpanExportChrome(w io.Writer, t *Telemetry) error { return t.ExportChrome(w) }
+
+// SeriesCSV writes t's sim-time metric stream as CSV (queue depth, active
+// batch, KV tier bytes, goodput, retry backlog per sample).
+func SeriesCSV(w io.Writer, t *Telemetry) error { return t.SeriesCSV(w) }
 
 // Trace I/O and replay: a recorded trace is a first-class simulator input.
 // SaveTrace persists the request sequence as versioned JSONL; LoadTrace
